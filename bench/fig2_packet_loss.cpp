@@ -1,0 +1,102 @@
+// Figure 2 — "Ethernet packet losses per second during the capture and
+// cumulative losses (inset)".
+//
+// Paper: losses are very rare (250 266 lost vs 31 555 295 781 captured,
+// ~7.9e-6), bursty (isolated per-second spikes), and accumulate in visible
+// steps.  Mechanism: the libpcap kernel buffer overflows during traffic
+// peaks (§2.2).
+//
+// We replay the mechanism: campaign UDP traffic plus the TCP half of the
+// mirror feeds a finite kernel buffer drained by a reader with occasional
+// stalls.  The bench prints the per-second loss series (main plot), the
+// cumulative series (inset), and the paper-vs-measured loss rate.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+  bench::print_header(
+      "Figure 2 — ethernet packet losses per second + cumulative (inset)",
+      "250,266 lost / 31,555,295,781 captured (~7.9e-6), rare bursty spikes");
+
+  core::RunnerConfig cfg = bench::bench_config(argc, argv);
+  // Figure 2 is about the capture mechanism, not the content statistics:
+  // compress the campaign into two days so the paper-rate background
+  // traffic (5000 SYN/min + MMPP data) stays tractable while the per-second
+  // dynamics are identical.
+  cfg.campaign.duration = 2 * kDay;
+  cfg.campaign.flash_crowd_count = 8;
+  // The paper's loss regime: the reader normally keeps up easily (drain
+  // well above even burst arrival); losses happen only when a long reader
+  // stall coincides with high arrival and the kernel buffer (sized in
+  // packets, like libpcap's) cannot absorb it.  That makes losses rare,
+  // small and bursty — exactly Figure 2's shape.
+  cfg.buffer.capacity = 512;
+  cfg.buffer.drain_rate = 4000.0;
+  cfg.buffer.stall_per_hour = 1.2;
+  cfg.buffer.stall_mean = 800 * kMillisecond;
+  cfg.campaign.flash_crowd_fraction = 0.08;
+  // The TCP half of the mirror at the paper's absolute rates (§2.2:
+  // ~5000 SYN/min) — Figure 2 studies the buffer against realistic
+  // arrival dynamics, so absolute rates matter here (unlike the summary
+  // table, which compares volume *ratios* and scales TCP down with the
+  // campaign).
+  sim::BackgroundConfig bg;
+  bg.syn_per_minute = 5000;  // the paper's SYN rate
+  bg.data_rate_quiet = 300;
+  bg.data_rate_burst = 2200;
+  bg.mean_quiet_s = 500;
+  bg.mean_burst_s = 10;
+  cfg.background = bg;
+
+  core::CampaignRunner runner(cfg);
+  core::CampaignReport report = runner.run();
+
+  const std::uint64_t captured = report.frames_captured;
+  const std::uint64_t lost = report.frames_lost;
+
+  std::cout << "# per-second losses (only non-zero seconds; main plot)\n";
+  std::cout << "# second\tlost\n";
+  std::size_t printed = 0;
+  for (const auto& p : report.loss_series) {
+    std::cout << p.second << "\t" << p.lost << "\n";
+    if (++printed >= 60) {
+      std::cout << "# ... (" << report.loss_series.size() - printed
+                << " more loss seconds)\n";
+      break;
+    }
+  }
+
+  std::cout << "\n# cumulative losses (inset)\n# second\tcumulative\n";
+  std::uint64_t running = 0;
+  printed = 0;
+  for (const auto& p : report.loss_series) {
+    running += p.lost;
+    if (printed % std::max<std::size_t>(1, report.loss_series.size() / 20) == 0) {
+      std::cout << p.second << "\t" << running << "\n";
+    }
+    ++printed;
+  }
+
+  double measured_rate =
+      captured == 0 ? 0.0
+                    : static_cast<double>(lost) /
+                          static_cast<double>(captured + lost);
+  std::cout << "\n== paper vs measured ==\n";
+  std::cout << "  captured frames      paper 31,555,295,781 | measured "
+            << with_thousands(captured) << "\n";
+  std::cout << "  lost frames          paper 250,266         | measured "
+            << with_thousands(lost) << "\n";
+  std::printf("  loss rate            paper 7.9e-06         | measured %.1e\n",
+              measured_rate);
+  std::cout << "  loss seconds         " << report.loss_series.size()
+            << " distinct seconds with loss out of "
+            << to_seconds(cfg.campaign.duration) << " simulated\n";
+  bool rare = measured_rate < 1e-3;
+  bool bursty = !report.loss_series.empty() &&
+                report.loss_series.size() <
+                    to_seconds(cfg.campaign.duration) / 100;
+  std::cout << "  shape check          losses "
+            << (rare ? "rare" : "NOT RARE (mismatch)") << ", "
+            << (bursty ? "bursty/isolated" : "NOT bursty (mismatch)") << "\n";
+  return rare && bursty ? 0 : 1;
+}

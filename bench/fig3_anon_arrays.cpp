@@ -1,0 +1,95 @@
+// Figure 3 — "Size distribution of fileID anonymisation arrays after one
+// week of capture".
+//
+// Paper: with the 65 536 arrays indexed by the *first two bytes* of the
+// fileID, arrays 0 and 256 are abnormally large (array 0 holds 24 024
+// elements while the expected mean at that point was ~1 342 — about 18x);
+// indexing by two other bytes removes the pathology (their max dropped to
+// 819 with mean around 2 bytes of the ID, i.e. a few hundred).
+//
+// We replay one simulated week of fileID arrivals (35 % forged — "a
+// majority of fileID start with 0 or 256" counts stream occurrences, our
+// universe fraction is conservative) and print the bucket-size
+// distribution for both indexings, exactly the quantity Figure 3 plots.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "anon/fileid_store.hpp"
+#include "common/strings.hpp"
+#include "workload/idstream.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+
+  std::uint64_t distinct =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+
+  std::cout
+      << "==============================================================\n"
+         "Figure 3 — fileID anonymisation array sizes after one week\n"
+         "Paper: first-two-byte indexing -> arrays 0/256 pathological\n"
+         "(array 0 = 24,024 elems, ~18x mean); other bytes -> max 819\n"
+         "==============================================================\n";
+  std::cout << "[stream] " << with_thousands(distinct)
+            << " distinct fileIDs, 35% forged (prefixes 0x0000/0x0100)\n\n";
+
+  workload::FileIdStreamConfig cfg;
+  cfg.distinct_ids = distinct;
+  cfg.forged_fraction = 0.35;
+  cfg.seed = 1;
+
+  struct Variant {
+    unsigned b0, b1;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {0, 1, "index = two FIRST bytes (paper's first attempt)"},
+      {5, 11, "index = two OTHER bytes (paper's fix)"},
+  };
+
+  double expected_mean = static_cast<double>(distinct) /
+                         anon::BucketedFileIdStore::kBucketCount;
+  bool shape_ok = true;
+
+  for (const Variant& v : variants) {
+    anon::BucketedFileIdStore store(v.b0, v.b1);
+    workload::FileIdStream stream(cfg);
+    for (std::uint64_t i = 0; i < distinct; ++i) {
+      store.anonymise(stream.universe_id(i));
+    }
+
+    std::cout << "--- " << v.label << " ---\n";
+    std::cout << "# array-size distribution (size -> number of arrays):\n";
+    analysis::print_distribution(std::cout, store.bucket_size_distribution(),
+                                 "array size", "arrays", /*log_binned=*/true,
+                                 1.8);
+    std::size_t largest = store.largest_bucket();
+    std::printf(
+        "mean %.0f | largest %zu (index %zu) = %.1fx mean | arrays 0/256: "
+        "%zu / %zu\n\n",
+        expected_mean, largest, store.largest_bucket_index(),
+        static_cast<double>(largest) / expected_mean, store.bucket_size(0),
+        store.bucket_size(256));
+
+    if (v.b0 == 0 && v.b1 == 1) {
+      // Pathology expected: hot buckets are 0/256 and way above the mean.
+      bool hot = store.largest_bucket_index() == 0 ||
+                 store.largest_bucket_index() == 256;
+      bool skewed = static_cast<double>(largest) > 10.0 * expected_mean;
+      shape_ok &= hot && skewed;
+    } else {
+      // Fix expected: largest bucket within a small factor of the mean.
+      shape_ok &= static_cast<double>(largest) < 5.0 * expected_mean;
+    }
+  }
+
+  std::cout << "== paper vs measured ==\n"
+               "  paper: array 0 ~18x mean under first-two-byte indexing;\n"
+               "         fixed byte pair max ~0.6x..2x mean band\n"
+            << "  measured shape: "
+            << (shape_ok ? "MATCHES (pathology present, fix effective)"
+                         : "MISMATCH")
+            << "\n";
+  return shape_ok ? 0 : 1;
+}

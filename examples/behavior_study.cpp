@@ -1,0 +1,93 @@
+// behavior_study — the analyses the paper's conclusion calls for (§4):
+// "study and model user behaviors ... how files spread among users".
+//
+// Attaches an ActivityTracker and a FileSpreadTracker to the live pipeline
+// (streaming; nothing is buffered), then reports:
+//   * activity over time (message rate, active/new clients per hour,
+//     flash-crowd burstiness),
+//   * file spread: how many files ever reach 2/5/10/25 providers and how
+//     long that takes from their first appearance.
+//
+//   ./behavior_study [seed]
+#include <iostream>
+
+#include "analysis/interest_graph.hpp"
+#include "analysis/spread.hpp"
+#include "analysis/temporal.hpp"
+#include "core/donkeytrace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(seed);
+  cfg.campaign.duration = 24 * kHour;
+  cfg.campaign.population.client_count = 500;
+  cfg.campaign.catalog.file_count = 3'000;
+  cfg.campaign.flash_crowd_count = 3;
+  cfg.campaign.flash_crowd_fraction = 0.35;
+  // Give the population real communities of interest to find (taste
+  // groups; see PopulationConfig) — with 0 groups the clustering lift
+  // correctly measures ~1.0 (popularity bias only).
+  cfg.campaign.population.taste_groups = 8;
+
+  analysis::ActivityTracker activity(kHour);
+  analysis::FileSpreadTracker spread;
+  analysis::InterestGraph interests;
+  cfg.extra_sink = [&](const anon::AnonEvent& ev) {
+    activity.consume(ev);
+    spread.consume(ev);
+    interests.consume(ev);
+  };
+
+  core::CampaignRunner runner(cfg);
+  core::CampaignReport report = runner.run();
+  std::cout << "campaign: " << with_thousands(report.pipeline.anonymised_events)
+            << " anonymised events over "
+            << to_seconds(cfg.campaign.duration) / 3600 << "h\n\n";
+
+  std::cout << "== activity per hour ==\n";
+  std::cout << "hour  messages  active  new-clients  new-files\n";
+  const auto& bins = activity.bins();
+  for (std::size_t h = 0; h < bins.size(); ++h) {
+    std::printf("%4zu  %8llu  %6u  %11u  %9u\n", h,
+                static_cast<unsigned long long>(bins[h].messages),
+                bins[h].active_clients, bins[h].new_clients,
+                bins[h].new_files);
+  }
+  std::printf("\npeak hour %zu; peak-to-mean ratio %.2f "
+              "(flash crowds show as spikes)\n\n",
+              activity.peak_bin(), activity.peak_to_mean());
+
+  std::cout << "== file spread ==\n";
+  auto counts = spread.milestone_counts();
+  for (std::size_t i = 0; i < analysis::FileSpreadTracker::kMilestones.size();
+       ++i) {
+    std::printf("files reaching %3u providers: %llu\n",
+                analysis::FileSpreadTracker::kMilestones[i],
+                static_cast<unsigned long long>(counts[i]));
+  }
+  for (std::size_t i = 1; i <= 3; ++i) {
+    CountHistogram h = spread.time_to_milestone(i);
+    if (h.empty()) continue;
+    std::printf(
+        "time from 1st to %u-th provider: median-ish mean %.0f s over %llu "
+        "files\n",
+        analysis::FileSpreadTracker::kMilestones[i], h.mean(),
+        static_cast<unsigned long long>(h.total()));
+  }
+
+  std::cout << "\n== communities of interest ==\n";
+  std::printf("interest graph: %zu clients x %zu files, %llu edges\n",
+              interests.clients(), interests.files(),
+              static_cast<unsigned long long>(interests.edges()));
+  auto clustering = interests.estimate_clustering(20'000, seed);
+  std::printf(
+      "sampled clustering %.4f vs degree-preserving null %.4f -> lift %.2fx\n",
+      clustering.coefficient, clustering.null_expectation, clustering.lift());
+  std::cout << (clustering.lift() > 1.15
+                    ? "interests cluster: clients who share one file share "
+                      "more (community structure)\n"
+                    : "no community structure beyond popularity bias\n");
+  return 0;
+}

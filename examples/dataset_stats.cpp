@@ -1,0 +1,80 @@
+// dataset_stats — the downstream user's tool.
+//
+// Reads a released dataset (the XML format of §2.4/2.5) from a file or
+// stdin and recomputes the paper's §3 statistics from it — without any
+// access to the capture pipeline.  This is what "we provide [the dataset]
+// for public use ... in a way that makes analysis easier" enables.
+//
+//   ./dataset_stats capture.xml
+//   ./quickstart && ./dataset_stats quickstart_dataset.xml
+#include <fstream>
+#include <iostream>
+
+#include "analysis/campaign_stats.hpp"
+#include "analysis/powerlaw.hpp"
+#include "analysis/report.hpp"
+#include "common/strings.hpp"
+#include "xmlio/schema.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+
+  xmlio::DatasetReader reader(*in);
+  analysis::CampaignStats stats;
+  std::uint64_t events = 0;
+  while (auto ev = reader.next()) {
+    stats.consume(*ev);
+    ++events;
+  }
+  if (!reader.ok()) {
+    std::cerr << "malformed dataset: " << reader.error() << "\n";
+    return 1;
+  }
+  if (events == 0) {
+    std::cerr << "empty dataset\n";
+    return 1;
+  }
+
+  analysis::print_table(
+      std::cout, "dataset",
+      {
+          {"messages", with_thousands(stats.messages())},
+          {"queries / answers", with_thousands(stats.queries()) + " / " +
+                                    with_thousands(stats.answers())},
+          {"distinct clients", with_thousands(stats.distinct_clients())},
+          {"distinct fileIDs", with_thousands(stats.distinct_files())},
+          {"provider relations", with_thousands(stats.provider_relations())},
+          {"asker relations", with_thousands(stats.asker_relations())},
+      });
+
+  struct Figure {
+    const char* name;
+    CountHistogram h;
+  };
+  Figure figures[] = {
+      {"Fig 4: clients providing each file", stats.providers_per_file()},
+      {"Fig 5: clients asking for each file", stats.askers_per_file()},
+      {"Fig 6: files provided per client", stats.files_per_provider()},
+      {"Fig 7: files asked per client", stats.files_per_asker()},
+      {"Fig 8: file sizes (KB)", stats.size_distribution()},
+  };
+  for (const Figure& fig : figures) {
+    if (fig.h.empty()) continue;
+    std::cout << "\n== " << fig.name << " ==\n";
+    analysis::print_loglog_plot(std::cout, fig.h, 64, 14);
+    analysis::PowerLawFit fit = analysis::fit_power_law_auto(fig.h);
+    std::cout << analysis::describe_fit(fit) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// deanonymisation_demo — why the paper rejected hash- and shuffle-based
+// clientID anonymisation (§2.4), demonstrated with working attacks.
+//
+//   1. Keyed hash: the adversary who learns the function + key enumerates
+//      the clientID space and inverts every token.  At 2^32 this takes
+//      seconds on one core — we sweep a configurable space and extrapolate.
+//   2. Affine shuffle: two known (clientID, token) pairs recover the whole
+//      permutation algebraically; no enumeration at all.
+//   3. Order-of-appearance (the paper's choice): the token is the rank of
+//      first observation — a function of the capture's history, not of the
+//      clientID's value.  There is nothing to invert.
+//
+//   ./deanonymisation_demo [space_bits=26]
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "anon/client_table.hpp"
+#include "anon/rejected_schemes.hpp"
+#include "common/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+  unsigned space_bits =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10)) : 26;
+  if (space_bits > 32) space_bits = 32;
+
+  Rng rng(20080919);
+
+  // --- Attack 1: keyed hash ---------------------------------------------
+  std::cout << "== attack 1: keyed-hash anonymisation ==\n";
+  anon::KeyedHashScheme hash_scheme(/*key=*/rng.next());
+  const int kVictims = 50;
+  std::vector<proto::ClientId> secrets;
+  std::vector<std::uint64_t> tokens;
+  for (int i = 0; i < kVictims; ++i) {
+    auto id = static_cast<proto::ClientId>(rng.below(1ull << space_bits));
+    secrets.push_back(id);
+    tokens.push_back(hash_scheme.anonymise(id));
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<proto::ClientId> recovered;
+  std::size_t found = hash_scheme.brute_force_all(tokens, recovered, space_bits);
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  std::size_t correct = 0;
+  for (int i = 0; i < kVictims; ++i) correct += (recovered[static_cast<std::size_t>(i)] == secrets[static_cast<std::size_t>(i)]);
+  std::printf("  swept 2^%u candidates in %.2f s -> recovered %zu/%d "
+              "clientIDs (%zu exactly)\n",
+              space_bits, seconds, found, kVictims, correct);
+  double full_space_estimate =
+      seconds * static_cast<double>(1ull << (32 - space_bits));
+  std::printf("  extrapolated full 2^32 sweep: ~%.0f s on one core\n",
+              full_space_estimate);
+  std::cout << "  => exactly the paper's objection: \"easy to find the "
+               "original clientID\"\n\n";
+
+  // --- Attack 2: affine shuffle -------------------------------------------
+  std::cout << "== attack 2: shuffle (affine bijection) anonymisation ==\n";
+  anon::AffineShuffleScheme shuffle(
+      static_cast<std::uint32_t>(rng.next()) | 1u,
+      static_cast<std::uint32_t>(rng.next()));
+  // The adversary knows two of its own addresses and spots their tokens.
+  proto::ClientId known1 = 0x0A000001, known2 = 0x0A000004;
+  auto cracked = anon::AffineShuffleScheme::recover(
+      known1, shuffle.anonymise(known1), known2, shuffle.anonymise(known2));
+  if (cracked) {
+    proto::ClientId victim = 0xC3A1F00D;
+    std::uint32_t token = shuffle.anonymise(victim);
+    std::printf("  recovered parameters from TWO known pairs; "
+                "deanonymise(0x%08X) = 0x%08X %s\n",
+                token, cracked->deanonymise(token),
+                cracked->deanonymise(token) == victim ? "(correct)"
+                                                      : "(WRONG)");
+  }
+  std::cout << "  => \"shuffling strategies are not strong enough either\"\n\n";
+
+  // --- The paper's scheme ---------------------------------------------------
+  std::cout << "== the paper's scheme: order of appearance ==\n";
+  anon::DirectClientTable table;
+  proto::ClientId a = 0xDEADBEEF, b = 0x0A000001;
+  std::printf("  first-observed  0x%08X -> %u\n", a, table.anonymise(a));
+  std::printf("  second-observed 0x%08X -> %u\n", b, table.anonymise(b));
+  std::cout << "  the token depends only on observation ORDER; any other "
+               "capture\n  permutes the assignment, so the token alone "
+               "carries no information\n  about the address — and the "
+               "mapping table never leaves the capture\n  machine.\n";
+  return 0;
+}

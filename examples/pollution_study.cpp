@@ -1,0 +1,74 @@
+// pollution_study — detecting forged-fileID pollution (paper §2.4, ref [12]).
+//
+// The paper discovered index pollution *by accident*: the fileID
+// anonymisation arrays indexed by the first two bytes developed two
+// pathologically large buckets, revealing that "a majority of fileID start
+// with 0 or 256".  This example turns that accident into a detector: it
+// feeds the same fileID stream into bucketed stores indexed by several byte
+// pairs and reports the skew of each, flagging the prefixes that betray
+// forged IDs.
+//
+//   ./pollution_study [distinct-ids] [forged-fraction]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/donkeytrace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+
+  workload::FileIdStreamConfig cfg;
+  cfg.distinct_ids = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+  cfg.forged_fraction = argc > 2 ? std::strtod(argv[2], nullptr) : 0.35;
+  cfg.seed = 20080919;  // the paper's arXiv date
+
+  std::cout << "Universe: " << with_thousands(cfg.distinct_ids)
+            << " distinct fileIDs, " << cfg.forged_fraction * 100
+            << "% forged\n\n";
+
+  struct Choice {
+    unsigned b0, b1;
+    const char* label;
+  };
+  const Choice choices[] = {
+      {0, 1, "first two bytes (the paper's first, pathological attempt)"},
+      {2, 3, "bytes 2,3"},
+      {5, 11, "bytes 5,11 (the fix: any bytes unrelated to forged prefixes)"},
+  };
+
+  for (const Choice& c : choices) {
+    anon::BucketedFileIdStore store(c.b0, c.b1);
+    workload::FileIdStream stream(cfg);
+    for (std::uint64_t i = 0; i < cfg.distinct_ids; ++i) {
+      store.anonymise(stream.universe_id(i));
+    }
+
+    CountHistogram dist = store.bucket_size_distribution();
+    double mean = static_cast<double>(store.distinct()) /
+                  anon::BucketedFileIdStore::kBucketCount;
+    std::size_t largest = store.largest_bucket();
+    std::size_t hot_index = store.largest_bucket_index();
+
+    std::cout << "Index bytes (" << c.b0 << "," << c.b1 << ") — " << c.label
+              << "\n";
+    std::printf("  mean bucket size   %.1f\n", mean);
+    std::printf("  largest bucket     %zu (index %zu) = %.0fx the mean\n",
+                largest, hot_index, static_cast<double>(largest) / mean);
+    std::printf("  bucket 0 / 256     %zu / %zu\n", store.bucket_size(0),
+                store.bucket_size(256));
+    bool polluted = static_cast<double>(largest) > 50.0 * mean;
+    std::cout << "  verdict            "
+              << (polluted ? "POLLUTION DETECTED: forged-ID prefix "
+                             "concentration"
+                           : "bucket sizes consistent with uniform hashes")
+              << "\n\n";
+  }
+
+  std::cout << "Interpretation: MD4 fileIDs of real content are uniform, so\n"
+               "any hot bucket under *any* byte-pair indexing is a cluster of\n"
+               "IDs sharing those bytes — i.e. forged identifiers (polluters\n"
+               "publishing fake sources).  Index the store by bytes the\n"
+               "forgers keep constant and the skew appears; index by other\n"
+               "bytes and it vanishes (paper Figure 3).\n";
+  return 0;
+}

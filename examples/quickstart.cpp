@@ -1,0 +1,53 @@
+// quickstart — the whole measurement in ~40 lines.
+//
+// Simulates a small eDonkey server campaign, captures the mirrored UDP
+// traffic, decodes and anonymises it in real time, streams the anonymised
+// dataset to XML, and prints the §2.3/§2.5-style summary table.
+//
+//   ./quickstart [seed]
+#include <fstream>
+#include <iostream>
+
+#include "core/donkeytrace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(seed);
+  std::ofstream xml("quickstart_dataset.xml");
+  cfg.xml_out = &xml;
+
+  std::cout << "Running a tiny campaign (seed " << seed << ", "
+            << cfg.campaign.population.client_count << " clients, "
+            << cfg.campaign.catalog.file_count << " catalog files, "
+            << to_seconds(cfg.campaign.duration) / 3600 << "h simulated)...\n";
+
+  core::CampaignRunner runner(cfg);
+  core::CampaignReport report = runner.run();
+  const analysis::CampaignStats& stats = runner.stats();
+
+  analysis::print_table(
+      std::cout, "dataset summary (cf. paper sections 2.3 and 2.5)",
+      {
+          {"ethernet frames mirrored", with_thousands(report.truth.frames)},
+          {"frames captured", with_thousands(report.frames_captured)},
+          {"frames lost (kernel buffer)", with_thousands(report.frames_lost)},
+          {"UDP packets", with_thousands(report.pipeline.decode.udp_packets)},
+          {"IP fragments", with_thousands(report.pipeline.decode.udp_fragments)},
+          {"eDonkey messages", with_thousands(report.pipeline.decode.edonkey_messages)},
+          {"decoded", with_thousands(report.pipeline.decode.decoded)},
+          {"undecoded", with_thousands(report.pipeline.decode.undecoded())},
+          {"distinct clients", with_thousands(report.pipeline.distinct_clients)},
+          {"distinct fileIDs", with_thousands(report.pipeline.distinct_files)},
+          {"anonymised events in XML", with_thousands(report.pipeline.xml_events)},
+      });
+
+  std::cout << "\nFig 4 preview — clients providing each file "
+               "(log-log, straight line = power law):\n";
+  analysis::print_loglog_plot(std::cout, stats.providers_per_file(), 60, 14);
+
+  std::cout << "\nDataset written to quickstart_dataset.xml\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// tcp_capture — the paper's future work (§4), demonstrated.
+//
+// "This work may be extended by conducting measurements of tcp eDonkey
+// traffic."  The paper's own capture could not decode TCP: losses punch
+// holes in flows and the server sees ~5000 SYN/min (§2.2).  This example
+// runs a TCP eDonkey campaign (logins, ID assignment, offer-files), feeds
+// the mirror through a lossy capture buffer, and decodes what survived with
+// the TCP reassembler + framing extractor — reporting exactly how much a
+// given loss rate costs in recovered messages.
+//
+//   ./tcp_capture [seed]
+#include <iostream>
+
+#include "capture/engine.hpp"
+#include "core/donkeytrace.hpp"
+#include "decode/tcp_decoder.hpp"
+#include "sim/tcp_session.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtr;
+
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  sim::TcpCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = 6 * kHour;
+  cfg.population.client_count = 300;
+  cfg.catalog.file_count = 2'000;
+  cfg.reorder_p = 0.02;
+
+  sim::TcpCampaignSimulator simulator(cfg);
+  std::vector<sim::TimedFrame> mirror;
+  simulator.run([&](const sim::TimedFrame& f) { mirror.push_back(f); });
+  const sim::TcpGroundTruth& truth = simulator.truth();
+
+  std::cout << "TCP campaign: " << with_thousands(truth.sessions)
+            << " sessions, " << with_thousands(truth.total_messages())
+            << " messages (" << with_thousands(truth.offer_entries)
+            << " announced files) in " << with_thousands(truth.segments)
+            << " segments (" << truth.reordered << " reordered)\n\n";
+
+  std::cout << "loss rate | messages recovered | share | stream gaps\n";
+  for (double loss : {0.0, 0.0001, 0.001, 0.01, 0.05}) {
+    Rng drop_rng(seed ^ 0xD209);
+    std::uint64_t recovered = 0;
+    decode::TcpFrameDecoder decoder(
+        cfg.server_ip, cfg.server_port,
+        [&](decode::DecodedTcpMessage&&) { ++recovered; });
+    for (const auto& f : mirror) {
+      if (loss > 0 && drop_rng.chance(loss)) continue;
+      decoder.push(f);
+    }
+    decoder.finish(cfg.duration);
+    std::printf("  %7.4f | %18s | %4.1f%% | %llu\n", loss,
+                with_thousands(recovered).c_str(),
+                100.0 * static_cast<double>(recovered) /
+                    static_cast<double>(truth.total_messages()),
+                static_cast<unsigned long long>(
+                    decoder.stats().stream_gaps));
+  }
+
+  std::cout << "\nReading: with zero capture loss the TCP dialect decodes "
+               "completely;\neach lost segment costs at most the messages "
+               "sharing its flow window,\nand gap detection keeps the rest "
+               "of the flow decodable — the paper's\nblocking difficulty, "
+               "resolved by framing-aware resynchronisation.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "analysis/campaign_stats.hpp"
+
+namespace dtr::analysis {
+
+void CampaignStats::observe_file_meta(anon::AnonFileId file,
+                                      const anon::AnonFileMeta& meta) {
+  auto [it, inserted] = seen_files_.try_emplace(file, 0);
+  if (inserted) {
+    std::uint32_t kb = meta.size_kb.value_or(0);
+    it->second = kb;
+    if (kb > 0) sizes_.add(kb);
+  }
+}
+
+void CampaignStats::consume(const anon::AnonEvent& event) {
+  ++messages_;
+  if (event.is_query) ++queries_;
+  distinct_clients_.observe(event.peer);
+
+  struct Visitor {
+    CampaignStats& s;
+    const anon::AnonEvent& ev;
+
+    void operator()(const anon::AServStatReq&) {}
+    void operator()(const anon::AServStatRes&) {}
+    void operator()(const anon::AServerDescReq&) {}
+    void operator()(const anon::AServerDescRes&) {}
+    void operator()(const anon::AGetServerList&) {}
+    void operator()(const anon::AServerList&) {}
+
+    void operator()(const anon::AFileSearchReq&) {
+      // Keyword searches do not bind a client to a fileID; only source
+      // requests do (the paper's Figs 5/7 are about files *asked for*,
+      // which at the protocol level are getsources fileIDs).
+    }
+    void operator()(const anon::AFileSearchRes& m) {
+      for (const auto& f : m.results) {
+        s.distinct_clients_.observe(f.provider);
+        s.provides_.observe(f.file, f.provider);
+        s.observe_file_meta(f.file, f.meta);
+      }
+    }
+    void operator()(const anon::AGetSourcesReq& m) {
+      for (auto file : m.files) {
+        s.asks_.observe(file, ev.peer);
+        s.seen_files_.try_emplace(file, 0);
+      }
+    }
+    void operator()(const anon::AFoundSourcesRes& m) {
+      for (const auto& src : m.sources) {
+        s.distinct_clients_.observe(src.client);
+        s.provides_.observe(m.file, src.client);
+      }
+    }
+    void operator()(const anon::APublishReq& m) {
+      for (const auto& f : m.files) {
+        s.distinct_clients_.observe(f.provider);
+        s.provides_.observe(f.file, f.provider);
+        s.observe_file_meta(f.file, f.meta);
+      }
+    }
+    void operator()(const anon::APublishAck&) {}
+  };
+
+  std::visit(Visitor{*this, event}, event.message);
+}
+
+}  // namespace dtr::analysis

@@ -1,0 +1,79 @@
+// Campaign statistics: the §3 analyses, computed from the anonymised event
+// stream (exactly what a user of the released dataset can compute).
+//
+//   Figure 4 — distribution of #clients providing each file
+//   Figure 5 — distribution of #clients asking for each file
+//   Figure 6 — distribution of #files provided by each client
+//   Figure 7 — distribution of #files asked for by each client
+//   Figure 8 — file size distribution
+//
+// Provider relations come from announcement messages and from the provider
+// lists in the server's answers (foundsrc sources, results entries); asker
+// relations from source requests.  All relations are exact-deduplicated.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "analysis/distinct.hpp"
+#include "anon/anonymiser.hpp"
+#include "common/binning.hpp"
+
+namespace dtr::analysis {
+
+class CampaignStats {
+ public:
+  /// Feed one anonymised message.
+  void consume(const anon::AnonEvent& event);
+
+  // --- dataset-summary numbers (the paper's headline table) --------------
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+  [[nodiscard]] std::uint64_t answers() const { return messages_ - queries_; }
+  [[nodiscard]] std::uint64_t distinct_clients() const {
+    return distinct_clients_.distinct();
+  }
+  [[nodiscard]] std::uint64_t distinct_files() const {
+    return seen_files_.size();
+  }
+
+  // --- figure data --------------------------------------------------------
+  /// Fig 4: x = #providers of a file, y = #files with x providers.
+  [[nodiscard]] CountHistogram providers_per_file() const {
+    return provides_.degree_of_a();
+  }
+  /// Fig 5: x = #askers of a file, y = #files with x askers.
+  [[nodiscard]] CountHistogram askers_per_file() const {
+    return asks_.degree_of_a();
+  }
+  /// Fig 6: x = #files provided, y = #clients providing x files.
+  [[nodiscard]] CountHistogram files_per_provider() const {
+    return provides_.degree_of_b();
+  }
+  /// Fig 7: x = #files asked, y = #clients asking x files.
+  [[nodiscard]] CountHistogram files_per_asker() const {
+    return asks_.degree_of_b();
+  }
+  /// Fig 8: x = file size (KB), y = #files with that size.
+  [[nodiscard]] const CountHistogram& size_distribution() const {
+    return sizes_;
+  }
+
+  [[nodiscard]] std::uint64_t provider_relations() const {
+    return provides_.pairs();
+  }
+  [[nodiscard]] std::uint64_t asker_relations() const { return asks_.pairs(); }
+
+ private:
+  void observe_file_meta(anon::AnonFileId file, const anon::AnonFileMeta& meta);
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t queries_ = 0;
+  BitsetDistinctCounter distinct_clients_;
+  PairSetCounter provides_;  // a = file, b = providing client
+  PairSetCounter asks_;      // a = file, b = asking client
+  std::unordered_map<anon::AnonFileId, std::uint32_t> seen_files_;  // -> KB
+  CountHistogram sizes_;     // over distinct files, by first-seen size
+};
+
+}  // namespace dtr::analysis

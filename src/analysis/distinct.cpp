@@ -1,0 +1,61 @@
+#include "analysis/distinct.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace dtr::analysis {
+
+BitsetDistinctCounter::BitsetDistinctCounter() {
+  pages_.resize(1ull << (32 - kPageBits));
+}
+
+bool BitsetDistinctCounter::observe(std::uint32_t key) {
+  const std::uint32_t page_index = key >> kPageBits;
+  auto& page = pages_[page_index];
+  if (!page) {
+    page = std::make_unique<std::uint64_t[]>(kPageWords);
+    std::memset(page.get(), 0, kPageWords * sizeof(std::uint64_t));
+  }
+  const std::uint32_t bit = key & ((1u << kPageBits) - 1);
+  std::uint64_t& word = page[bit / 64];
+  const std::uint64_t mask = 1ull << (bit % 64);
+  if (word & mask) return false;
+  word |= mask;
+  ++distinct_;
+  return true;
+}
+
+bool BitsetDistinctCounter::seen(std::uint32_t key) const {
+  const auto& page = pages_[key >> kPageBits];
+  if (!page) return false;
+  const std::uint32_t bit = key & ((1u << kPageBits) - 1);
+  return (page[bit / 64] >> (bit % 64)) & 1;
+}
+
+std::uint64_t BitsetDistinctCounter::memory_bytes() const {
+  std::uint64_t pages = 0;
+  for (const auto& p : pages_) pages += (p != nullptr);
+  return pages * kPageWords * sizeof(std::uint64_t);
+}
+
+bool PairSetCounter::observe(std::uint64_t a, std::uint32_t b) {
+  return set_.insert(Key{a, b}).second;
+}
+
+CountHistogram PairSetCounter::degree_of_a() const {
+  std::unordered_map<std::uint64_t, std::uint64_t> degree;
+  for (const Key& k : set_) ++degree[k.a];
+  CountHistogram h;
+  for (const auto& [a, count] : degree) h.add(count);
+  return h;
+}
+
+CountHistogram PairSetCounter::degree_of_b() const {
+  std::unordered_map<std::uint32_t, std::uint64_t> degree;
+  for (const Key& k : set_) ++degree[k.b];
+  CountHistogram h;
+  for (const auto& [b, count] : degree) h.add(count);
+  return h;
+}
+
+}  // namespace dtr::analysis

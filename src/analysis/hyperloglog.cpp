@@ -1,0 +1,72 @@
+#include "analysis/hyperloglog.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dtr::analysis {
+
+HyperLogLog::HyperLogLog(unsigned precision_bits) : p_(precision_bits) {
+  if (p_ < 4 || p_ > 18) {
+    throw std::invalid_argument("HyperLogLog: precision must be in [4, 18]");
+  }
+  registers_.assign(std::size_t{1} << p_, 0);
+}
+
+void HyperLogLog::observe_hash(std::uint64_t hash) {
+  const std::size_t index = hash >> (64 - p_);
+  const std::uint64_t rest = hash << p_;
+  // Rank: position of the leftmost 1-bit in the remaining 64-p bits, 1-based;
+  // all-zero rest maps to the maximum rank.
+  const auto rank = static_cast<std::uint8_t>(
+      rest == 0 ? (64 - p_ + 1) : std::countl_zero(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+void HyperLogLog::observe(std::uint32_t key) {
+  observe_hash(mix64(0x9E3779B97F4A7C15ULL ^ key));
+}
+
+void HyperLogLog::observe(const Digest128& digest) {
+  // fileIDs are (mostly) uniform already, but forged IDs are not: re-mix.
+  observe_hash(mix64(digest.prefix64() ^
+                     (static_cast<std::uint64_t>(digest.byte(8)) << 32 |
+                      digest.byte(15))));
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  const double alpha =
+      m == 16 ? 0.673 : m == 32 ? 0.697 : m == 64 ? 0.709
+                                                  : 0.7213 / (1.0 + 1.079 / m);
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    zeros += (reg == 0);
+  }
+  double raw = alpha * m * m / sum;
+
+  // Small-range correction: linear counting while registers stay sparse.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.p_ != p_) {
+    throw std::invalid_argument("HyperLogLog: precision mismatch in merge");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HyperLogLog::standard_error() const {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+}  // namespace dtr::analysis

@@ -1,0 +1,141 @@
+#include "analysis/interest_graph.hpp"
+
+#include <algorithm>
+
+namespace dtr::analysis {
+
+void InterestGraph::add_interest(anon::AnonClientId client,
+                                 anon::AnonFileId file) {
+  auto& files = by_client_[client];
+  if (std::find(files.begin(), files.end(), file) != files.end()) return;
+  files.push_back(file);
+  by_file_[file].push_back(client);
+  ++edges_;
+}
+
+namespace {
+struct InterestVisitor {
+  InterestGraph& g;
+  anon::AnonClientId peer;
+
+  void operator()(const anon::AGetSourcesReq& m) const {
+    for (auto f : m.files) g.add_interest(peer, f);
+  }
+  template <typename T>
+  void operator()(const T&) const {}
+};
+}  // namespace
+
+void InterestGraph::consume(const anon::AnonEvent& event) {
+  if (!event.is_query) return;
+  std::visit(InterestVisitor{*this, event.peer}, event.message);
+}
+
+CountHistogram InterestGraph::client_degrees() const {
+  CountHistogram h;
+  for (const auto& [client, files] : by_client_) h.add(files.size());
+  return h;
+}
+
+CountHistogram InterestGraph::file_degrees() const {
+  CountHistogram h;
+  for (const auto& [file, clients] : by_file_) h.add(clients.size());
+  return h;
+}
+
+bool InterestGraph::interested(anon::AnonClientId client,
+                               anon::AnonFileId file) const {
+  auto it = by_client_.find(client);
+  if (it == by_client_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), file) !=
+         it->second.end();
+}
+
+InterestGraph::ClusteringEstimate InterestGraph::estimate_clustering(
+    std::uint64_t samples, std::uint64_t seed) const {
+  ClusteringEstimate out;
+  if (by_client_.empty() || edges_ == 0) return out;
+
+  // Clients with at least two interests, as a samplable vector.
+  std::vector<const std::vector<anon::AnonFileId>*> wedge_clients;
+  std::vector<anon::AnonClientId> wedge_ids;
+  for (const auto& [client, files] : by_client_) {
+    if (files.size() >= 2) {
+      wedge_clients.push_back(&files);
+      wedge_ids.push_back(client);
+    }
+  }
+  if (wedge_clients.empty()) return out;
+
+  // All files as a flat vector for the null model (degree-weighted pick:
+  // choosing a random *edge* endpoint reproduces the degree bias).
+  std::vector<anon::AnonFileId> edge_files;
+  edge_files.reserve(edges_);
+  for (const auto& [file, clients] : by_file_) {
+    for (std::size_t i = 0; i < clients.size(); ++i) edge_files.push_back(file);
+  }
+
+  Rng rng(mix64(seed ^ 0x1273E57ULL));
+  std::uint64_t closed = 0, null_closed = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    std::size_t ci = rng.below(wedge_clients.size());
+    const auto& files = *wedge_clients[ci];
+    std::size_t a = rng.below(files.size());
+    std::size_t b = rng.below(files.size() - 1);
+    if (b >= a) ++b;
+    anon::AnonFileId fa = files[a], fb = files[b];
+
+    // Closed wedge: some other client interested in both files.
+    const auto& fa_clients = by_file_.at(fa);
+    bool found = false;
+    for (anon::AnonClientId other : fa_clients) {
+      if (other == wedge_ids[ci]) continue;
+      if (interested(other, fb)) {
+        found = true;
+        break;
+      }
+    }
+    closed += found;
+
+    // Null model: replace fb by a degree-weighted random file; how often is
+    // some other fa-client interested in *that*?
+    anon::AnonFileId fr = edge_files[rng.below(edge_files.size())];
+    bool null_found = false;
+    for (anon::AnonClientId other : fa_clients) {
+      if (other == wedge_ids[ci]) continue;
+      if (interested(other, fr)) {
+        null_found = true;
+        break;
+      }
+    }
+    null_closed += null_found;
+  }
+
+  out.samples = samples;
+  out.coefficient = static_cast<double>(closed) / static_cast<double>(samples);
+  out.null_expectation =
+      static_cast<double>(null_closed) / static_cast<double>(samples);
+  return out;
+}
+
+std::vector<std::pair<anon::AnonClientId, std::uint32_t>>
+InterestGraph::similar_clients(anon::AnonClientId client, std::size_t k) const {
+  std::vector<std::pair<anon::AnonClientId, std::uint32_t>> out;
+  auto it = by_client_.find(client);
+  if (it == by_client_.end()) return out;
+
+  std::unordered_map<anon::AnonClientId, std::uint32_t> common;
+  for (anon::AnonFileId file : it->second) {
+    for (anon::AnonClientId other : by_file_.at(file)) {
+      if (other != client) ++common[other];
+    }
+  }
+  out.assign(common.begin(), common.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace dtr::analysis

@@ -1,0 +1,74 @@
+// Interest-graph analysis — the paper's §4 direction "communities of
+// interests", following the line of work it cites (Guillaume, Le-Blond &
+// Latapy: "Clustering in P2P exchanges and consequences on performances",
+// IPTPS 2005; Handurukande et al., EuroSys 2006).
+//
+// The dataset induces a bipartite client-interest graph: client c is linked
+// to file f when c asked for f.  Communities of interest show up as
+// *clustering* in the client projection (two clients sharing one file tend
+// to share more).  Exact projection is quadratic in the worst case, so the
+// estimator samples: it picks random clients with >= 2 files, random pairs
+// of their files, and measures how often another client is interested in
+// both — a sampled bipartite clustering coefficient, compared against the
+// value expected under a degree-preserving null model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "anon/anonymiser.hpp"
+#include "common/binning.hpp"
+#include "common/rng.hpp"
+
+namespace dtr::analysis {
+
+class InterestGraph {
+ public:
+  /// Record "client asked for file" (deduplicated internally).
+  void add_interest(anon::AnonClientId client, anon::AnonFileId file);
+
+  /// Route the relevant messages of an anonymised stream here.
+  void consume(const anon::AnonEvent& event);
+
+  [[nodiscard]] std::uint64_t edges() const { return edges_; }
+  [[nodiscard]] std::size_t clients() const { return by_client_.size(); }
+  [[nodiscard]] std::size_t files() const { return by_file_.size(); }
+
+  /// Degree distributions of the bipartite graph.
+  [[nodiscard]] CountHistogram client_degrees() const;
+  [[nodiscard]] CountHistogram file_degrees() const;
+
+  struct ClusteringEstimate {
+    double coefficient = 0.0;   ///< sampled bipartite clustering cc*
+    double null_expectation = 0.0;  ///< same statistic under random pairing
+    std::uint64_t samples = 0;
+    /// Communities exist when interests cluster well above the null model.
+    [[nodiscard]] double lift() const {
+      return null_expectation > 0 ? coefficient / null_expectation : 0.0;
+    }
+  };
+
+  /// Sampled clustering: for random (client, file-pair) wedges, the
+  /// fraction where some *other* client is interested in both files.
+  [[nodiscard]] ClusteringEstimate estimate_clustering(
+      std::uint64_t samples, std::uint64_t seed) const;
+
+  /// Top-k most similar clients to `client` by common-interest count
+  /// (the "neighbours of interest" a recommender would use).  Linear in
+  /// the interest lists of the client's files.
+  [[nodiscard]] std::vector<std::pair<anon::AnonClientId, std::uint32_t>>
+  similar_clients(anon::AnonClientId client, std::size_t k) const;
+
+ private:
+  [[nodiscard]] bool interested(anon::AnonClientId client,
+                                anon::AnonFileId file) const;
+
+  std::unordered_map<anon::AnonClientId, std::vector<anon::AnonFileId>>
+      by_client_;
+  std::unordered_map<anon::AnonFileId, std::vector<anon::AnonClientId>>
+      by_file_;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace dtr::analysis

@@ -1,0 +1,39 @@
+// Power-law fitting.
+//
+// The paper notes that the decrease of the provider/asker distributions "is
+// reasonably well fitted by a power-law" (Figs 4, 5), while the client-side
+// distributions (Figs 6, 7) "are far from power-laws".  To make that
+// comparison quantitative, we fit a discrete power law by maximum
+// likelihood (Clauset–Shalizi–Newman style: continuous-approximation MLE
+// for the exponent, Kolmogorov–Smirnov distance for goodness, optional
+// xmin scan) on CountHistogram data.
+#pragma once
+
+#include <cstdint>
+
+#include "common/binning.hpp"
+
+namespace dtr::analysis {
+
+struct PowerLawFit {
+  double alpha = 0.0;     ///< exponent of P(x) ~ x^-alpha
+  std::uint64_t xmin = 1; ///< fit range lower bound
+  double ks_distance = 1.0;
+  std::uint64_t n_tail = 0;  ///< observations with x >= xmin
+
+  /// Rule-of-thumb verdict used by the benches to label each figure:
+  /// small KS distance on a large tail = plausibly a power law.
+  [[nodiscard]] bool plausible() const {
+    return n_tail >= 50 && ks_distance < 0.08;
+  }
+};
+
+/// Fit with a fixed xmin.
+PowerLawFit fit_power_law(const CountHistogram& h, std::uint64_t xmin = 1);
+
+/// Scan xmin over the distinct values (up to `max_candidates` of them) and
+/// return the fit minimising the KS distance, following Clauset et al.
+PowerLawFit fit_power_law_auto(const CountHistogram& h,
+                               std::size_t max_candidates = 50);
+
+}  // namespace dtr::analysis

@@ -1,0 +1,85 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace dtr::analysis {
+
+void print_distribution(std::ostream& out, const CountHistogram& h,
+                        const std::string& x_label, const std::string& y_label,
+                        bool log_binned, double bin_ratio) {
+  out << "# " << x_label << "  " << y_label << "\n";
+  if (log_binned) {
+    for (const LogBin& bin : log_bin(h, bin_ratio)) {
+      out << bin.lo << "\t" << bin.count << "\t" << bin.density << "\n";
+    }
+  } else {
+    for (const auto& [value, count] : h.bins()) {
+      out << value << "\t" << count << "\n";
+    }
+  }
+}
+
+void print_loglog_plot(std::ostream& out, const CountHistogram& h, int width,
+                       int height) {
+  if (h.empty()) {
+    out << "(empty distribution)\n";
+    return;
+  }
+  const double x_max = std::log10(static_cast<double>(
+      std::max<std::uint64_t>(h.max_value(), 2)));
+  std::uint64_t y_max_count = 0;
+  for (const auto& [value, count] : h.bins())
+    y_max_count = std::max(y_max_count, count);
+  const double y_max = std::log10(static_cast<double>(
+      std::max<std::uint64_t>(y_max_count, 2)));
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& [value, count] : h.bins()) {
+    if (value == 0 || count == 0) continue;
+    double xf = std::log10(static_cast<double>(value)) / x_max;
+    double yf = std::log10(static_cast<double>(count)) / y_max;
+    int col = std::min(width - 1, static_cast<int>(xf * (width - 1)));
+    int row = std::min(height - 1, static_cast<int>(yf * (height - 1)));
+    grid[static_cast<std::size_t>(height - 1 - row)]
+        [static_cast<std::size_t>(col)] = '*';
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(y_max_count));
+  out << "  y max = " << buf << " (log-log)\n";
+  for (const auto& line : grid) out << "  |" << line << "\n";
+  out << "  +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  out << "   x: 1 .. " << h.max_value() << "\n";
+}
+
+void print_table(std::ostream& out, const std::string& title,
+                 const std::vector<SummaryRow>& rows) {
+  std::size_t label_width = 0;
+  for (const auto& row : rows)
+    label_width = std::max(label_width, row.label.size());
+  out << "== " << title << " ==\n";
+  for (const auto& row : rows) {
+    out << "  " << row.label
+        << std::string(label_width - row.label.size() + 2, ' ') << row.value
+        << "\n";
+  }
+}
+
+std::string describe_fit(const PowerLawFit& fit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "alpha=%.3f xmin=%llu KS=%.4f n_tail=%llu -> %s", fit.alpha,
+                static_cast<unsigned long long>(fit.xmin), fit.ks_distance,
+                static_cast<unsigned long long>(fit.n_tail),
+                fit.plausible() ? "plausible power law"
+                                : "not a clean power law");
+  return buf;
+}
+
+}  // namespace dtr::analysis

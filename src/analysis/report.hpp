@@ -1,0 +1,40 @@
+// Plain-text rendering of distributions and summary tables, in the shape
+// the paper's figures/tables use: log-log scatter columns for the
+// distribution figures, thousands-separated counts for the summary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/powerlaw.hpp"
+#include "common/binning.hpp"
+
+namespace dtr::analysis {
+
+/// Dump "x count" rows (the raw scatter the paper plots), optionally
+/// log-binned to keep the row count reasonable.
+void print_distribution(std::ostream& out, const CountHistogram& h,
+                        const std::string& x_label,
+                        const std::string& y_label, bool log_binned = true,
+                        double bin_ratio = 1.6);
+
+/// Render an ASCII log-log scatter of a distribution — a quick visual check
+/// that the shape (straight line = power law, bumps, peaks) matches the
+/// paper's figure.
+void print_loglog_plot(std::ostream& out, const CountHistogram& h, int width = 72,
+                       int height = 20);
+
+/// One row of a summary table.
+struct SummaryRow {
+  std::string label;
+  std::string value;
+};
+
+void print_table(std::ostream& out, const std::string& title,
+                 const std::vector<SummaryRow>& rows);
+
+/// Format a power-law fit verdict line.
+std::string describe_fit(const PowerLawFit& fit);
+
+}  // namespace dtr::analysis

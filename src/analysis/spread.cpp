@@ -1,0 +1,67 @@
+#include "analysis/spread.hpp"
+
+namespace dtr::analysis {
+
+void FileSpreadTracker::observe_provider(anon::AnonFileId file,
+                                         anon::AnonClientId provider,
+                                         SimTime time) {
+  if (!seen_pairs_.insert({file, provider}).second) return;
+  Spread& spread = files_[file];
+  ++spread.providers;
+  for (std::size_t i = 0; i < kMilestones.size(); ++i) {
+    if (spread.providers == kMilestones[i]) {
+      spread.milestone_time[i] = time;
+      spread.reached[i] = true;
+      break;  // milestones are strictly increasing; one can match
+    }
+  }
+}
+
+namespace {
+struct SpreadVisitor {
+  FileSpreadTracker& t;
+  SimTime time;
+
+  void operator()(const anon::APublishReq& m) const {
+    for (const auto& f : m.files) t.observe_provider(f.file, f.provider, time);
+  }
+  void operator()(const anon::AFoundSourcesRes& m) const {
+    for (const auto& s : m.sources) t.observe_provider(m.file, s.client, time);
+  }
+  void operator()(const anon::AFileSearchRes& m) const {
+    for (const auto& f : m.results)
+      t.observe_provider(f.file, f.provider, time);
+  }
+  template <typename T>
+  void operator()(const T&) const {}
+};
+}  // namespace
+
+void FileSpreadTracker::consume(const anon::AnonEvent& event) {
+  std::visit(SpreadVisitor{*this, event.time}, event.message);
+}
+
+CountHistogram FileSpreadTracker::time_to_milestone(
+    std::size_t milestone_index) const {
+  CountHistogram h;
+  for (const auto& [file, spread] : files_) {
+    if (!spread.reached[0] || !spread.reached[milestone_index]) continue;
+    SimTime delta =
+        spread.milestone_time[milestone_index] - spread.milestone_time[0];
+    h.add(to_seconds(delta));
+  }
+  return h;
+}
+
+std::array<std::uint64_t, FileSpreadTracker::kMilestones.size()>
+FileSpreadTracker::milestone_counts() const {
+  std::array<std::uint64_t, kMilestones.size()> counts{};
+  for (const auto& [file, spread] : files_) {
+    for (std::size_t i = 0; i < kMilestones.size(); ++i) {
+      if (spread.reached[i]) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+}  // namespace dtr::analysis

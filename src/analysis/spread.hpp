@@ -1,0 +1,72 @@
+// File-spread analysis — the paper's §4 direction "how files spread among
+// users".
+//
+// For every file, tracks the times at which its provider population
+// crosses milestone sizes (1st, 2nd, 5th, 10th, 25th, 100th provider),
+// exactly deduplicated.  From those, time-to-k distributions and a spread
+// report (how long a file needs to become widely available) are derived —
+// the quantities a replication or caching model would be fitted on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "anon/anonymiser.hpp"
+#include "common/binning.hpp"
+#include "common/clock.hpp"
+
+namespace dtr::analysis {
+
+class FileSpreadTracker {
+ public:
+  static constexpr std::array<std::uint32_t, 6> kMilestones = {1,  2,  5,
+                                                               10, 25, 100};
+
+  void consume(const anon::AnonEvent& event);
+
+  struct Spread {
+    std::uint32_t providers = 0;
+    // Time (since capture start) when the k-th milestone was reached;
+    // engaged entries only for milestones actually crossed.
+    std::array<SimTime, kMilestones.size()> milestone_time{};
+    std::array<bool, kMilestones.size()> reached{};
+  };
+
+  [[nodiscard]] const std::unordered_map<anon::AnonFileId, Spread>& files()
+      const {
+    return files_;
+  }
+
+  /// Distribution over files of (time to reach `milestone_index+1`-th
+  /// provider since first provider), in seconds.  Files that never crossed
+  /// the milestone are excluded.
+  [[nodiscard]] CountHistogram time_to_milestone(
+      std::size_t milestone_index) const;
+
+  /// Number of files that reached each milestone.
+  [[nodiscard]] std::array<std::uint64_t, kMilestones.size()>
+  milestone_counts() const;
+
+  /// Record one (file, provider) relation directly (consume() routes the
+  /// relevant message types here).
+  void observe_provider(anon::AnonFileId file, anon::AnonClientId provider,
+                        SimTime time);
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint32_t>& p)
+        const noexcept {
+      return static_cast<std::size_t>(
+          (p.first * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<std::uint64_t>(p.second) * 0xBF58476D1CE4E5B9ULL));
+    }
+  };
+
+  std::unordered_map<anon::AnonFileId, Spread> files_;
+  std::unordered_set<std::pair<std::uint64_t, std::uint32_t>, PairHash>
+      seen_pairs_;
+};
+
+}  // namespace dtr::analysis

@@ -1,0 +1,104 @@
+#include "analysis/temporal.hpp"
+
+#include <algorithm>
+
+namespace dtr::analysis {
+
+void ActivityTracker::observe_client(std::uint32_t peer, std::size_t bin) {
+  if (client_last_bin_.size() <= peer) {
+    client_last_bin_.resize(static_cast<std::size_t>(peer) + 1, 0);
+  }
+  std::uint32_t& last = client_last_bin_[peer];
+  if (last == 0) ++bins_[bin].new_clients;
+  if (last != bin + 1) {
+    ++bins_[bin].active_clients;
+    last = static_cast<std::uint32_t>(bin + 1);
+  }
+}
+
+void ActivityTracker::observe_file(anon::AnonFileId file, std::size_t bin) {
+  if (file_last_bin_.size() <= file) {
+    file_last_bin_.resize(static_cast<std::size_t>(file) + 1, 0);
+  }
+  std::uint32_t& last = file_last_bin_[file];
+  if (last == 0) {
+    ++bins_[bin].new_files;
+    last = static_cast<std::uint32_t>(bin + 1);
+  }
+}
+
+namespace {
+struct ActivityVisitor {
+  ActivityTracker& t;
+  std::size_t bin;
+  void (ActivityTracker::*obs_file)(anon::AnonFileId, std::size_t);
+  void (ActivityTracker::*obs_client)(std::uint32_t, std::size_t);
+
+  void operator()(const anon::AGetSourcesReq& m) const;
+  void operator()(const anon::AFoundSourcesRes& m) const;
+  void operator()(const anon::APublishReq& m) const;
+  void operator()(const anon::AFileSearchRes& m) const;
+  template <typename T>
+  void operator()(const T&) const {}
+};
+}  // namespace
+
+void ActivityTracker::consume(const anon::AnonEvent& event) {
+  const auto bin = static_cast<std::size_t>(event.time / bin_width_);
+  if (bins_.size() <= bin) bins_.resize(bin + 1);
+  ActivityBin& b = bins_[bin];
+  ++b.messages;
+  if (event.is_query) ++b.queries;
+  observe_client(event.peer, bin);
+  std::visit(ActivityVisitor{*this, bin, &ActivityTracker::observe_file,
+                             &ActivityTracker::observe_client},
+             event.message);
+}
+
+namespace {
+void ActivityVisitor::operator()(const anon::AGetSourcesReq& m) const {
+  for (auto f : m.files) (t.*obs_file)(f, bin);
+}
+void ActivityVisitor::operator()(const anon::AFoundSourcesRes& m) const {
+  (t.*obs_file)(m.file, bin);
+  for (const auto& s : m.sources) (t.*obs_client)(s.client, bin);
+}
+void ActivityVisitor::operator()(const anon::APublishReq& m) const {
+  for (const auto& f : m.files) (t.*obs_file)(f.file, bin);
+}
+void ActivityVisitor::operator()(const anon::AFileSearchRes& m) const {
+  for (const auto& f : m.results) (t.*obs_file)(f.file, bin);
+}
+}  // namespace
+
+std::size_t ActivityTracker::peak_bin() const {
+  std::size_t best = 0;
+  std::uint64_t best_count = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].messages > best_count) {
+      best_count = bins_[i].messages;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double ActivityTracker::mean_rate() const {
+  std::uint64_t total = 0;
+  std::size_t nonempty = 0;
+  for (const auto& b : bins_) {
+    total += b.messages;
+    nonempty += (b.messages > 0);
+  }
+  return nonempty == 0 ? 0.0
+                       : static_cast<double>(total) /
+                             static_cast<double>(nonempty);
+}
+
+double ActivityTracker::peak_to_mean() const {
+  double mean = mean_rate();
+  if (mean == 0.0 || bins_.empty()) return 0.0;
+  return static_cast<double>(bins_[peak_bin()].messages) / mean;
+}
+
+}  // namespace dtr::analysis

@@ -1,0 +1,58 @@
+// Temporal activity analysis — the paper's §4 direction "study and model
+// user behaviors" over time.
+//
+// Streams anonymised events into fixed-width time bins and tracks, exactly:
+// message rate, active distinct clients, newly-appearing clients and files
+// per bin.  Anonymised clientIDs are dense order-of-appearance integers,
+// which makes exact per-bin distinct counting cheap (a last-seen-bin vector
+// instead of per-bin sets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anon/anonymiser.hpp"
+#include "common/clock.hpp"
+
+namespace dtr::analysis {
+
+struct ActivityBin {
+  std::uint64_t messages = 0;
+  std::uint64_t queries = 0;
+  std::uint32_t active_clients = 0;  // distinct peers seen in this bin
+  std::uint32_t new_clients = 0;     // peers never seen before this bin
+  std::uint32_t new_files = 0;       // fileIDs never seen before this bin
+};
+
+class ActivityTracker {
+ public:
+  explicit ActivityTracker(SimTime bin_width = kHour)
+      : bin_width_(bin_width) {}
+
+  void consume(const anon::AnonEvent& event);
+
+  [[nodiscard]] const std::vector<ActivityBin>& bins() const { return bins_; }
+  [[nodiscard]] SimTime bin_width() const { return bin_width_; }
+
+  /// Index of the busiest bin (by messages); 0 if empty.
+  [[nodiscard]] std::size_t peak_bin() const;
+
+  /// Mean messages per non-empty bin.
+  [[nodiscard]] double mean_rate() const;
+
+  /// Peak-to-mean ratio — a burstiness indicator (flash crowds show up as
+  /// ratios well above 1).
+  [[nodiscard]] double peak_to_mean() const;
+
+ private:
+  void observe_client(std::uint32_t peer, std::size_t bin);
+  void observe_file(anon::AnonFileId file, std::size_t bin);
+
+  SimTime bin_width_;
+  std::vector<ActivityBin> bins_;
+  // peer -> last bin it was counted active in (+1; 0 = never seen).
+  std::vector<std::uint32_t> client_last_bin_;
+  std::vector<std::uint32_t> file_last_bin_;  // files: only "new" tracking
+};
+
+}  // namespace dtr::analysis

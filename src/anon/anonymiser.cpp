@@ -1,0 +1,150 @@
+#include "anon/anonymiser.hpp"
+
+#include "hash/md5.hpp"
+
+namespace dtr::anon {
+
+std::size_t AnonSearchExpr::node_count() const {
+  std::size_t n = 1;
+  if (left) n += left->node_count();
+  if (right) n += right->node_count();
+  return n;
+}
+
+void AnonSearchExpr::collect_tokens(std::vector<StringToken>& out) const {
+  if (token) out.push_back(*token);
+  if (left) left->collect_tokens(out);
+  if (right) right->collect_tokens(out);
+}
+
+StringToken Anonymiser::hash_string(std::string_view s) {
+  return Md5::digest(s);
+}
+
+AnonFileMeta Anonymiser::anonymise_meta(const proto::TagList& tags) {
+  AnonFileMeta meta;
+  if (auto name = proto::tag_string(tags, proto::TagName::kFileName)) {
+    meta.name = hash_string(*name);
+  }
+  if (auto size = proto::tag_u32(tags, proto::TagName::kFileSize)) {
+    // Bytes -> kilobytes, rounding up so no nonempty file becomes 0 KB.
+    meta.size_kb = (*size + 1023) / 1024;
+  }
+  if (auto type = proto::tag_string(tags, proto::TagName::kFileType)) {
+    meta.type = hash_string(*type);
+  }
+  if (auto avail = proto::tag_u32(tags, proto::TagName::kAvailability)) {
+    meta.availability = *avail;
+  }
+  return meta;
+}
+
+AnonFileEntry Anonymiser::anonymise_entry(const proto::FileEntry& e) {
+  AnonFileEntry out;
+  out.file = files_.anonymise(e.file_id);
+  out.provider = clients_.anonymise(e.client_id);
+  out.port = e.port;
+  out.meta = anonymise_meta(e.tags);
+  return out;
+}
+
+AnonSearchExprPtr Anonymiser::anonymise_expr(const proto::SearchExpr& e) {
+  auto out = std::make_unique<AnonSearchExpr>();
+  out->kind = e.kind;
+  switch (e.kind) {
+    case proto::SearchExpr::Kind::kBool:
+      out->op = e.op;
+      if (e.left) out->left = anonymise_expr(*e.left);
+      if (e.right) out->right = anonymise_expr(*e.right);
+      break;
+    case proto::SearchExpr::Kind::kKeyword:
+      out->token = hash_string(e.text);
+      break;
+    case proto::SearchExpr::Kind::kMetaString:
+      out->token = hash_string(e.text);
+      out->tag_token = hash_string(e.tag_name);
+      break;
+    case proto::SearchExpr::Kind::kMetaNumeric: {
+      out->tag_token = hash_string(e.tag_name);
+      bool is_size =
+          e.tag_name.size() == 1 &&
+          static_cast<std::uint8_t>(e.tag_name[0]) ==
+              static_cast<std::uint8_t>(proto::TagName::kFileSize);
+      out->number = is_size ? (e.number + 1023) / 1024 : e.number;
+      out->cmp = e.cmp;
+      break;
+    }
+  }
+  return out;
+}
+
+AnonEvent Anonymiser::anonymise(SimTime time, proto::ClientId peer_ip,
+                                const proto::Message& msg) {
+  AnonEvent ev;
+  ev.time = time;  // already relative to capture start by construction
+  ev.peer = clients_.anonymise(peer_ip);
+  ev.is_query = proto::is_query(msg);
+
+  struct Visitor {
+    Anonymiser& a;
+
+    AnonMessage operator()(const proto::ServStatReq&) { return AServStatReq{}; }
+    AnonMessage operator()(const proto::ServStatRes& m) {
+      return AServStatRes{m.users, m.files};
+    }
+    AnonMessage operator()(const proto::ServerDescReq&) {
+      return AServerDescReq{};
+    }
+    AnonMessage operator()(const proto::ServerDescRes& m) {
+      return AServerDescRes{hash_string(m.name), hash_string(m.description)};
+    }
+    AnonMessage operator()(const proto::GetServerList&) {
+      return AGetServerList{};
+    }
+    AnonMessage operator()(const proto::ServerList& m) {
+      // Other servers' addresses are third-party identities: keep only the
+      // count, redact the endpoints entirely.
+      return AServerList{static_cast<std::uint32_t>(m.servers.size())};
+    }
+    AnonMessage operator()(const proto::FileSearchReq& m) {
+      AFileSearchReq out;
+      out.expr = a.anonymise_expr(*m.expr);
+      return out;
+    }
+    AnonMessage operator()(const proto::FileSearchRes& m) {
+      AFileSearchRes out;
+      out.results.reserve(m.results.size());
+      for (const auto& e : m.results) out.results.push_back(a.anonymise_entry(e));
+      return out;
+    }
+    AnonMessage operator()(const proto::GetSourcesReq& m) {
+      AGetSourcesReq out;
+      out.files.reserve(m.file_ids.size());
+      for (const auto& id : m.file_ids) out.files.push_back(a.files_.anonymise(id));
+      return out;
+    }
+    AnonMessage operator()(const proto::FoundSourcesRes& m) {
+      AFoundSourcesRes out;
+      out.file = a.files_.anonymise(m.file_id);
+      out.sources.reserve(m.sources.size());
+      for (const auto& s : m.sources) {
+        out.sources.push_back(AnonEndpoint{a.clients_.anonymise(s.ip), s.port});
+      }
+      return out;
+    }
+    AnonMessage operator()(const proto::PublishReq& m) {
+      APublishReq out;
+      out.files.reserve(m.files.size());
+      for (const auto& e : m.files) out.files.push_back(a.anonymise_entry(e));
+      return out;
+    }
+    AnonMessage operator()(const proto::PublishAck& m) {
+      return APublishAck{m.accepted};
+    }
+  };
+
+  ev.message = std::visit(Visitor{*this}, msg);
+  return ev;
+}
+
+}  // namespace dtr::anon

@@ -1,0 +1,165 @@
+// Full-message anonymisation (paper §2.4): every decoded eDonkey message is
+// rewritten with
+//   * clientIDs   -> dense order-of-appearance integers,
+//   * fileIDs     -> dense order-of-appearance integers,
+//   * strings     -> their MD5 digest (search keywords, filenames, types,
+//                    server name/description),
+//   * file sizes  -> kilobytes (precision reduction),
+//   * timestamps  -> time elapsed since the beginning of the capture.
+//
+// The output model below mirrors the released dataset's XML schema; the
+// xmlio module serialises it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "anon/client_table.hpp"
+#include "anon/fileid_store.hpp"
+#include "common/clock.hpp"
+#include "hash/digest.hpp"
+#include "proto/messages.hpp"
+
+namespace dtr::anon {
+
+/// MD5-anonymised string token.
+using StringToken = Digest128;
+
+/// One anonymised metadata item on a file entry.  Only the metadata the
+/// dataset keeps are retained; unknown tags are dropped (they could leak).
+struct AnonFileMeta {
+  std::optional<StringToken> name;   // md5(filename)
+  std::optional<std::uint32_t> size_kb;
+  std::optional<StringToken> type;   // md5(filetype)
+  std::optional<std::uint32_t> availability;
+  bool operator==(const AnonFileMeta&) const = default;
+};
+
+struct AnonFileEntry {
+  AnonFileId file = 0;
+  AnonClientId provider = 0;
+  std::uint16_t port = 0;
+  AnonFileMeta meta;
+  bool operator==(const AnonFileEntry&) const = default;
+};
+
+struct AnonEndpoint {
+  AnonClientId client = 0;
+  std::uint16_t port = 0;
+  bool operator==(const AnonEndpoint&) const = default;
+};
+
+/// Anonymised search expression node (flattened: the dataset stores the
+/// keyword tokens and numeric constraints; tree shape is kept for fidelity).
+struct AnonSearchExpr;
+using AnonSearchExprPtr = std::unique_ptr<AnonSearchExpr>;
+struct AnonSearchExpr {
+  proto::SearchExpr::Kind kind = proto::SearchExpr::Kind::kKeyword;
+  proto::BoolOp op = proto::BoolOp::kAnd;
+  AnonSearchExprPtr left, right;
+  std::optional<StringToken> token;        // keyword / meta-string value
+  std::optional<StringToken> tag_token;    // constrained tag name
+  std::uint32_t number = 0;                // numeric constraint (KB if size)
+  proto::NumCmp cmp = proto::NumCmp::kMin;
+
+  [[nodiscard]] std::size_t node_count() const;
+  void collect_tokens(std::vector<StringToken>& out) const;
+};
+
+// Anonymised message bodies, one per protocol message type.
+struct AServStatReq {
+  bool operator==(const AServStatReq&) const = default;
+};
+struct AServStatRes {
+  std::uint32_t users = 0, files = 0;
+  bool operator==(const AServStatRes&) const = default;
+};
+struct AServerDescReq {
+  bool operator==(const AServerDescReq&) const = default;
+};
+struct AServerDescRes {
+  StringToken name, description;
+  bool operator==(const AServerDescRes&) const = default;
+};
+struct AGetServerList {
+  bool operator==(const AGetServerList&) const = default;
+};
+struct AServerList {
+  std::uint32_t count = 0;  // server endpoints are fully redacted
+  bool operator==(const AServerList&) const = default;
+};
+struct AFileSearchReq {
+  AnonSearchExprPtr expr;
+};
+struct AFileSearchRes {
+  std::vector<AnonFileEntry> results;
+  bool operator==(const AFileSearchRes&) const = default;
+};
+struct AGetSourcesReq {
+  std::vector<AnonFileId> files;
+  bool operator==(const AGetSourcesReq&) const = default;
+};
+struct AFoundSourcesRes {
+  AnonFileId file = 0;
+  std::vector<AnonEndpoint> sources;
+  bool operator==(const AFoundSourcesRes&) const = default;
+};
+struct APublishReq {
+  std::vector<AnonFileEntry> files;
+  bool operator==(const APublishReq&) const = default;
+};
+struct APublishAck {
+  std::uint32_t accepted = 0;
+  bool operator==(const APublishAck&) const = default;
+};
+
+using AnonMessage =
+    std::variant<AServStatReq, AServStatRes, AServerDescReq, AServerDescRes,
+                 AGetServerList, AServerList, AFileSearchReq, AFileSearchRes,
+                 AGetSourcesReq, AFoundSourcesRes, APublishReq, APublishAck>;
+
+/// One line of the released dataset: a timestamped, anonymised message with
+/// the peer it came from / went to.
+struct AnonEvent {
+  SimTime time = 0;          // relative to capture start
+  AnonClientId peer = 0;     // the client side of the dialog
+  bool is_query = false;     // client->server query vs server answer
+  AnonMessage message;
+};
+
+/// Applies the anonymisation scheme, sharing the clientID table and fileID
+/// store across the whole capture (order-of-appearance must be global).
+class Anonymiser {
+ public:
+  Anonymiser(ClientAnonymiser& clients, FileIdAnonymiser& files)
+      : clients_(clients), files_(files) {}
+
+  /// `peer_ip` is the UDP/IP-level address of the client (which is also its
+  /// clientID when it has a high ID — the reason the paper must anonymise
+  /// in real time at both protocol levels).
+  AnonEvent anonymise(SimTime time, proto::ClientId peer_ip,
+                      const proto::Message& msg);
+
+  static StringToken hash_string(std::string_view s);
+
+  [[nodiscard]] std::uint64_t distinct_clients() const {
+    return clients_.distinct();
+  }
+  [[nodiscard]] std::uint64_t distinct_files() const {
+    return files_.distinct();
+  }
+
+ private:
+  AnonFileMeta anonymise_meta(const proto::TagList& tags);
+  AnonFileEntry anonymise_entry(const proto::FileEntry& e);
+  AnonSearchExprPtr anonymise_expr(const proto::SearchExpr& e);
+
+  ClientAnonymiser& clients_;
+  FileIdAnonymiser& files_;
+};
+
+}  // namespace dtr::anon

@@ -1,0 +1,121 @@
+#include "anon/fileid_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtr::anon {
+
+BucketedFileIdStore::BucketedFileIdStore(unsigned index_byte_0,
+                                         unsigned index_byte_1)
+    : b0_(index_byte_0), b1_(index_byte_1), buckets_(kBucketCount) {
+  if (b0_ >= 16 || b1_ >= 16)
+    throw std::out_of_range("BucketedFileIdStore: fileID has 16 bytes");
+  if (b0_ == b1_)
+    throw std::invalid_argument(
+        "BucketedFileIdStore: index bytes must differ (a single byte only "
+        "yields 256 distinct buckets)");
+}
+
+AnonFileId BucketedFileIdStore::anonymise(const FileId& id) {
+  auto& bucket = buckets_[bucket_of(id)];
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), id,
+      [](const Entry& e, const FileId& key) { return e.id < key; });
+  if (it != bucket.end() && it->id == id) return it->anon;
+  it = bucket.insert(it, Entry{id, next_});
+  return next_++;
+}
+
+AnonFileId BucketedFileIdStore::lookup(const FileId& id) const {
+  const auto& bucket = buckets_[bucket_of(id)];
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), id,
+      [](const Entry& e, const FileId& key) { return e.id < key; });
+  if (it != bucket.end() && it->id == id) return it->anon;
+  return kFileNotSeen;
+}
+
+std::uint64_t BucketedFileIdStore::memory_bytes() const {
+  std::uint64_t total = kBucketCount * sizeof(std::vector<Entry>);
+  for (const auto& bucket : buckets_) total += bucket.capacity() * sizeof(Entry);
+  return total;
+}
+
+CountHistogram BucketedFileIdStore::bucket_size_distribution() const {
+  CountHistogram h;
+  for (const auto& bucket : buckets_) h.add(bucket.size());
+  return h;
+}
+
+std::size_t BucketedFileIdStore::largest_bucket() const {
+  std::size_t best = 0;
+  for (const auto& bucket : buckets_) best = std::max(best, bucket.size());
+  return best;
+}
+
+std::size_t BucketedFileIdStore::largest_bucket_index() const {
+  std::size_t best = 0, arg = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].size() > best) {
+      best = buckets_[i].size();
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+AnonFileId SortedArrayFileIdStore::anonymise(const FileId& id) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, const FileId& key) { return e.id < key; });
+  if (it != entries_.end() && it->id == id) return it->anon;
+  it = entries_.insert(it, Entry{id, next_});
+  return next_++;
+}
+
+AnonFileId SortedArrayFileIdStore::lookup(const FileId& id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, const FileId& key) { return e.id < key; });
+  if (it != entries_.end() && it->id == id) return it->anon;
+  return kFileNotSeen;
+}
+
+std::uint64_t SortedArrayFileIdStore::memory_bytes() const {
+  return entries_.capacity() * sizeof(Entry);
+}
+
+AnonFileId HashFileIdStore::anonymise(const FileId& id) {
+  auto [it, inserted] =
+      map_.try_emplace(id, static_cast<AnonFileId>(map_.size()));
+  return it->second;
+}
+
+AnonFileId HashFileIdStore::lookup(const FileId& id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? kFileNotSeen : it->second;
+}
+
+std::uint64_t HashFileIdStore::memory_bytes() const {
+  return map_.size() *
+             (sizeof(FileId) + sizeof(AnonFileId) + sizeof(void*) * 2) +
+         map_.bucket_count() * sizeof(void*);
+}
+
+AnonFileId TreeFileIdStore::anonymise(const FileId& id) {
+  auto [it, inserted] =
+      map_.try_emplace(id, static_cast<AnonFileId>(map_.size()));
+  return it->second;
+}
+
+AnonFileId TreeFileIdStore::lookup(const FileId& id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? kFileNotSeen : it->second;
+}
+
+std::uint64_t TreeFileIdStore::memory_bytes() const {
+  return map_.size() * (sizeof(void*) * 4 + sizeof(FileId) +
+                        sizeof(AnonFileId) + 8);
+}
+
+}  // namespace dtr::anon

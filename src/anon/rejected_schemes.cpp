@@ -1,0 +1,93 @@
+#include "anon/rejected_schemes.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace dtr::anon {
+
+std::uint64_t KeyedHashScheme::anonymise(proto::ClientId id) const {
+  return mix64(key_ ^ (static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ULL));
+}
+
+std::vector<proto::ClientId> KeyedHashScheme::brute_force(
+    std::uint64_t token, unsigned space_bits) const {
+  std::vector<proto::ClientId> preimages;
+  const std::uint64_t space = 1ULL << space_bits;
+  for (std::uint64_t candidate = 0; candidate < space; ++candidate) {
+    if (anonymise(static_cast<proto::ClientId>(candidate)) == token) {
+      preimages.push_back(static_cast<proto::ClientId>(candidate));
+    }
+  }
+  return preimages;
+}
+
+std::size_t KeyedHashScheme::brute_force_all(
+    const std::vector<std::uint64_t>& tokens,
+    std::vector<proto::ClientId>& out, unsigned space_bits) const {
+  std::unordered_map<std::uint64_t, std::size_t> wanted;
+  wanted.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) wanted.emplace(tokens[i], i);
+
+  out.assign(tokens.size(), 0);
+  std::vector<bool> found(tokens.size(), false);
+  std::size_t recovered = 0;
+
+  const std::uint64_t space = 1ULL << space_bits;
+  for (std::uint64_t candidate = 0; candidate < space; ++candidate) {
+    auto it = wanted.find(anonymise(static_cast<proto::ClientId>(candidate)));
+    if (it != wanted.end() && !found[it->second]) {
+      out[it->second] = static_cast<proto::ClientId>(candidate);
+      found[it->second] = true;
+      ++recovered;
+      if (recovered == tokens.size()) break;
+    }
+  }
+  return recovered;
+}
+
+AffineShuffleScheme::AffineShuffleScheme(std::uint32_t multiplier,
+                                         std::uint32_t offset)
+    : a_(multiplier), b_(offset) {
+  if ((a_ & 1u) == 0) {
+    throw std::invalid_argument(
+        "AffineShuffleScheme: multiplier must be odd to be a bijection");
+  }
+}
+
+std::uint32_t AffineShuffleScheme::anonymise(proto::ClientId id) const {
+  return a_ * id + b_;
+}
+
+namespace {
+/// Multiplicative inverse mod 2^32 (Newton iteration; exists iff odd).
+std::uint32_t inverse_mod_2_32(std::uint32_t a) {
+  std::uint32_t x = a;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2u - a * x;
+  return x;
+}
+}  // namespace
+
+std::optional<AffineShuffleScheme> AffineShuffleScheme::recover(
+    proto::ClientId id1, std::uint32_t token1, proto::ClientId id2,
+    std::uint32_t token2) {
+  std::uint32_t did = id1 - id2;
+  std::uint32_t dtk = token1 - token2;
+  if ((did & 1u) == 0) return std::nullopt;  // need an invertible difference
+  std::uint32_t a = dtk * inverse_mod_2_32(did);
+  if ((a & 1u) == 0) return std::nullopt;
+  std::uint32_t b = token1 - a * id1;
+  AffineShuffleScheme scheme(a, b);
+  // Verify against both pairs (guards inconsistent inputs).
+  if (scheme.anonymise(id1) != token1 || scheme.anonymise(id2) != token2) {
+    return std::nullopt;
+  }
+  return scheme;
+}
+
+proto::ClientId AffineShuffleScheme::deanonymise(std::uint32_t token) const {
+  return inverse_mod_2_32(a_) * (token - b_);
+}
+
+}  // namespace dtr::anon

@@ -1,0 +1,78 @@
+// The anonymisation schemes the paper REJECTED (§2.4), implemented so their
+// weakness can be demonstrated and measured.
+//
+//   "Anonymising clientID with a hash code is not satisfactory: if one
+//    knows the hash function, it is easy to find the original clientID by
+//    applying the function to the 2^32 possible clientID.  Shuffling
+//    strategies are not strong enough either for this very sensitive data."
+//
+// KeyedHashScheme   — clientID -> keyed 64-bit hash.  Deterministic and
+//                     stateless, which is why it is tempting; reversible by
+//                     brute force over the 2^32 input space once the
+//                     function (and key) are known.
+// AffineShuffleScheme — clientID -> (a*id + b) mod 2^32 with odd `a`: a
+//                     bijective "shuffle".  Broken algebraically by TWO
+//                     known (id, token) pairs — no brute force needed.
+//
+// Both are kept out of the ClientAnonymiser hierarchy on purpose: nothing
+// in the pipeline can accidentally use them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/opcodes.hpp"
+
+namespace dtr::anon {
+
+/// The tempting-but-reversible scheme.
+class KeyedHashScheme {
+ public:
+  explicit KeyedHashScheme(std::uint64_t key) : key_(key) {}
+
+  [[nodiscard]] std::uint64_t anonymise(proto::ClientId id) const;
+
+  /// The attack: enumerate `space_bits` of the clientID space (32 for the
+  /// real attack) and return every preimage of `token`.  Complexity is one
+  /// hash per candidate — seconds for the full 2^32 on one core.
+  [[nodiscard]] std::vector<proto::ClientId> brute_force(
+      std::uint64_t token, unsigned space_bits = 32) const;
+
+  /// Attack throughput helper: recover many tokens in one sweep.
+  /// Returns the number of tokens whose preimage was found.
+  std::size_t brute_force_all(const std::vector<std::uint64_t>& tokens,
+                              std::vector<proto::ClientId>& out,
+                              unsigned space_bits = 32) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+/// The "shuffling strategy": a bijection of the 32-bit space.
+class AffineShuffleScheme {
+ public:
+  /// `multiplier` must be odd (bijectivity mod 2^32).
+  AffineShuffleScheme(std::uint32_t multiplier, std::uint32_t offset);
+
+  [[nodiscard]] std::uint32_t anonymise(proto::ClientId id) const;
+
+  /// Known-plaintext attack: from two (id, token) pairs, recover the
+  /// parameters (nullopt only if the pairs are inconsistent / non-invertible
+  /// difference).  With them, every other token inverts in O(1).
+  static std::optional<AffineShuffleScheme> recover(
+      proto::ClientId id1, std::uint32_t token1, proto::ClientId id2,
+      std::uint32_t token2);
+
+  /// Invert a token back to the clientID.
+  [[nodiscard]] proto::ClientId deanonymise(std::uint32_t token) const;
+
+  [[nodiscard]] std::uint32_t multiplier() const { return a_; }
+  [[nodiscard]] std::uint32_t offset() const { return b_; }
+
+ private:
+  std::uint32_t a_;
+  std::uint32_t b_;
+};
+
+}  // namespace dtr::anon

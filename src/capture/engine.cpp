@@ -1,0 +1,34 @@
+#include "capture/engine.hpp"
+
+namespace dtr::capture {
+
+CaptureEngine::CaptureEngine(const KernelBufferConfig& buffer_config)
+    : buffer_(buffer_config) {}
+
+bool CaptureEngine::offer(const sim::TimedFrame& frame) {
+  if (!buffer_.offer(frame.time)) {
+    const std::uint64_t second = to_seconds(frame.time);
+    if (!loss_series_.empty() && loss_series_.back().second == second) {
+      ++loss_series_.back().lost;
+    } else {
+      loss_series_.push_back(LossPoint{second, 1});
+    }
+    return false;
+  }
+  if (pcap_ != nullptr) pcap_->write(frame.time, frame.bytes);
+  if (sink_) sink_(frame);
+  return true;
+}
+
+std::vector<LossPoint> CaptureEngine::cumulative_losses() const {
+  std::vector<LossPoint> out;
+  out.reserve(loss_series_.size());
+  std::uint64_t total = 0;
+  for (const LossPoint& p : loss_series_) {
+    total += p.lost;
+    out.push_back(LossPoint{p.second, total});
+  }
+  return out;
+}
+
+}  // namespace dtr::capture

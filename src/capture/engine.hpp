@@ -1,0 +1,57 @@
+// Capture engine: the software that sits on the capture machine.
+//
+// Mirrored frames pass through the kernel-buffer model (where Figure 2's
+// losses happen); surviving frames are optionally dumped to a pcap file
+// and/or forwarded to the decoding pipeline.  The engine maintains the
+// per-second loss time series and the cumulative loss counter that Figure 2
+// plots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "capture/kernel_buffer.hpp"
+#include "common/clock.hpp"
+#include "net/pcap.hpp"
+#include "sim/frames.hpp"
+
+namespace dtr::capture {
+
+struct LossPoint {
+  std::uint64_t second = 0;  // seconds since capture start
+  std::uint64_t lost = 0;    // packets lost during that second
+};
+
+class CaptureEngine {
+ public:
+  explicit CaptureEngine(const KernelBufferConfig& buffer_config);
+
+  /// Attach a pcap dump (optional).  The writer must outlive the engine.
+  void set_pcap(net::PcapWriter* writer) { pcap_ = writer; }
+
+  /// Forward surviving frames here (optional).
+  void set_sink(sim::FrameSink sink) { sink_ = std::move(sink); }
+
+  /// Offer one mirrored frame; returns true if captured.
+  bool offer(const sim::TimedFrame& frame);
+
+  [[nodiscard]] std::uint64_t captured() const { return buffer_.accepted(); }
+  [[nodiscard]] std::uint64_t lost() const { return buffer_.dropped(); }
+
+  /// Non-zero per-second loss samples, in time order (Figure 2 main plot).
+  [[nodiscard]] const std::vector<LossPoint>& loss_series() const {
+    return loss_series_;
+  }
+
+  /// Cumulative losses at each recorded point (Figure 2 inset).
+  [[nodiscard]] std::vector<LossPoint> cumulative_losses() const;
+
+ private:
+  KernelBuffer buffer_;
+  net::PcapWriter* pcap_ = nullptr;
+  sim::FrameSink sink_;
+  std::vector<LossPoint> loss_series_;
+};
+
+}  // namespace dtr::capture

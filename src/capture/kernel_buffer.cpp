@@ -1,0 +1,75 @@
+#include "capture/kernel_buffer.hpp"
+
+namespace dtr::capture {
+
+namespace {
+constexpr SimTime kNever = ~SimTime{0} / 2;  // far future, addition-safe
+
+/// Exponential delay in SimTime ticks, never zero (a zero-length step could
+/// stall the drain loop).  A non-positive rate means "never happens".
+SimTime exp_delay(Rng& rng, double rate_per_second) {
+  if (rate_per_second <= 0.0) return kNever;
+  double ticks_f =
+      rng.exponential(rate_per_second) * static_cast<double>(kSecond);
+  if (!(ticks_f < static_cast<double>(kNever))) return kNever;
+  auto ticks = static_cast<SimTime>(ticks_f);
+  return ticks > 0 ? ticks : 1;
+}
+}  // namespace
+
+KernelBuffer::KernelBuffer(const KernelBufferConfig& config)
+    : config_(config), rng_(mix64(config.seed ^ 0xB0FFE2ULL)) {
+  next_stall_ = exp_delay(rng_, config_.stall_per_hour / 3600.0);
+}
+
+void KernelBuffer::drain_until(SimTime now) {
+  if (now <= last_drain_) return;
+
+  SimTime t = last_drain_;
+  while (t < now) {
+    // Advance either to the next stall boundary or to `now`.
+    SimTime segment_end = now;
+    bool in_stall = t >= next_stall_ && t < stall_until_;
+    if (in_stall) {
+      segment_end = std::min(now, stall_until_);
+      // Stalled: no draining happens over [t, segment_end).
+    } else {
+      if (t >= stall_until_ && next_stall_ <= t) {
+        // Schedule the next stall after the one that just ended.
+        next_stall_ = t + exp_delay(rng_, config_.stall_per_hour / 3600.0);
+      }
+      if (next_stall_ > t && next_stall_ < now) segment_end = next_stall_;
+      double seconds = to_seconds_f(segment_end - t);
+      drain_credit_ += seconds * config_.drain_rate;
+      if (drain_credit_ > 0.0) {
+        auto drained = static_cast<std::uint64_t>(drain_credit_);
+        drain_credit_ -= static_cast<double>(drained);
+        occupancy_ = drained >= occupancy_
+                         ? 0
+                         : occupancy_ - static_cast<std::size_t>(drained);
+      }
+      if (segment_end == next_stall_) {
+        // A stall begins here.
+        stall_until_ =
+            next_stall_ +
+            exp_delay(rng_, 1.0 / to_seconds_f(config_.stall_mean));
+      }
+    }
+    t = segment_end;
+    if (t == now) break;
+  }
+  last_drain_ = now;
+}
+
+bool KernelBuffer::offer(SimTime now) {
+  drain_until(now);
+  if (occupancy_ >= config_.capacity) {
+    ++dropped_;
+    return false;
+  }
+  ++occupancy_;
+  ++accepted_;
+  return true;
+}
+
+}  // namespace dtr::capture

@@ -1,0 +1,60 @@
+// libpcap kernel-buffer model — the mechanism behind Figure 2.
+//
+// "libpcap uses a buffer where the kernel stores captured packets.  In case
+// of traffic peaks, this buffer may be unsufficient and get full of packets,
+// while some others still arrive.  The kernel cannot store these new packets
+// in the buffer, and some are thus lost.  The number of lost packets is
+// stored in a kernel structure" (§2.2).
+//
+// The model: a FIFO of at most `capacity` packets.  The user-space reader
+// drains it at `drain_rate` packets per second, with occasional stalls
+// (user-space pauses: disk flushes, scheduling) during which nothing is
+// drained.  A packet arriving while the FIFO is full is dropped and counted
+// — the equivalent of libpcap's ps_drop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace dtr::capture {
+
+struct KernelBufferConfig {
+  std::size_t capacity = 4096;      // packets the kernel buffer can hold
+  double drain_rate = 5000.0;       // packets/s the reader consumes
+  double stall_per_hour = 1.2;      // expected reader stalls per hour
+  SimTime stall_mean = 800 * kMillisecond;  // mean stall duration
+  std::uint64_t seed = 99;
+};
+
+class KernelBuffer {
+ public:
+  explicit KernelBuffer(const KernelBufferConfig& config);
+
+  /// Offer one packet at `now` (non-decreasing).  Returns true if the
+  /// packet was buffered, false if it was dropped (ps_drop++).
+  bool offer(SimTime now);
+
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t occupancy() const { return occupancy_; }
+
+ private:
+  void drain_until(SimTime now);
+
+  KernelBufferConfig config_;
+  Rng rng_;
+  std::size_t occupancy_ = 0;
+  // Drain bookkeeping: fractional packets drained accumulate over time.
+  SimTime last_drain_ = 0;
+  double drain_credit_ = 0.0;
+  // Reader stall state.
+  SimTime next_stall_ = 0;
+  SimTime stall_until_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dtr::capture

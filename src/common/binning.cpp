@@ -1,0 +1,68 @@
+#include "common/binning.hpp"
+
+#include <cmath>
+
+namespace dtr {
+
+std::uint64_t CountHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [value, count] : bins_) sum += count;
+  return sum;
+}
+
+double CountHistogram::mean() const {
+  if (bins_.empty()) return 0.0;
+  double weighted = 0.0;
+  double n = 0.0;
+  for (const auto& [value, count] : bins_) {
+    weighted += static_cast<double>(value) * static_cast<double>(count);
+    n += static_cast<double>(count);
+  }
+  return weighted / n;
+}
+
+std::uint64_t CountHistogram::mode() const {
+  std::uint64_t best_value = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [value, count] : bins_) {
+    if (count > best_count) {
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+void CountHistogram::merge(const CountHistogram& other) {
+  for (const auto& [value, count] : other.bins_) bins_[value] += count;
+}
+
+std::vector<LogBin> log_bin(const CountHistogram& h, double ratio) {
+  std::vector<LogBin> out;
+  if (h.empty() || ratio <= 1.0) return out;
+
+  std::uint64_t lo = h.min_value();
+  if (lo == 0) lo = 1;  // log bins start at 1; an explicit zero bin first
+  if (h.count_of(0) > 0) {
+    out.push_back({0, 1, h.count_of(0), static_cast<double>(h.count_of(0))});
+  }
+  const std::uint64_t max = h.max_value();
+  auto it = h.bins().lower_bound(lo);
+  while (lo <= max) {
+    auto hi_f = static_cast<std::uint64_t>(std::ceil(static_cast<double>(lo) * ratio));
+    std::uint64_t hi = hi_f > lo ? hi_f : lo + 1;
+    LogBin bin{lo, hi, 0, 0.0};
+    while (it != h.bins().end() && it->first < hi) {
+      bin.count += it->second;
+      ++it;
+    }
+    if (bin.count > 0) {
+      bin.density = static_cast<double>(bin.count) / static_cast<double>(hi - lo);
+      out.push_back(bin);
+    }
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace dtr

@@ -1,0 +1,60 @@
+// Histogram / binning helpers shared by the analysis module and the benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dtr {
+
+/// Exact integer-valued histogram: value -> number of occurrences.
+/// Backed by an ordered map so iteration yields sorted (value, count) pairs,
+/// which is what every "distribution" figure in the paper plots.
+class CountHistogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1) { bins_[value] += count; }
+
+  [[nodiscard]] std::uint64_t count_of(std::uint64_t value) const {
+    auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::size_t distinct_values() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t max_value() const {
+    return bins_.empty() ? 0 : bins_.rbegin()->first;
+  }
+  [[nodiscard]] std::uint64_t min_value() const {
+    return bins_.empty() ? 0 : bins_.begin()->first;
+  }
+  [[nodiscard]] bool empty() const { return bins_.empty(); }
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& bins() const {
+    return bins_;
+  }
+
+  /// Weighted mean of the values.
+  [[nodiscard]] double mean() const;
+
+  /// The value with the largest count (smallest such value on ties).
+  [[nodiscard]] std::uint64_t mode() const;
+
+  /// Merge another histogram into this one (for parallel reductions).
+  void merge(const CountHistogram& other);
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+};
+
+/// One bin of a logarithmically-binned view of a histogram.
+struct LogBin {
+  std::uint64_t lo = 0;       ///< inclusive lower edge
+  std::uint64_t hi = 0;       ///< exclusive upper edge
+  std::uint64_t count = 0;    ///< total occurrences in [lo, hi)
+  double density = 0.0;       ///< count / (hi - lo): comparable across bins
+};
+
+/// Rebin a histogram into multiplicative bins (edge ratio `ratio` > 1).
+/// This is how the paper's log-log scatter plots are usually smoothed.
+std::vector<LogBin> log_bin(const CountHistogram& h, double ratio = 1.5);
+
+}  // namespace dtr

@@ -1,0 +1,29 @@
+// Simulated time base.
+//
+// The whole measurement campaign runs on a virtual clock measured in
+// microseconds since the start of the capture, exactly like the released
+// dataset (the paper replaces absolute timestamps by time elapsed since the
+// beginning of the capture as part of anonymisation).
+#pragma once
+
+#include <cstdint>
+
+namespace dtr {
+
+/// Microseconds since the beginning of the capture.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+constexpr SimTime kWeek = 7 * kDay;
+
+constexpr std::uint64_t to_seconds(SimTime t) { return t / kSecond; }
+constexpr double to_seconds_f(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace dtr

@@ -1,0 +1,203 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dtr {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t v) { return splitmix64(v); }
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double rate) {
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  double u2 = uniform();
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::power_law_int(double alpha, std::uint64_t max_value) {
+  for (;;) {
+    double x = pareto(1.0, alpha - 1.0);
+    auto k = static_cast<std::uint64_t>(x);
+    if (k >= 1 && k <= max_value) return k;
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng(mix64(seed_ ^ mix64(stream_id ^ 0xD1B54A32D192ED03ULL)));
+}
+
+// ---------------------------------------------------------------------------
+// ZipfSampler — rejection-inversion (Hörmann & Derflinger 1996).
+// ---------------------------------------------------------------------------
+
+ZipfSampler::ZipfSampler(double s, std::uint64_t n) : s_(s), n_(n) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty domain");
+  if (s <= 0.0) throw std::invalid_argument("ZipfSampler: exponent must be > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  accept_threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  double log_x = std::log(x);
+  double t = (1.0 - s_) * log_x;
+  // Numerically stable (exp(t) - 1) / t via expm1.
+  double helper = (std::abs(t) > 1e-8) ? std::expm1(t) / t : 1.0 + t / 2.0;
+  return log_x * helper;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the log1p domain
+  double log1p_t = std::log1p(t);
+  double helper =
+      (std::abs(log1p_t) > 1e-8) ? log1p_t / std::expm1(log1p_t) : 1.0 - log1p_t / 2.0;
+  return std::exp(x * helper);
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  for (;;) {
+    double u = h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    double x = h_integral_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1)
+      k = 1;
+    else if (k > n_)
+      k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= accept_threshold_ ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AliasSampler — Walker/Vose alias method.
+// ---------------------------------------------------------------------------
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasSampler: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasSampler: zero total weight");
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::operator()(Rng& rng) const {
+  std::size_t column = rng.below(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace dtr

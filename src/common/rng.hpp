@@ -1,0 +1,113 @@
+// Deterministic random-number generation for the synthetic workload.
+//
+// Everything stochastic in donkeytrace flows from an explicit 64-bit seed so
+// that campaigns are reproducible bit-for-bit: the same seed regenerates the
+// same clients, files, sessions and packet timings.  We use xoshiro256**
+// (public-domain, Blackman & Vigna) seeded through splitmix64, which is both
+// faster than std::mt19937_64 and has no seeding pitfalls.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dtr {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of a value (finalizer of splitmix64).
+std::uint64_t mix64(std::uint64_t v);
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller (no state cached; we favor simplicity).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (continuous power law) with minimum xm and shape alpha:
+  /// P(X > x) = (xm/x)^alpha for x >= xm.
+  double pareto(double xm, double alpha);
+
+  /// Discrete power law on {1, 2, ...}: P(k) ~ k^-alpha, sampled by
+  /// inverting the continuous Pareto and rounding (accurate for alpha > 1).
+  std::uint64_t power_law_int(double alpha, std::uint64_t max_value);
+
+  /// Fork an independent stream for a sub-component; deterministic in
+  /// (parent seed, stream id).  Prevents cross-contamination between e.g.
+  /// the catalog generator and the session generator when one is re-tuned.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  std::uint64_t seed_;
+};
+
+/// Zipf(s, n) sampler over {1..n}: P(k) ~ k^-s.  Uses the rejection-inversion
+/// method of Hörmann & Derflinger, O(1) per sample independent of n, which is
+/// essential for catalogs of tens of millions of files.
+class ZipfSampler {
+ public:
+  ZipfSampler(double s, std::uint64_t n);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  [[nodiscard]] double exponent() const { return s_; }
+  [[nodiscard]] std::uint64_t domain() const { return n_; }
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  double s_;
+  std::uint64_t n_;
+  double accept_threshold_;  // Hörmann-Derflinger "s" constant
+  double h_integral_x1_;     // hIntegral(1.5) - 1
+  double h_integral_n_;      // hIntegral(n + 0.5)
+};
+
+/// Sampler over an arbitrary discrete distribution given by weights, using
+/// Walker's alias method: O(n) setup, O(1) per sample.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  std::size_t operator()(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace dtr

@@ -1,0 +1,28 @@
+// Small string utilities used across modules (tokenisation for the keyword
+// index, number formatting for reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtr {
+
+/// Lowercase ASCII copy (eDonkey keyword matching is case-insensitive).
+std::string to_lower(std::string_view s);
+
+/// Split a filename into search keywords the way eDonkey servers do:
+/// non-alphanumeric characters separate tokens; tokens shorter than
+/// `min_len` are dropped.
+std::vector<std::string> tokenize_keywords(std::string_view s,
+                                           std::size_t min_len = 3);
+
+/// Thousands-separated decimal rendering, e.g. 8867052380 -> "8 867 052 380"
+/// (the paper's typography). Used by report tables.
+std::string with_thousands(std::uint64_t v);
+
+/// Compact human size, e.g. 734003200 -> "700.0 MB".
+std::string human_size(std::uint64_t bytes);
+
+}  // namespace dtr

@@ -1,0 +1,84 @@
+#include "core/campaign_runner.hpp"
+
+namespace dtr::core {
+
+RunnerConfig RunnerConfig::tiny(std::uint64_t seed) {
+  RunnerConfig cfg;
+  cfg.campaign.seed = seed;
+  cfg.campaign.duration = 6 * kHour;
+  cfg.campaign.population.client_count = 120;
+  cfg.campaign.catalog.file_count = 800;
+  cfg.campaign.catalog.vocabulary = 300;
+  cfg.campaign.population.collector_share_max = 1'200;
+  cfg.campaign.population.scanner_ask_max = 700;
+  cfg.campaign.flash_crowd_count = 2;
+  return cfg;
+}
+
+RunnerConfig RunnerConfig::bench_scale(std::uint64_t seed) {
+  RunnerConfig cfg;
+  cfg.campaign.seed = seed;
+  cfg.campaign.duration = 2 * kWeek;
+  cfg.campaign.population.client_count = 20'000;
+  cfg.campaign.catalog.file_count = 60'000;
+  cfg.campaign.population.collector_share_max = 12'000;
+  cfg.campaign.population.scanner_ask_max = 40'000;
+  return cfg;
+}
+
+CampaignRunner::CampaignRunner(const RunnerConfig& config)
+    : config_(config), simulator_(config.campaign) {}
+
+CampaignReport CampaignRunner::run() {
+  capture::CaptureEngine engine(config_.buffer);
+  if (!config_.pcap_path.empty()) {
+    pcap_ = std::make_unique<net::PcapWriter>(config_.pcap_path);
+    engine.set_pcap(pcap_.get());
+  }
+
+  PipelineConfig pipeline_config;
+  pipeline_config.server_ip = config_.campaign.server_ip;
+  pipeline_config.server_port = config_.campaign.server_port;
+  pipeline_config.xml_out = config_.xml_out;
+  pipeline_config.keep_events = config_.keep_events;
+  pipeline_config.extra_sink = config_.extra_sink;
+  pipeline_ = std::make_unique<CapturePipeline>(pipeline_config);
+
+  engine.set_sink(
+      [this](const sim::TimedFrame& frame) { pipeline_->push(frame); });
+
+  if (config_.background) {
+    // Mirror carries campaign + background traffic.  Both streams are
+    // time-ordered; merge them lazily (the background alone can be tens of
+    // millions of frames — never materialised).
+    sim::BackgroundConfig bg = *config_.background;
+    bg.duration = config_.campaign.duration;
+    bg.server_ip = config_.campaign.server_ip;
+    sim::BackgroundTraffic background(bg);
+    std::optional<sim::TimedFrame> pending = background.next();
+    simulator_.run([&](const sim::TimedFrame& f) {
+      while (pending && pending->time <= f.time) {
+        engine.offer(*pending);
+        pending = background.next();
+      }
+      engine.offer(f);
+    });
+    while (pending) {
+      engine.offer(*pending);
+      pending = background.next();
+    }
+  } else {
+    simulator_.run([&](const sim::TimedFrame& f) { engine.offer(f); });
+  }
+
+  CampaignReport report;
+  report.pipeline = pipeline_->finish();
+  report.truth = simulator_.truth();
+  report.frames_captured = engine.captured();
+  report.frames_lost = engine.lost();
+  report.loss_series = engine.loss_series();
+  if (pcap_) pcap_->flush();
+  return report;
+}
+
+}  // namespace dtr::core

@@ -1,0 +1,69 @@
+// CampaignRunner: the whole measurement in one call.
+//
+//   simulator (server + clients)  ->  mirror  ->  [+ background traffic]
+//   ->  kernel capture buffer (losses)  ->  pipeline (decode, anonymise,
+//   accumulate, optional XML/pcap)  ->  CampaignReport
+//
+// This is the facade the examples and the figure benches use.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/campaign_stats.hpp"
+#include "capture/engine.hpp"
+#include "core/pipeline.hpp"
+#include "sim/background.hpp"
+#include "sim/campaign.hpp"
+
+namespace dtr::core {
+
+struct RunnerConfig {
+  sim::CampaignConfig campaign;
+  capture::KernelBufferConfig buffer;
+  std::optional<sim::BackgroundConfig> background;  // engaged = mirror carries
+                                                    // the TCP half too
+  std::string pcap_path;     // non-empty = dump surviving frames to pcap
+  std::ostream* xml_out = nullptr;
+  bool keep_events = false;
+  /// Extra streaming consumer of the anonymised events (see PipelineConfig).
+  std::function<void(const anon::AnonEvent&)> extra_sink;
+
+  /// Convenience: a small config that runs in well under a second.
+  static RunnerConfig tiny(std::uint64_t seed = 42);
+  /// Default bench-scale config (about a million messages).
+  static RunnerConfig bench_scale(std::uint64_t seed = 42);
+};
+
+struct CampaignReport {
+  sim::GroundTruth truth;
+  std::uint64_t frames_captured = 0;
+  std::uint64_t frames_lost = 0;
+  std::vector<capture::LossPoint> loss_series;
+  PipelineResult pipeline;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const RunnerConfig& config);
+
+  /// Run everything; blocks until the pipeline has drained.
+  CampaignReport run();
+
+  /// Valid after run().
+  [[nodiscard]] const analysis::CampaignStats& stats() const {
+    return pipeline_->stats();
+  }
+  [[nodiscard]] const CapturePipeline& pipeline() const { return *pipeline_; }
+  [[nodiscard]] const sim::CampaignSimulator& simulator() const {
+    return simulator_;
+  }
+
+ private:
+  RunnerConfig config_;
+  sim::CampaignSimulator simulator_;
+  std::unique_ptr<net::PcapWriter> pcap_;
+  std::unique_ptr<CapturePipeline> pipeline_;
+};
+
+}  // namespace dtr::core

@@ -1,0 +1,75 @@
+#include "core/pipeline.hpp"
+
+namespace dtr::core {
+
+CapturePipeline::CapturePipeline(const PipelineConfig& config)
+    : config_(config),
+      frame_queue_(config.frame_queue_capacity),
+      message_queue_(config.message_queue_capacity),
+      clients_(anon::DirectClientTable::PageMode::kPaged),
+      files_(config.fileid_index_byte_0, config.fileid_index_byte_1),
+      anonymiser_(clients_, files_) {
+  if (config_.xml_out != nullptr) {
+    xml_ = std::make_unique<xmlio::DatasetWriter>(*config_.xml_out);
+  }
+  decoder_ = std::make_unique<decode::FrameDecoder>(
+      config_.server_ip, config_.server_port,
+      [this](decode::DecodedMessage&& msg) {
+        message_queue_.push(std::move(msg));
+      });
+  decode_thread_ = std::thread([this] { decode_loop(); });
+  anonymise_thread_ = std::thread([this] { anonymise_loop(); });
+}
+
+CapturePipeline::~CapturePipeline() {
+  if (!finished_) finish();
+}
+
+void CapturePipeline::push(const sim::TimedFrame& frame) {
+  frame_queue_.push(frame);
+}
+
+void CapturePipeline::decode_loop() {
+  while (auto frame = frame_queue_.pop()) {
+    decoder_->push(*frame);
+    last_time_ = frame->time;
+  }
+  decoder_->finish(last_time_);
+  message_queue_.close();
+}
+
+void CapturePipeline::anonymise_loop() {
+  while (auto msg = message_queue_.pop()) {
+    // The dialog's client side: whoever is not the server.
+    const bool from_client = msg->dst_ip == config_.server_ip &&
+                             msg->dst_port == config_.server_port;
+    const std::uint32_t peer_ip = from_client ? msg->src_ip : msg->dst_ip;
+
+    anon::AnonEvent event =
+        anonymiser_.anonymise(msg->time, peer_ip, msg->message);
+    ++anonymised_events_;
+    stats_.consume(event);
+    if (config_.extra_sink) config_.extra_sink(event);
+    if (xml_) xml_->write(event);
+    if (config_.keep_events) events_.push_back(std::move(event));
+  }
+}
+
+PipelineResult CapturePipeline::finish() {
+  if (!finished_) {
+    finished_ = true;
+    frame_queue_.close();
+    decode_thread_.join();
+    anonymise_thread_.join();
+    if (xml_) xml_->finish();
+  }
+  PipelineResult result;
+  result.decode = decoder_->stats();
+  result.distinct_clients = anonymiser_.distinct_clients();
+  result.distinct_files = anonymiser_.distinct_files();
+  result.anonymised_events = anonymised_events_;
+  result.xml_events = xml_ ? xml_->events_written() : 0;
+  return result;
+}
+
+}  // namespace dtr::core

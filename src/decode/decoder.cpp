@@ -1,0 +1,82 @@
+#include "decode/decoder.hpp"
+
+namespace dtr::decode {
+
+FrameDecoder::FrameDecoder(std::uint32_t server_ip, std::uint16_t server_port,
+                           MessageSink sink)
+    : server_ip_(server_ip),
+      server_port_(server_port),
+      sink_(std::move(sink)) {}
+
+void FrameDecoder::push(const sim::TimedFrame& frame) {
+  ++stats_.frames;
+
+  auto eth = net::decode_ethernet(frame.bytes);
+  if (!eth || eth->ether_type != net::kEtherTypeIpv4) {
+    ++stats_.non_ipv4_frames;
+    return;
+  }
+
+  auto ip = net::decode_ipv4(eth->payload);
+  if (!ip) {
+    ++stats_.bad_ip_packets;
+    return;
+  }
+
+  if (ip->protocol == net::kProtocolUdp) {
+    ++stats_.udp_packets;
+    if (ip->is_fragment()) ++stats_.udp_fragments;
+  } else if (ip->protocol == 6) {
+    ++stats_.tcp_packets;  // captured, not decoded (paper §2.2)
+    return;
+  } else {
+    ++stats_.other_ip_packets;
+    return;
+  }
+
+  auto whole = reassembler_.push(*ip, frame.time);
+  if (!whole) return;  // fragment buffered, or duplicate dropped
+  handle_ip(*whole, frame.time);
+}
+
+void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
+  auto udp = net::decode_udp(packet.payload, packet.src, packet.dst);
+  if (!udp) {
+    ++stats_.udp_malformed;
+    return;
+  }
+
+  // Only dialogs with the server are eDonkey traffic at this capture point.
+  const bool to_server =
+      packet.dst == server_ip_ && udp->dst_port == server_port_;
+  const bool from_server =
+      packet.src == server_ip_ && udp->src_port == server_port_;
+  if (!to_server && !from_server) return;
+
+  ++stats_.edonkey_messages;
+  proto::DecodeResult result = proto::decode_datagram(udp->payload);
+  if (!result.ok()) {
+    if (proto::is_structural(result.error)) {
+      ++stats_.undecoded_structural;
+    } else {
+      ++stats_.undecoded_effective;
+    }
+    return;
+  }
+
+  ++stats_.decoded;
+  if (sink_) {
+    DecodedMessage out;
+    out.time = time;
+    out.src_ip = packet.src;
+    out.src_port = udp->src_port;
+    out.dst_ip = packet.dst;
+    out.dst_port = udp->dst_port;
+    out.message = std::move(*result.message);
+    sink_(std::move(out));
+  }
+}
+
+void FrameDecoder::finish(SimTime now) { reassembler_.expire(now); }
+
+}  // namespace dtr::decode

@@ -1,0 +1,83 @@
+#include "decode/tcp_decoder.hpp"
+
+#include "net/ethernet.hpp"
+
+namespace dtr::decode {
+
+TcpFrameDecoder::TcpFrameDecoder(std::uint32_t server_ip,
+                                 std::uint16_t server_port,
+                                 TcpMessageSink sink)
+    : server_ip_(server_ip),
+      server_port_(server_port),
+      sink_(std::move(sink)),
+      reassembler_([this](const net::FlowKey& key, BytesView data, bool gap) {
+        on_stream_data(key, data, gap);
+      }) {}
+
+void TcpFrameDecoder::on_stream_data(const net::FlowKey& key, BytesView data,
+                                     bool gap) {
+  // One extractor per flow direction; dialogs not involving the server's
+  // eDonkey port are skipped (the mirror carries other TCP too).
+  const bool to_server =
+      key.dst_ip == server_ip_ && key.dst_port == server_port_;
+  const bool from_server =
+      key.src_ip == server_ip_ && key.src_port == server_port_;
+  if (!to_server && !from_server) return;
+
+  auto it = extractors_.find(key);
+  if (it == extractors_.end()) {
+    auto extractor = std::make_unique<proto::TcpMessageExtractor>(
+        [this, key, to_server](proto::TcpMessage&& m) {
+          ++stats_.messages;
+          if (sink_) {
+            DecodedTcpMessage out;
+            out.time = current_time_;
+            out.flow = key;
+            out.from_client = to_server;
+            out.message = std::move(m);
+            sink_(std::move(out));
+          }
+        });
+    it = extractors_.emplace(key, std::move(extractor)).first;
+  }
+  if (gap) {
+    ++stats_.stream_gaps;
+    it->second->resync();
+  }
+  std::uint64_t undecoded_before = it->second->stats().undecoded;
+  it->second->feed(data);
+  stats_.undecoded += it->second->stats().undecoded - undecoded_before;
+}
+
+void TcpFrameDecoder::push(const sim::TimedFrame& frame) {
+  ++stats_.frames;
+  current_time_ = frame.time;
+
+  auto eth = net::decode_ethernet(frame.bytes);
+  if (!eth || eth->ether_type != net::kEtherTypeIpv4) {
+    ++stats_.non_tcp;
+    return;
+  }
+  auto ip = net::decode_ipv4(eth->payload);
+  if (!ip || ip->protocol != net::kProtocolTcp) {
+    ++stats_.non_tcp;
+    return;
+  }
+  auto whole = ip_reassembler_.push(*ip, frame.time);
+  if (!whole) return;
+
+  auto seg = net::decode_tcp(whole->payload, whole->src, whole->dst);
+  if (!seg) {
+    ++stats_.non_tcp;
+    return;
+  }
+  ++stats_.tcp_segments;
+  reassembler_.push(whole->src, whole->dst, *seg, frame.time);
+}
+
+void TcpFrameDecoder::finish(SimTime now) {
+  reassembler_.expire(now + kHour);
+  ip_reassembler_.expire(now + kHour);
+}
+
+}  // namespace dtr::decode

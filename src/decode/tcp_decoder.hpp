@@ -1,0 +1,64 @@
+// TCP decode path: captured frames -> IP -> TCP stream reassembly ->
+// eDonkey TCP frame extraction -> messages.  The paper's future work (§4),
+// built on net::TcpStreamReassembler and proto::TcpMessageExtractor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/clock.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp.hpp"
+#include "proto/tcp_codec.hpp"
+#include "sim/frames.hpp"
+
+namespace dtr::decode {
+
+struct DecodedTcpMessage {
+  SimTime time = 0;           // time of the segment completing the message
+  net::FlowKey flow;          // direction (src -> dst)
+  bool from_client = false;   // true when dst is the server
+  proto::TcpMessage message;
+};
+
+using TcpMessageSink = std::function<void(DecodedTcpMessage&&)>;
+
+struct TcpDecodeStats {
+  std::uint64_t frames = 0;
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t non_tcp = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t undecoded = 0;
+  std::uint64_t stream_gaps = 0;  // capture losses seen inside flows
+};
+
+class TcpFrameDecoder {
+ public:
+  TcpFrameDecoder(std::uint32_t server_ip, std::uint16_t server_port,
+                  TcpMessageSink sink);
+
+  void push(const sim::TimedFrame& frame);
+  void finish(SimTime now);
+
+  [[nodiscard]] const TcpDecodeStats& stats() const { return stats_; }
+  [[nodiscard]] const net::TcpStreamReassembler::Stats& stream_stats() const {
+    return reassembler_.stats();
+  }
+
+ private:
+  void on_stream_data(const net::FlowKey& key, BytesView data, bool gap);
+
+  std::uint32_t server_ip_;
+  std::uint16_t server_port_;
+  TcpMessageSink sink_;
+  net::TcpStreamReassembler reassembler_;
+  net::Ipv4Reassembler ip_reassembler_;
+  std::map<net::FlowKey, std::unique_ptr<proto::TcpMessageExtractor>>
+      extractors_;
+  TcpDecodeStats stats_;
+  SimTime current_time_ = 0;
+};
+
+}  // namespace dtr::decode

@@ -1,0 +1,138 @@
+#include "hash/md4.hpp"
+
+#include <cstring>
+
+namespace dtr {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline std::uint32_t F(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (x & y) | (~x & z);
+}
+inline std::uint32_t G(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (x & y) | (x & z) | (y & z);
+}
+inline std::uint32_t H(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return x ^ y ^ z;
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+void Md4::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Md4::process_block(const std::uint8_t* block) {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = load_le32(block + 4 * i);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  // Round 1.
+  auto r1 = [&](std::uint32_t& va, std::uint32_t vb, std::uint32_t vc,
+                std::uint32_t vd, int k, int s) {
+    va = rotl32(va + F(vb, vc, vd) + x[k], s);
+  };
+  for (int i = 0; i < 4; ++i) {
+    r1(a, b, c, d, 4 * i + 0, 3);
+    r1(d, a, b, c, 4 * i + 1, 7);
+    r1(c, d, a, b, 4 * i + 2, 11);
+    r1(b, c, d, a, 4 * i + 3, 19);
+  }
+
+  // Round 2.
+  auto r2 = [&](std::uint32_t& va, std::uint32_t vb, std::uint32_t vc,
+                std::uint32_t vd, int k, int s) {
+    va = rotl32(va + G(vb, vc, vd) + x[k] + 0x5A827999U, s);
+  };
+  for (int i = 0; i < 4; ++i) {
+    r2(a, b, c, d, i + 0, 3);
+    r2(d, a, b, c, i + 4, 5);
+    r2(c, d, a, b, i + 8, 9);
+    r2(b, c, d, a, i + 12, 13);
+  }
+
+  // Round 3 (order 0,8,4,12, 2,10,6,14, 1,9,5,13, 3,11,7,15).
+  static constexpr int kOrder3[4] = {0, 2, 1, 3};
+  auto r3 = [&](std::uint32_t& va, std::uint32_t vb, std::uint32_t vc,
+                std::uint32_t vd, int k, int s) {
+    va = rotl32(va + H(vb, vc, vd) + x[k] + 0x6ED9EBA1U, s);
+  };
+  for (int i : kOrder3) {
+    r3(a, b, c, d, i + 0, 3);
+    r3(d, a, b, c, i + 8, 9);
+    r3(c, d, a, b, i + 4, 11);
+    r3(b, c, d, a, i + 12, 15);
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md4::update(BytesView data) {
+  length_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    std::size_t take = std::min(data.size(), sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == sizeof(buffer_)) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - offset >= 64) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest128 Md4::finish() {
+  std::uint64_t bit_length = length_ * 8;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  std::size_t pad_len = (buffered_ < 56) ? 56 - buffered_ : 120 - buffered_;
+  update(BytesView(kPad, pad_len));
+  std::uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i)
+    len_le[i] = static_cast<std::uint8_t>(bit_length >> (8 * i));
+  // update() counts these 8 bytes in length_, but length_ is no longer read.
+  update(BytesView(len_le, 8));
+
+  Digest128 out;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      out.bytes[static_cast<std::size_t>(4 * i + j)] =
+          static_cast<std::uint8_t>(state_[i] >> (8 * j));
+  return out;
+}
+
+Digest128 Md4::digest(BytesView data) {
+  Md4 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace dtr

@@ -1,0 +1,44 @@
+// MD4 (RFC 1320), implemented from scratch.
+//
+// eDonkey identifies files by the MD4 of their content (for multi-chunk
+// files, the MD4 of the concatenated 9.28 MB chunk hashes; for this
+// reproduction the single-shot digest is sufficient since we hash synthetic
+// identities, not real file contents).  MD4 is cryptographically broken;
+// here it is a protocol constant, not a security primitive.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "hash/digest.hpp"
+
+namespace dtr {
+
+/// Incremental MD4.  `update()` may be called any number of times;
+/// `finish()` returns the digest and leaves the object reusable after
+/// `reset()`.
+class Md4 {
+ public:
+  Md4() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Digest128 finish();
+
+  /// One-shot convenience.
+  static Digest128 digest(BytesView data);
+  static Digest128 digest(std::string_view s) {
+    return digest(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                            s.size()));
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t length_ = 0;           // total bytes consumed
+  std::uint8_t buffer_[64];            // partial block
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace dtr

@@ -1,0 +1,40 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// The paper anonymises search strings, filenames and server descriptions by
+// their MD5 hash — strong enough for that purpose while keeping the dataset
+// coherent (equal strings map to equal tokens).  Like MD4, it is used here
+// as a deterministic anonymisation token generator, not a security primitive.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "hash/digest.hpp"
+
+namespace dtr {
+
+/// Incremental MD5 with the same interface as Md4.
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Digest128 finish();
+
+  static Digest128 digest(BytesView data);
+  static Digest128 digest(std::string_view s) {
+    return digest(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                            s.size()));
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t length_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace dtr

@@ -1,0 +1,26 @@
+#include "net/ethernet.hpp"
+
+#include <cstring>
+
+namespace dtr::net {
+
+Bytes encode_ethernet(const EthernetFrame& f) {
+  ByteWriter w(kEthernetHeaderSize + f.payload.size());
+  w.raw(f.dst.data(), f.dst.size());
+  w.raw(f.src.data(), f.src.size());
+  w.u16be(f.ether_type);
+  w.raw(f.payload);
+  return std::move(w).take();
+}
+
+std::optional<EthernetFrame> decode_ethernet(BytesView data) {
+  if (data.size() < kEthernetHeaderSize) return std::nullopt;
+  EthernetFrame f;
+  std::memcpy(f.dst.data(), data.data(), 6);
+  std::memcpy(f.src.data(), data.data() + 6, 6);
+  f.ether_type = static_cast<std::uint16_t>(data[12] << 8 | data[13]);
+  f.payload.assign(data.begin() + kEthernetHeaderSize, data.end());
+  return f;
+}
+
+}  // namespace dtr::net

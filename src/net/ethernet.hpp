@@ -1,0 +1,36 @@
+// Ethernet II framing.
+//
+// The capture point in the paper is an ethernet mirror of the server's NIC;
+// the pcap stream therefore carries ethernet frames.  Only EtherType 0x0800
+// (IPv4) matters for this reproduction, but the decoder recognises and
+// counts other EtherTypes rather than failing on them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace dtr::net {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeArp = 0x0806;
+constexpr std::size_t kEthernetHeaderSize = 14;
+
+struct EthernetFrame {
+  MacAddress dst{};
+  MacAddress src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+  Bytes payload;
+};
+
+/// Serialize header + payload (no FCS: pcap captures exclude it).
+Bytes encode_ethernet(const EthernetFrame& f);
+
+/// Returns nullopt when the buffer is shorter than an ethernet header.
+std::optional<EthernetFrame> decode_ethernet(BytesView data);
+
+}  // namespace dtr::net

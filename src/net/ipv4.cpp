@@ -1,0 +1,149 @@
+#include "net/ipv4.hpp"
+
+namespace dtr::net {
+
+std::uint16_t internet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i] << 8 | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes encode_ipv4(const Ipv4Packet& p) {
+  ByteWriter w(kIpv4HeaderSize + p.payload.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0);     // DSCP/ECN
+  w.u16be(static_cast<std::uint16_t>(kIpv4HeaderSize + p.payload.size()));
+  w.u16be(p.identification);
+  std::uint16_t flags_frag =
+      static_cast<std::uint16_t>((p.dont_fragment ? 0x4000 : 0) |
+                                 (p.more_fragments ? 0x2000 : 0) |
+                                 (p.fragment_offset & 0x1FFF));
+  w.u16be(flags_frag);
+  w.u8(p.ttl);
+  w.u8(p.protocol);
+  w.u16be(0);  // checksum placeholder
+  w.u32be(p.src);
+  w.u32be(p.dst);
+  std::uint16_t csum = internet_checksum(w.view().subspan(0, kIpv4HeaderSize));
+  w.patch_u16be(10, csum);
+  w.raw(p.payload);
+  return std::move(w).take();
+}
+
+std::optional<Ipv4Packet> decode_ipv4(BytesView data) {
+  if (data.size() < kIpv4HeaderSize) return std::nullopt;
+  if ((data[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(data[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderSize || data.size() < ihl) return std::nullopt;
+  if (internet_checksum(data.subspan(0, ihl)) != 0) return std::nullopt;
+
+  ByteReader r(data);
+  r.skip(2);
+  std::uint16_t total_length = r.u16be();
+  if (total_length < ihl || total_length > data.size()) return std::nullopt;
+
+  Ipv4Packet p;
+  p.identification = r.u16be();
+  std::uint16_t flags_frag = r.u16be();
+  p.dont_fragment = (flags_frag & 0x4000) != 0;
+  p.more_fragments = (flags_frag & 0x2000) != 0;
+  p.fragment_offset = flags_frag & 0x1FFF;
+  p.ttl = r.u8();
+  p.protocol = r.u8();
+  r.skip(2 + 4 + 4);  // checksum already verified; re-read addresses below
+  ByteReader addr(data.subspan(12, 8));
+  p.src = addr.u32be();
+  p.dst = addr.u32be();
+  p.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(ihl),
+                   data.begin() + total_length);
+  return p;
+}
+
+std::vector<Ipv4Packet> fragment_ipv4(const Ipv4Packet& p, std::size_t mtu) {
+  std::vector<Ipv4Packet> out;
+  const std::size_t max_payload = mtu - kIpv4HeaderSize;
+  if (p.payload.size() <= max_payload) {
+    out.push_back(p);
+    return out;
+  }
+  // Fragment payload sizes must be multiples of 8 except the last.
+  const std::size_t chunk = max_payload & ~std::size_t{7};
+  std::size_t offset = 0;
+  while (offset < p.payload.size()) {
+    std::size_t n = std::min(chunk, p.payload.size() - offset);
+    Ipv4Packet frag = p;
+    frag.payload.assign(p.payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                        p.payload.begin() +
+                            static_cast<std::ptrdiff_t>(offset + n));
+    frag.fragment_offset = static_cast<std::uint16_t>(offset / 8);
+    frag.more_fragments = (offset + n) < p.payload.size();
+    out.push_back(std::move(frag));
+    offset += n;
+  }
+  return out;
+}
+
+std::optional<Ipv4Packet> Ipv4Reassembler::push(const Ipv4Packet& p,
+                                                SimTime now) {
+  if (!p.is_fragment()) return p;
+  ++stats_.fragments_seen;
+
+  Key key{p.src, p.dst, p.identification, p.protocol};
+  Partial& partial = pending_[key];
+  if (partial.pieces.empty()) {
+    partial.first_seen = now;
+    partial.header_template = p;
+    partial.header_template.payload.clear();
+    partial.header_template.more_fragments = false;
+    partial.header_template.fragment_offset = 0;
+  }
+
+  const std::uint32_t offset = static_cast<std::uint32_t>(p.fragment_offset) * 8;
+  auto [it, inserted] = partial.pieces.emplace(offset, p.payload);
+  if (!inserted) {
+    ++stats_.overlapping;
+    return std::nullopt;
+  }
+  if (!p.more_fragments) {
+    partial.total_size = offset + static_cast<std::uint32_t>(p.payload.size());
+  }
+  return try_complete(key, partial);
+}
+
+std::optional<Ipv4Packet> Ipv4Reassembler::try_complete(const Key& key,
+                                                        Partial& partial) {
+  if (!partial.total_size) return std::nullopt;
+  std::uint32_t cursor = 0;
+  for (const auto& [offset, piece] : partial.pieces) {
+    if (offset != cursor) return std::nullopt;  // hole (or overlap)
+    cursor += static_cast<std::uint32_t>(piece.size());
+  }
+  if (cursor != *partial.total_size) return std::nullopt;
+
+  Ipv4Packet whole = partial.header_template;
+  whole.payload.reserve(cursor);
+  for (const auto& [offset, piece] : partial.pieces) {
+    whole.payload.insert(whole.payload.end(), piece.begin(), piece.end());
+  }
+  pending_.erase(key);
+  ++stats_.reassembled;
+  return whole;
+}
+
+void Ipv4Reassembler::expire(SimTime now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.first_seen > timeout_) {
+      it = pending_.erase(it);
+      ++stats_.expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dtr::net

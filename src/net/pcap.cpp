@@ -1,0 +1,139 @@
+#include "net/pcap.hpp"
+
+#include <cstring>
+
+namespace dtr::net {
+
+namespace {
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : file_(path, std::ios::binary), to_file_(true), snaplen_(snaplen) {
+  write_header();
+}
+
+PcapWriter::PcapWriter(std::uint32_t snaplen)
+    : to_file_(false), snaplen_(snaplen) {
+  write_header();
+}
+
+void PcapWriter::write_header() {
+  Bytes h;
+  put_u32le(h, kPcapMagic);
+  put_u16le(h, 2);   // version major
+  put_u16le(h, 4);   // version minor
+  put_u32le(h, 0);   // thiszone
+  put_u32le(h, 0);   // sigfigs
+  put_u32le(h, snaplen_);
+  put_u32le(h, kLinkTypeEthernet);
+  emit(h);
+}
+
+void PcapWriter::write(SimTime timestamp, BytesView frame) {
+  const auto captured =
+      static_cast<std::uint32_t>(std::min<std::size_t>(frame.size(), snaplen_));
+  Bytes rec;
+  rec.reserve(16 + captured);
+  put_u32le(rec, static_cast<std::uint32_t>(timestamp / kSecond));
+  put_u32le(rec, static_cast<std::uint32_t>(timestamp % kSecond));
+  put_u32le(rec, captured);
+  put_u32le(rec, static_cast<std::uint32_t>(frame.size()));
+  rec.insert(rec.end(), frame.begin(), frame.begin() + captured);
+  emit(rec);
+  ++records_;
+}
+
+void PcapWriter::emit(BytesView bytes) {
+  if (to_file_) {
+    file_.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+  } else {
+    memory_.insert(memory_.end(), bytes.begin(), bytes.end());
+  }
+}
+
+void PcapWriter::flush() {
+  if (to_file_) file_.flush();
+}
+
+PcapReader::PcapReader(const std::string& path)
+    : file_(path, std::ios::binary), from_file_(true) {
+  parse_header();
+}
+
+PcapReader::PcapReader(BytesView memory)
+    : from_file_(false), memory_(memory.begin(), memory.end()) {
+  parse_header();
+}
+
+bool PcapReader::read_exact(void* dst, std::size_t n) {
+  if (from_file_) {
+    file_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    return static_cast<std::size_t>(file_.gcount()) == n;
+  }
+  if (memory_.size() - mem_pos_ < n) return false;
+  std::memcpy(dst, memory_.data() + mem_pos_, n);
+  mem_pos_ += n;
+  return true;
+}
+
+void PcapReader::parse_header() {
+  std::uint8_t h[24];
+  if (!read_exact(h, sizeof(h))) return;
+  ByteReader r(BytesView(h, sizeof(h)));
+  std::uint32_t magic = r.u32le();
+  if (magic != kPcapMagic) return;  // byte-swapped variants not needed here
+  r.skip(2 + 2 + 4 + 4);
+  snaplen_ = r.u32le();
+  link_type_ = r.u32le();
+  ok_ = true;
+}
+
+std::optional<PcapRecord> PcapReader::next() {
+  if (!ok_) return std::nullopt;
+  std::uint8_t h[16];
+  if (from_file_) {
+    file_.read(reinterpret_cast<char*>(h), sizeof(h));
+    auto got = static_cast<std::size_t>(file_.gcount());
+    if (got == 0) return std::nullopt;  // clean EOF
+    if (got != sizeof(h)) {
+      ok_ = false;
+      return std::nullopt;
+    }
+  } else {
+    if (mem_pos_ == memory_.size()) return std::nullopt;
+    if (!read_exact(h, sizeof(h))) {
+      ok_ = false;
+      return std::nullopt;
+    }
+  }
+  ByteReader r(BytesView(h, sizeof(h)));
+  PcapRecord rec;
+  std::uint32_t ts_sec = r.u32le();
+  std::uint32_t ts_usec = r.u32le();
+  std::uint32_t captured = r.u32le();
+  rec.original_length = r.u32le();
+  rec.timestamp = static_cast<SimTime>(ts_sec) * kSecond + ts_usec;
+  if (captured > snaplen_) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  rec.data.resize(captured);
+  if (captured > 0 && !read_exact(rec.data.data(), captured)) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  return rec;
+}
+
+}  // namespace dtr::net

@@ -1,0 +1,220 @@
+#include "net/tcp.hpp"
+
+#include "net/ipv4.hpp"
+
+namespace dtr::net {
+
+namespace {
+
+/// Serial-number arithmetic (RFC 1982 style): a - b as a signed distance.
+inline std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+std::uint16_t tcp_checksum(BytesView tcp_bytes, std::uint32_t src_ip,
+                           std::uint32_t dst_ip) {
+  ByteWriter pseudo(12 + tcp_bytes.size());
+  pseudo.u32be(src_ip);
+  pseudo.u32be(dst_ip);
+  pseudo.u8(0);
+  pseudo.u8(kProtocolTcp);
+  pseudo.u16be(static_cast<std::uint16_t>(tcp_bytes.size()));
+  pseudo.raw(tcp_bytes);
+  std::uint16_t sum = internet_checksum(pseudo.view());
+  return sum == 0 ? 0xFFFF : sum;
+}
+
+std::uint8_t flags_byte(const TcpFlags& f) {
+  return static_cast<std::uint8_t>((f.fin ? 0x01 : 0) | (f.syn ? 0x02 : 0) |
+                                   (f.rst ? 0x04 : 0) | (f.psh ? 0x08 : 0) |
+                                   (f.ack ? 0x10 : 0));
+}
+
+}  // namespace
+
+Bytes encode_tcp(const TcpSegment& s, std::uint32_t src_ip,
+                 std::uint32_t dst_ip) {
+  ByteWriter w(kTcpHeaderSize + s.payload.size());
+  w.u16be(s.src_port);
+  w.u16be(s.dst_port);
+  w.u32be(s.seq);
+  w.u32be(s.ack);
+  w.u8(0x50);  // data offset: 5 words, no options
+  w.u8(flags_byte(s.flags));
+  w.u16be(s.window);
+  w.u16be(0);  // checksum placeholder
+  w.u16be(0);  // urgent pointer
+  w.raw(s.payload);
+  std::uint16_t csum = tcp_checksum(w.view(), src_ip, dst_ip);
+  w.patch_u16be(16, csum);
+  return std::move(w).take();
+}
+
+std::optional<TcpSegment> decode_tcp(BytesView data, std::uint32_t src_ip,
+                                     std::uint32_t dst_ip) {
+  if (data.size() < kTcpHeaderSize) return std::nullopt;
+  ByteReader r(data);
+  TcpSegment s;
+  s.src_port = r.u16be();
+  s.dst_port = r.u16be();
+  s.seq = r.u32be();
+  s.ack = r.u32be();
+  std::uint8_t offset_byte = r.u8();
+  const std::size_t header = static_cast<std::size_t>(offset_byte >> 4) * 4;
+  if (header < kTcpHeaderSize || header > data.size()) return std::nullopt;
+  std::uint8_t flags = r.u8();
+  s.flags.fin = flags & 0x01;
+  s.flags.syn = flags & 0x02;
+  s.flags.rst = flags & 0x04;
+  s.flags.psh = flags & 0x08;
+  s.flags.ack = flags & 0x10;
+  s.window = r.u16be();
+  std::uint16_t wire_csum = r.u16be();
+  if (wire_csum != 0) {
+    ByteWriter pseudo(12 + data.size());
+    pseudo.u32be(src_ip);
+    pseudo.u32be(dst_ip);
+    pseudo.u8(0);
+    pseudo.u8(kProtocolTcp);
+    pseudo.u16be(static_cast<std::uint16_t>(data.size()));
+    pseudo.raw(data);
+    if (internet_checksum(pseudo.view()) != 0) return std::nullopt;
+  }
+  s.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(header),
+                   data.end());
+  return s;
+}
+
+TcpStreamReassembler::TcpStreamReassembler(StreamSink sink)
+    : TcpStreamReassembler(std::move(sink), Config{}) {}
+
+TcpStreamReassembler::TcpStreamReassembler(StreamSink sink,
+                                           const Config& config)
+    : sink_(std::move(sink)), config_(config) {}
+
+void TcpStreamReassembler::push(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                const TcpSegment& seg, SimTime now) {
+  ++stats_.segments;
+  FlowKey key{src_ip, dst_ip, seg.src_port, seg.dst_port};
+
+  if (seg.flags.rst) {
+    flows_.erase(key);
+    return;
+  }
+
+  if (seg.flags.syn) {
+    ++stats_.syn_seen;
+    Flow& flow = flows_[key];
+    flow = Flow{};
+    flow.next_seq = seg.seq + 1;  // SYN consumes one sequence number
+    flow.established = true;
+    flow.last_activity = now;
+    return;
+  }
+
+  if (seg.payload.empty() && !seg.flags.fin) {
+    // Pure ACK: refresh activity if the flow exists, nothing to deliver.
+    auto it = flows_.find(key);
+    if (it != flows_.end()) it->second.last_activity = now;
+    return;
+  }
+
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    // Data before any SYN: the capture started mid-flow (unavoidable on a
+    // live server).  Adopt the flow at this point, best effort.
+    ++stats_.orphan_segments;
+    Flow flow;
+    flow.next_seq = seg.seq;
+    flow.established = true;
+    it = flows_.emplace(key, std::move(flow)).first;
+  }
+  Flow& flow = it->second;
+  flow.last_activity = now;
+
+  if (!seg.payload.empty()) {
+    std::int32_t diff = seq_diff(seg.seq, flow.next_seq);
+    if (diff == 0) {
+      sink_(key, seg.payload, /*gap=*/false);
+      stats_.bytes_delivered += seg.payload.size();
+      flow.next_seq += static_cast<std::uint32_t>(seg.payload.size());
+      deliver_ready(key, flow, /*after_gap=*/false);
+    } else if (diff < 0) {
+      // Starts in already-delivered territory.
+      std::uint32_t end = seg.seq + static_cast<std::uint32_t>(seg.payload.size());
+      if (seq_diff(end, flow.next_seq) <= 0) {
+        ++stats_.duplicates;  // full retransmission
+      } else {
+        // Partial overlap: deliver only the new tail.
+        std::size_t skip = static_cast<std::uint32_t>(-diff);
+        BytesView tail(seg.payload.data() + skip, seg.payload.size() - skip);
+        sink_(key, tail, /*gap=*/false);
+        stats_.bytes_delivered += tail.size();
+        flow.next_seq = end;
+        deliver_ready(key, flow, /*after_gap=*/false);
+      }
+    } else {
+      // Future data: buffer it.
+      ++stats_.out_of_order;
+      auto [pit, inserted] = flow.pending.emplace(seg.seq, seg.payload);
+      if (!inserted) {
+        ++stats_.duplicates;
+      } else {
+        flow.pending_bytes += seg.payload.size();
+      }
+      if (flow.pending_bytes > config_.gap_skip_threshold &&
+          !flow.pending.empty()) {
+        // The hole is probably a capture loss (paper §2.2): skip ahead to
+        // the earliest buffered byte and flag the gap.
+        ++stats_.gaps_skipped;
+        flow.next_seq = flow.pending.begin()->first;
+        deliver_ready(key, flow, /*after_gap=*/true);
+      }
+    }
+  }
+
+  if (seg.flags.fin) {
+    // Deliver whatever is contiguous, then forget the flow.
+    deliver_ready(key, flow, /*after_gap=*/false);
+    flows_.erase(it);
+  }
+}
+
+void TcpStreamReassembler::deliver_ready(const FlowKey& key, Flow& flow,
+                                         bool after_gap) {
+  bool gap_pending = after_gap;
+  while (!flow.pending.empty()) {
+    auto it = flow.pending.begin();
+    std::int32_t diff = seq_diff(it->first, flow.next_seq);
+    if (diff > 0) break;  // still a hole
+    Bytes chunk = std::move(it->second);
+    std::uint32_t chunk_seq = it->first;
+    flow.pending_bytes -= chunk.size();
+    flow.pending.erase(it);
+
+    std::uint32_t end = chunk_seq + static_cast<std::uint32_t>(chunk.size());
+    if (seq_diff(end, flow.next_seq) <= 0) {
+      ++stats_.duplicates;  // entirely old
+      continue;
+    }
+    std::size_t skip = static_cast<std::size_t>(-diff);
+    BytesView fresh(chunk.data() + skip, chunk.size() - skip);
+    sink_(key, fresh, gap_pending);
+    gap_pending = false;
+    stats_.bytes_delivered += fresh.size();
+    flow.next_seq = end;
+  }
+}
+
+void TcpStreamReassembler::expire(SimTime now) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_activity > config_.idle_timeout) {
+      it = flows_.erase(it);
+      ++stats_.flows_expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dtr::net

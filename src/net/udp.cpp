@@ -1,0 +1,66 @@
+#include "net/udp.hpp"
+
+#include "net/ipv4.hpp"
+
+namespace dtr::net {
+
+namespace {
+
+std::uint16_t udp_checksum(BytesView udp_bytes, std::uint32_t src_ip,
+                           std::uint32_t dst_ip) {
+  ByteWriter pseudo(12 + udp_bytes.size());
+  pseudo.u32be(src_ip);
+  pseudo.u32be(dst_ip);
+  pseudo.u8(0);
+  pseudo.u8(kProtocolUdp);
+  pseudo.u16be(static_cast<std::uint16_t>(udp_bytes.size()));
+  pseudo.raw(udp_bytes);
+  std::uint16_t sum = internet_checksum(pseudo.view());
+  // RFC 768: a computed checksum of zero is transmitted as all ones.
+  return sum == 0 ? 0xFFFF : sum;
+}
+
+}  // namespace
+
+Bytes encode_udp(const UdpDatagram& d, std::uint32_t src_ip,
+                 std::uint32_t dst_ip) {
+  ByteWriter w(kUdpHeaderSize + d.payload.size());
+  w.u16be(d.src_port);
+  w.u16be(d.dst_port);
+  w.u16be(static_cast<std::uint16_t>(kUdpHeaderSize + d.payload.size()));
+  w.u16be(0);  // checksum placeholder
+  w.raw(d.payload);
+  std::uint16_t csum = udp_checksum(w.view(), src_ip, dst_ip);
+  w.patch_u16be(6, csum);
+  return std::move(w).take();
+}
+
+std::optional<UdpDatagram> decode_udp(BytesView data, std::uint32_t src_ip,
+                                      std::uint32_t dst_ip) {
+  if (data.size() < kUdpHeaderSize) return std::nullopt;
+  ByteReader r(data);
+  UdpDatagram d;
+  d.src_port = r.u16be();
+  d.dst_port = r.u16be();
+  std::uint16_t length = r.u16be();
+  std::uint16_t wire_csum = r.u16be();
+  if (length < kUdpHeaderSize || length > data.size()) return std::nullopt;
+
+  if (wire_csum != 0) {
+    // Verify by summing pseudo-header + datagram with the checksum field
+    // included: a valid datagram folds to zero (ones-complement property).
+    ByteWriter pseudo(12 + length);
+    pseudo.u32be(src_ip);
+    pseudo.u32be(dst_ip);
+    pseudo.u8(0);
+    pseudo.u8(kProtocolUdp);
+    pseudo.u16be(length);
+    pseudo.raw(data.subspan(0, length));
+    if (internet_checksum(pseudo.view()) != 0) return std::nullopt;
+  }
+  d.payload.assign(data.begin() + kUdpHeaderSize,
+                   data.begin() + length);
+  return d;
+}
+
+}  // namespace dtr::net

@@ -1,0 +1,31 @@
+// UDP datagram encode/decode (RFC 768), including the pseudo-header
+// checksum.  The paper's dataset is UDP-only: "we therefore focus on udp
+// traffic only, which constitutes about half of the captured traffic" (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace dtr::net {
+
+constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+};
+
+/// Serialize with the checksum computed over the IPv4 pseudo-header.
+Bytes encode_udp(const UdpDatagram& d, std::uint32_t src_ip,
+                 std::uint32_t dst_ip);
+
+/// Decode and verify: returns nullopt on short input, length mismatch or
+/// bad checksum (a zero wire checksum means "not computed" and is accepted,
+/// as RFC 768 allows).
+std::optional<UdpDatagram> decode_udp(BytesView data, std::uint32_t src_ip,
+                                      std::uint32_t dst_ip);
+
+}  // namespace dtr::net

@@ -1,0 +1,375 @@
+#include "proto/codec.hpp"
+
+#include <cstring>
+
+namespace dtr::proto {
+
+namespace {
+
+void encode_endpoint(ByteWriter& w, const Endpoint& e) {
+  w.u32le(e.ip);
+  w.u16le(e.port);
+}
+
+Endpoint decode_endpoint(ByteReader& r) {
+  Endpoint e;
+  e.ip = r.u32le();
+  e.port = r.u16le();
+  return e;
+}
+
+void encode_file_id(ByteWriter& w, const FileId& id) {
+  w.raw(id.bytes.data(), id.bytes.size());
+}
+
+FileId decode_file_id(ByteReader& r) {
+  FileId id;
+  BytesView v = r.raw(16);
+  if (v.size() == 16) std::memcpy(id.bytes.data(), v.data(), 16);
+  return id;
+}
+
+void encode_file_entry(ByteWriter& w, const FileEntry& f) {
+  encode_file_id(w, f.file_id);
+  w.u32le(f.client_id);
+  w.u16le(f.port);
+  encode_tag_list(w, f.tags);
+}
+
+FileEntry decode_file_entry(ByteReader& r) {
+  FileEntry f;
+  f.file_id = decode_file_id(r);
+  f.client_id = r.u32le();
+  f.port = r.u16le();
+  f.tags = decode_tag_list(r);
+  return f;
+}
+
+struct BodyEncoder {
+  ByteWriter& w;
+
+  void operator()(const ServStatReq& m) { w.u32le(m.challenge); }
+  void operator()(const ServStatRes& m) {
+    w.u32le(m.challenge);
+    w.u32le(m.users);
+    w.u32le(m.files);
+  }
+  void operator()(const ServerDescReq&) {}
+  void operator()(const ServerDescRes& m) {
+    w.str16(m.name);
+    w.str16(m.description);
+  }
+  void operator()(const GetServerList&) {}
+  void operator()(const ServerList& m) {
+    w.u8(static_cast<std::uint8_t>(m.servers.size()));
+    for (const auto& s : m.servers) encode_endpoint(w, s);
+  }
+  void operator()(const FileSearchReq& m) { encode_search_expr(w, *m.expr); }
+  void operator()(const FileSearchRes& m) {
+    w.u32le(static_cast<std::uint32_t>(m.results.size()));
+    for (const auto& f : m.results) encode_file_entry(w, f);
+  }
+  void operator()(const GetSourcesReq& m) {
+    for (const auto& id : m.file_ids) encode_file_id(w, id);
+  }
+  void operator()(const FoundSourcesRes& m) {
+    encode_file_id(w, m.file_id);
+    w.u8(static_cast<std::uint8_t>(m.sources.size()));
+    for (const auto& s : m.sources) encode_endpoint(w, s);
+  }
+  void operator()(const PublishReq& m) {
+    w.u32le(static_cast<std::uint32_t>(m.files.size()));
+    for (const auto& f : m.files) encode_file_entry(w, f);
+  }
+  void operator()(const PublishAck& m) { w.u32le(m.accepted); }
+};
+
+}  // namespace
+
+Opcode opcode_of(const Message& m) {
+  struct Visitor {
+    Opcode operator()(const ServStatReq&) { return kOpGlobServStatReq; }
+    Opcode operator()(const ServStatRes&) { return kOpGlobServStatRes; }
+    Opcode operator()(const ServerDescReq&) { return kOpServerDescReq; }
+    Opcode operator()(const ServerDescRes&) { return kOpServerDescRes; }
+    Opcode operator()(const GetServerList&) { return kOpGetServerList; }
+    Opcode operator()(const ServerList&) { return kOpServerList; }
+    Opcode operator()(const FileSearchReq&) { return kOpGlobSearchReq; }
+    Opcode operator()(const FileSearchRes&) { return kOpGlobSearchRes; }
+    Opcode operator()(const GetSourcesReq&) { return kOpGlobGetSources; }
+    Opcode operator()(const FoundSourcesRes&) { return kOpGlobFoundSources; }
+    Opcode operator()(const PublishReq&) { return kOpGlobPublish; }
+    Opcode operator()(const PublishAck&) { return kOpGlobPublishAck; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+namespace {
+// FileSearchReq owns a unique_ptr and is handled before visitation; the
+// visitor still needs an overload for it to satisfy std::visit, but that
+// branch is unreachable.
+struct MessageCopier {
+  Message operator()(const FileSearchReq& req) const {
+    return FileSearchReq{req.expr ? req.expr->clone() : nullptr};
+  }
+  template <typename T>
+  Message operator()(const T& v) const {
+    return T{v};
+  }
+};
+}  // namespace
+
+Message clone_message(const Message& m) {
+  return std::visit(MessageCopier{}, m);
+}
+
+bool is_query(const Message& m) {
+  switch (opcode_of(m)) {
+    case kOpGlobServStatReq:
+    case kOpServerDescReq:
+    case kOpGetServerList:
+    case kOpGlobSearchReq:
+    case kOpGlobGetSources:
+    case kOpGlobPublish:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Family family_of(const Message& m) {
+  switch (opcode_of(m)) {
+    case kOpGlobServStatReq:
+    case kOpGlobServStatRes:
+    case kOpServerDescReq:
+    case kOpServerDescRes:
+    case kOpGetServerList:
+    case kOpServerList:
+      return Family::kManagement;
+    case kOpGlobSearchReq:
+    case kOpGlobSearchRes:
+      return Family::kFileSearch;
+    case kOpGlobGetSources:
+    case kOpGlobFoundSources:
+      return Family::kSourceSearch;
+    default:
+      return Family::kAnnouncement;
+  }
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kManagement:
+      return "management";
+    case Family::kFileSearch:
+      return "file-search";
+    case Family::kSourceSearch:
+      return "source-search";
+    case Family::kAnnouncement:
+      return "announcement";
+  }
+  return "?";
+}
+
+Bytes encode_message(const Message& m) {
+  ByteWriter w(64);
+  w.u8(kProtoEdonkey);
+  w.u8(static_cast<std::uint8_t>(opcode_of(m)));
+  std::visit(BodyEncoder{w}, m);
+  return std::move(w).take();
+}
+
+const char* decode_error_name(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone:
+      return "none";
+    case DecodeError::kTooShort:
+      return "too-short";
+    case DecodeError::kBadMarker:
+      return "bad-marker";
+    case DecodeError::kUnsupportedDialect:
+      return "unsupported-dialect";
+    case DecodeError::kUnknownOpcode:
+      return "unknown-opcode";
+    case DecodeError::kLengthMismatch:
+      return "length-mismatch";
+    case DecodeError::kMalformedBody:
+      return "malformed-body";
+    case DecodeError::kTrailingGarbage:
+      return "trailing-garbage";
+  }
+  return "?";
+}
+
+DecodeError validate_structure(BytesView d) {
+  if (d.size() < 2) return DecodeError::kTooShort;
+  if (d[0] == kProtoEmuleExt || d[0] == 0xD4 /* compressed dialect */) {
+    return DecodeError::kUnsupportedDialect;
+  }
+  if (d[0] != kProtoEdonkey) return DecodeError::kBadMarker;
+  const std::uint8_t op = d[1];
+  if (!opcode_known(op)) return DecodeError::kUnknownOpcode;
+  const std::size_t body = d.size() - 2;
+
+  // Per-opcode length plausibility ("structural validation of messages,
+  // based on their expected length, for example" — paper §2.3).
+  switch (op) {
+    case kOpGlobServStatReq:
+      if (body != 4) return DecodeError::kLengthMismatch;
+      break;
+    case kOpGlobServStatRes:
+      if (body != 12) return DecodeError::kLengthMismatch;
+      break;
+    case kOpServerDescReq:
+    case kOpGetServerList:
+      if (body != 0) return DecodeError::kLengthMismatch;
+      break;
+    case kOpServerDescRes:
+      if (body < 4) return DecodeError::kLengthMismatch;  // two str16 headers
+      break;
+    case kOpServerList:
+      if (body < 1 || (body - 1) % 6 != 0) return DecodeError::kLengthMismatch;
+      break;
+    case kOpGlobSearchReq:
+      if (body < 2) return DecodeError::kLengthMismatch;  // smallest expr node
+      break;
+    case kOpGlobSearchRes:
+      if (body < 4) return DecodeError::kLengthMismatch;  // result count
+      break;
+    case kOpGlobGetSources:
+      if (body == 0 || body % 16 != 0) return DecodeError::kLengthMismatch;
+      break;
+    case kOpGlobFoundSources:
+      if (body < 17 || (body - 17) % 6 != 0) return DecodeError::kLengthMismatch;
+      break;
+    case kOpGlobPublish:
+      if (body < 4) return DecodeError::kLengthMismatch;
+      break;
+    case kOpGlobPublishAck:
+      if (body != 4) return DecodeError::kLengthMismatch;
+      break;
+    default:
+      return DecodeError::kUnknownOpcode;
+  }
+  return DecodeError::kNone;
+}
+
+DecodeResult decode_datagram(BytesView d) {
+  DecodeResult out;
+  out.error = validate_structure(d);
+  if (out.error != DecodeError::kNone) return out;
+
+  const std::uint8_t op = d[1];
+  ByteReader r(d.subspan(2));
+  Message m = ServerDescReq{};
+
+  switch (op) {
+    case kOpGlobServStatReq: {
+      ServStatReq v;
+      v.challenge = r.u32le();
+      m = v;
+      break;
+    }
+    case kOpGlobServStatRes: {
+      ServStatRes v;
+      v.challenge = r.u32le();
+      v.users = r.u32le();
+      v.files = r.u32le();
+      m = v;
+      break;
+    }
+    case kOpServerDescReq:
+      m = ServerDescReq{};
+      break;
+    case kOpServerDescRes: {
+      ServerDescRes v;
+      v.name = r.str16();
+      v.description = r.str16();
+      m = std::move(v);
+      break;
+    }
+    case kOpGetServerList:
+      m = GetServerList{};
+      break;
+    case kOpServerList: {
+      ServerList v;
+      std::uint8_t n = r.u8();
+      v.servers.reserve(n);
+      for (std::uint8_t i = 0; i < n && r.ok(); ++i)
+        v.servers.push_back(decode_endpoint(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpGlobSearchReq: {
+      FileSearchReq v;
+      v.expr = decode_search_expr(r);
+      if (!v.expr) r.fail();
+      m = std::move(v);
+      break;
+    }
+    case kOpGlobSearchRes: {
+      FileSearchRes v;
+      std::uint32_t n = r.u32le();
+      if (n > r.remaining() / 22) {  // entry is >= 22 bytes on the wire
+        r.fail();
+        break;
+      }
+      v.results.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        v.results.push_back(decode_file_entry(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpGlobGetSources: {
+      GetSourcesReq v;
+      while (r.ok() && r.remaining() >= 16) v.file_ids.push_back(decode_file_id(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpGlobFoundSources: {
+      FoundSourcesRes v;
+      v.file_id = decode_file_id(r);
+      std::uint8_t n = r.u8();
+      v.sources.reserve(n);
+      for (std::uint8_t i = 0; i < n && r.ok(); ++i)
+        v.sources.push_back(decode_endpoint(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpGlobPublish: {
+      PublishReq v;
+      std::uint32_t n = r.u32le();
+      if (n > r.remaining() / 22) {
+        r.fail();
+        break;
+      }
+      v.files.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        v.files.push_back(decode_file_entry(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpGlobPublishAck: {
+      PublishAck v;
+      v.accepted = r.u32le();
+      m = v;
+      break;
+    }
+    default:
+      out.error = DecodeError::kUnknownOpcode;
+      return out;
+  }
+
+  if (!r.ok()) {
+    out.error = DecodeError::kMalformedBody;
+    return out;
+  }
+  if (!r.at_end()) {
+    out.error = DecodeError::kTrailingGarbage;
+    return out;
+  }
+  out.message = std::move(m);
+  return out;
+}
+
+}  // namespace dtr::proto

@@ -1,0 +1,104 @@
+#include "proto/fault.hpp"
+
+#include "proto/opcodes.hpp"
+
+namespace dtr::proto {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBadMarker:
+      return "bad-marker";
+    case FaultKind::kBadOpcode:
+      return "bad-opcode";
+    case FaultKind::kPadGarbage:
+      return "pad-garbage";
+    case FaultKind::kCorruptBody:
+      return "corrupt-body";
+  }
+  return "?";
+}
+
+FaultProfile FaultProfile::paper_calibrated() {
+  // Target: 0.68 % of *all dataset messages* undecodable, 78 % of which
+  // structural.  Only client queries are faulted (the server's own encoder
+  // is correct), and answers are roughly half of all messages, so the
+  // per-query fault rate must be about twice the target.  kCorruptBody
+  // flips body bytes and only *usually* breaks the decode; pad-garbage
+  // lands as a structural length mismatch on fixed-length opcodes and as
+  // an effective trailing-garbage failure on variable-length ones.
+  // Structural-majority mix: marker/opcode faults always fail validation;
+  // truncation fails structurally only on opcodes with strong length
+  // expectations; padding and body flips mostly surface at effective
+  // decode.  Weights solve for ~78 % structural share of failures.
+  FaultProfile p;
+  p.truncate = 0.0020;
+  p.bad_marker = 0.0050;
+  p.bad_opcode = 0.0040;
+  p.pad_garbage = 0.0015;
+  p.corrupt_body = 0.0020;
+  return p;
+}
+
+FaultKind pick_fault(const FaultProfile& profile, Rng& rng) {
+  double u = rng.uniform();
+  if ((u -= profile.truncate) < 0) return FaultKind::kTruncate;
+  if ((u -= profile.bad_marker) < 0) return FaultKind::kBadMarker;
+  if ((u -= profile.bad_opcode) < 0) return FaultKind::kBadOpcode;
+  if ((u -= profile.pad_garbage) < 0) return FaultKind::kPadGarbage;
+  if ((u -= profile.corrupt_body) < 0) return FaultKind::kCorruptBody;
+  return FaultKind::kNone;
+}
+
+FaultKind apply_fault(Bytes& d, FaultKind kind, Rng& rng) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return FaultKind::kNone;
+    case FaultKind::kTruncate: {
+      if (d.size() < 2) return FaultKind::kNone;
+      // Keep at least 1 byte so the datagram still reaches the decoder.
+      std::size_t keep = 1 + rng.below(d.size() - 1);
+      d.resize(keep);
+      return FaultKind::kTruncate;
+    }
+    case FaultKind::kBadMarker: {
+      if (d.empty()) return FaultKind::kNone;
+      std::uint8_t bad;
+      do {
+        bad = static_cast<std::uint8_t>(rng.below(256));
+      } while (bad == kProtoEdonkey);
+      d[0] = bad;
+      return FaultKind::kBadMarker;
+    }
+    case FaultKind::kBadOpcode: {
+      if (d.size() < 2) return FaultKind::kNone;
+      std::uint8_t bad;
+      do {
+        bad = static_cast<std::uint8_t>(rng.below(256));
+      } while (opcode_known(bad));
+      d[1] = bad;
+      return FaultKind::kBadOpcode;
+    }
+    case FaultKind::kPadGarbage: {
+      std::size_t extra = 1 + rng.below(16);
+      for (std::size_t i = 0; i < extra; ++i)
+        d.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      return FaultKind::kPadGarbage;
+    }
+    case FaultKind::kCorruptBody: {
+      if (d.size() < 3) return FaultKind::kNone;
+      std::size_t flips = 1 + rng.below(4);
+      for (std::size_t i = 0; i < flips; ++i) {
+        std::size_t pos = 2 + rng.below(d.size() - 2);
+        d[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      return FaultKind::kCorruptBody;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+}  // namespace dtr::proto

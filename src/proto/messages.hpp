@@ -1,0 +1,126 @@
+// Application-level message model: the four eDonkey message families
+// (paper §2.1): management, file searches, source searches, announcements.
+//
+// Messages holding a search expression own it through a unique_ptr, so the
+// Message variant is move-only; `clone_message` provides deep copies where
+// a test or a retransmission model needs one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "proto/opcodes.hpp"
+#include "proto/search_expr.hpp"
+#include "proto/tags.hpp"
+
+namespace dtr::proto {
+
+/// One (ip, port) endpoint as eDonkey transmits it.
+struct Endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  bool operator==(const Endpoint&) const = default;
+};
+
+// --- Management family ------------------------------------------------------
+
+struct ServStatReq {
+  std::uint32_t challenge = 0;
+  bool operator==(const ServStatReq&) const = default;
+};
+struct ServStatRes {
+  std::uint32_t challenge = 0;
+  std::uint32_t users = 0;
+  std::uint32_t files = 0;
+  bool operator==(const ServStatRes&) const = default;
+};
+struct ServerDescReq {
+  bool operator==(const ServerDescReq&) const = default;
+};
+struct ServerDescRes {
+  std::string name;
+  std::string description;
+  bool operator==(const ServerDescRes&) const = default;
+};
+struct GetServerList {
+  bool operator==(const GetServerList&) const = default;
+};
+struct ServerList {
+  std::vector<Endpoint> servers;
+  bool operator==(const ServerList&) const = default;
+};
+
+// --- File-search family -----------------------------------------------------
+
+struct FileSearchReq {
+  SearchExprPtr expr;  // never null in a valid message
+};
+
+/// One file entry in a search result (also the publish entry payload).
+struct FileEntry {
+  FileId file_id;
+  ClientId client_id = 0;  // a provider of the file
+  std::uint16_t port = 0;
+  TagList tags;            // filename, size, type, availability, ...
+  bool operator==(const FileEntry&) const = default;
+};
+
+struct FileSearchRes {
+  std::vector<FileEntry> results;
+  bool operator==(const FileSearchRes&) const = default;
+};
+
+// --- Source-search family ---------------------------------------------------
+
+struct GetSourcesReq {
+  std::vector<FileId> file_ids;  // clients may batch several fileIDs
+  bool operator==(const GetSourcesReq&) const = default;
+};
+struct FoundSourcesRes {
+  FileId file_id;
+  std::vector<Endpoint> sources;  // clientID is carried in Endpoint::ip
+  bool operator==(const FoundSourcesRes&) const = default;
+};
+
+// --- Announcement family (dialect extension; see opcodes.hpp) ----------------
+
+struct PublishReq {
+  std::vector<FileEntry> files;
+  bool operator==(const PublishReq&) const = default;
+};
+struct PublishAck {
+  std::uint32_t accepted = 0;
+  bool operator==(const PublishAck&) const = default;
+};
+
+// -----------------------------------------------------------------------------
+
+using Message =
+    std::variant<ServStatReq, ServStatRes, ServerDescReq, ServerDescRes,
+                 GetServerList, ServerList, FileSearchReq, FileSearchRes,
+                 GetSourcesReq, FoundSourcesRes, PublishReq, PublishAck>;
+
+/// The opcode a message encodes to.
+Opcode opcode_of(const Message& m);
+
+/// Deep copy (needed because FileSearchReq owns a unique_ptr).
+Message clone_message(const Message& m);
+
+/// True for messages that flow client -> server (queries), false for
+/// server -> client (answers).  The paper's dataset distinguishes the two.
+bool is_query(const Message& m);
+
+/// Family classification used by traffic statistics.
+enum class Family : std::uint8_t {
+  kManagement,
+  kFileSearch,
+  kSourceSearch,
+  kAnnouncement,
+};
+Family family_of(const Message& m);
+const char* family_name(Family f);
+
+}  // namespace dtr::proto

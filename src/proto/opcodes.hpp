@@ -1,0 +1,75 @@
+// eDonkey UDP protocol constants.
+//
+// Opcode values follow the unofficial protocol specification by Kulbak &
+// Bickson ("The eMule protocol specification", 2005) that the paper cites as
+// its reference [10].  The server-UDP dialect historically has no publish
+// message (clients announce shared files over TCP); because this
+// reproduction captures UDP only — like the paper — but still must observe
+// announcements (one of the paper's four message families), we add a
+// documented dialect extension OP_GLOBPUBLISH/OP_GLOBPUBLISHACK carrying the
+// same payload as the TCP offer-files message.  See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+namespace dtr::proto {
+
+/// First byte of every eDonkey datagram.
+enum Marker : std::uint8_t {
+  kProtoEdonkey = 0xE3,   ///< classic eDonkey protocol
+  kProtoEmuleExt = 0xC5,  ///< eMule extensions (observed, not decoded)
+};
+
+/// Second byte: the operation code.
+enum Opcode : std::uint8_t {
+  // Management family.
+  kOpGlobServStatReq = 0x96,   ///< client -> server: ping + stats request
+  kOpGlobServStatRes = 0x97,   ///< server -> client: users/files counts
+  kOpServerDescReq = 0xA2,     ///< client -> server: name/description request
+  kOpServerDescRes = 0xA3,     ///< server -> client: name + description
+  kOpGetServerList = 0xA0,     ///< client -> server: known-servers request
+  kOpServerList = 0xA1,        ///< server -> client: list of (ip, port)
+
+  // File-search family (search by metadata).
+  kOpGlobSearchReq = 0x98,     ///< client -> server: search expression
+  kOpGlobSearchRes = 0x99,     ///< server -> client: list of matching files
+
+  // Source-search family (search by fileID).
+  kOpGlobGetSources = 0x9A,    ///< client -> server: fileID(s)
+  kOpGlobFoundSources = 0x9B,  ///< server -> client: sources for a fileID
+
+  // Announcement family (dialect extension, see header comment).
+  kOpGlobPublish = 0x9C,       ///< client -> server: files the client shares
+  kOpGlobPublishAck = 0x9D,    ///< server -> client: number accepted
+};
+
+/// True if the opcode is one this decoder knows how to parse.
+constexpr bool opcode_known(std::uint8_t op) {
+  switch (op) {
+    case kOpGlobServStatReq:
+    case kOpGlobServStatRes:
+    case kOpServerDescReq:
+    case kOpServerDescRes:
+    case kOpGetServerList:
+    case kOpServerList:
+    case kOpGlobSearchReq:
+    case kOpGlobSearchRes:
+    case kOpGlobGetSources:
+    case kOpGlobFoundSources:
+    case kOpGlobPublish:
+    case kOpGlobPublishAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// clientID semantics (paper §2.1): the client's IPv4 address when directly
+/// reachable ("high ID"), else a server-assigned number below 2^24 ("low ID").
+using ClientId = std::uint32_t;
+
+constexpr ClientId kLowIdThreshold = 1u << 24;
+
+constexpr bool is_low_id(ClientId id) { return id < kLowIdThreshold; }
+
+}  // namespace dtr::proto

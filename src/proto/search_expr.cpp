@@ -1,0 +1,188 @@
+#include "proto/search_expr.hpp"
+
+namespace dtr::proto {
+
+namespace {
+std::string special(TagName n) {
+  return std::string(1, static_cast<char>(static_cast<std::uint8_t>(n)));
+}
+}  // namespace
+
+SearchExprPtr SearchExpr::keyword(std::string word) {
+  auto e = std::make_unique<SearchExpr>();
+  e->kind = Kind::kKeyword;
+  e->text = std::move(word);
+  return e;
+}
+
+SearchExprPtr SearchExpr::meta_string(std::string value, TagName tag) {
+  auto e = std::make_unique<SearchExpr>();
+  e->kind = Kind::kMetaString;
+  e->text = std::move(value);
+  e->tag_name = special(tag);
+  return e;
+}
+
+SearchExprPtr SearchExpr::numeric(std::uint32_t value, NumCmp cmp, TagName tag) {
+  auto e = std::make_unique<SearchExpr>();
+  e->kind = Kind::kMetaNumeric;
+  e->number = value;
+  e->cmp = cmp;
+  e->tag_name = special(tag);
+  return e;
+}
+
+SearchExprPtr SearchExpr::boolean(BoolOp op, SearchExprPtr l, SearchExprPtr r) {
+  auto e = std::make_unique<SearchExpr>();
+  e->kind = Kind::kBool;
+  e->op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+SearchExprPtr SearchExpr::keywords(const std::vector<std::string>& words) {
+  if (words.empty()) return nullptr;
+  SearchExprPtr acc = keyword(words[0]);
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    acc = boolean(BoolOp::kAnd, std::move(acc), keyword(words[i]));
+  }
+  return acc;
+}
+
+SearchExprPtr SearchExpr::clone() const {
+  auto e = std::make_unique<SearchExpr>();
+  e->kind = kind;
+  e->op = op;
+  e->text = text;
+  e->tag_name = tag_name;
+  e->number = number;
+  e->cmp = cmp;
+  if (left) e->left = left->clone();
+  if (right) e->right = right->clone();
+  return e;
+}
+
+bool SearchExpr::operator==(const SearchExpr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kBool: {
+      if (op != other.op) return false;
+      bool l = (left && other.left) ? (*left == *other.left)
+                                    : (left == nullptr && other.left == nullptr);
+      bool r = (right && other.right)
+                   ? (*right == *other.right)
+                   : (right == nullptr && other.right == nullptr);
+      return l && r;
+    }
+    case Kind::kKeyword:
+      return text == other.text;
+    case Kind::kMetaString:
+      return text == other.text && tag_name == other.tag_name;
+    case Kind::kMetaNumeric:
+      return number == other.number && cmp == other.cmp &&
+             tag_name == other.tag_name;
+  }
+  return false;
+}
+
+std::size_t SearchExpr::node_count() const {
+  std::size_t n = 1;
+  if (left) n += left->node_count();
+  if (right) n += right->node_count();
+  return n;
+}
+
+void SearchExpr::collect_keywords(std::vector<std::string>& out) const {
+  switch (kind) {
+    case Kind::kBool:
+      if (left) left->collect_keywords(out);
+      if (right) right->collect_keywords(out);
+      break;
+    case Kind::kKeyword:
+      out.push_back(text);
+      break;
+    default:
+      break;
+  }
+}
+
+void encode_search_expr(ByteWriter& w, const SearchExpr& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  switch (e.kind) {
+    case SearchExpr::Kind::kBool:
+      w.u8(static_cast<std::uint8_t>(e.op));
+      encode_search_expr(w, *e.left);
+      encode_search_expr(w, *e.right);
+      break;
+    case SearchExpr::Kind::kKeyword:
+      w.str16(e.text);
+      break;
+    case SearchExpr::Kind::kMetaString:
+      w.str16(e.text);
+      w.str16(e.tag_name);
+      break;
+    case SearchExpr::Kind::kMetaNumeric:
+      w.u32le(e.number);
+      w.u8(static_cast<std::uint8_t>(e.cmp));
+      w.str16(e.tag_name);
+      break;
+  }
+}
+
+SearchExprPtr decode_search_expr(ByteReader& r, int max_depth) {
+  if (!r.ok()) return nullptr;  // don't keep exploring after a failure
+  if (max_depth <= 0) {
+    r.fail();
+    return nullptr;
+  }
+  auto e = std::make_unique<SearchExpr>();
+  auto kind = r.u8();
+  switch (kind) {
+    case 0x00: {
+      e->kind = SearchExpr::Kind::kBool;
+      auto op = r.u8();
+      if (op > 0x02) {
+        r.fail();
+        return nullptr;
+      }
+      e->op = static_cast<BoolOp>(op);
+      e->left = decode_search_expr(r, max_depth - 1);
+      if (!r.ok()) return nullptr;
+      e->right = decode_search_expr(r, max_depth - 1);
+      if (!r.ok()) return nullptr;
+      break;
+    }
+    case 0x01:
+      e->kind = SearchExpr::Kind::kKeyword;
+      e->text = r.str16();
+      if (e->text.empty()) r.fail();  // empty keyword is not searchable
+      break;
+    case 0x02:
+      e->kind = SearchExpr::Kind::kMetaString;
+      e->text = r.str16();
+      e->tag_name = r.str16();
+      if (e->tag_name.empty()) r.fail();
+      break;
+    case 0x03: {
+      e->kind = SearchExpr::Kind::kMetaNumeric;
+      e->number = r.u32le();
+      auto cmp = r.u8();
+      if (cmp != 0x01 && cmp != 0x02) {
+        r.fail();
+        return nullptr;
+      }
+      e->cmp = static_cast<NumCmp>(cmp);
+      e->tag_name = r.str16();
+      if (e->tag_name.empty()) r.fail();
+      break;
+    }
+    default:
+      r.fail();
+      return nullptr;
+  }
+  if (!r.ok()) return nullptr;
+  return e;
+}
+
+}  // namespace dtr::proto

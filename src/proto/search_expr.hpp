@@ -1,0 +1,84 @@
+// eDonkey search expressions.
+//
+// A file-search request carries a serialized boolean expression tree over
+// string terms and metadata constraints ("the protocol embeds complex
+// encoding optimisations", paper §2.3).  Wire grammar, following the eMule
+// protocol specification:
+//
+//   expr     := 0x00 op expr expr          (boolean node: op 0x00=AND,
+//                                           0x01=OR, 0x02=ANDNOT)
+//            |  0x01 str16                 (keyword term)
+//            |  0x02 str16 str16           (metadata string constraint:
+//                                           value, tag name)
+//            |  0x03 u32 u8 str16          (numeric constraint: value,
+//                                           comparator, tag name)
+//
+// Comparators for numeric constraints: 0x01 = min (>=), 0x02 = max (<=).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "proto/tags.hpp"
+
+namespace dtr::proto {
+
+enum class BoolOp : std::uint8_t { kAnd = 0x00, kOr = 0x01, kAndNot = 0x02 };
+enum class NumCmp : std::uint8_t { kMin = 0x01, kMax = 0x02 };
+
+struct SearchExpr;
+using SearchExprPtr = std::unique_ptr<SearchExpr>;
+
+/// One node of the expression tree.
+struct SearchExpr {
+  enum class Kind : std::uint8_t {
+    kBool = 0x00,
+    kKeyword = 0x01,
+    kMetaString = 0x02,
+    kMetaNumeric = 0x03,
+  };
+
+  Kind kind = Kind::kKeyword;
+
+  // kBool
+  BoolOp op = BoolOp::kAnd;
+  SearchExprPtr left;
+  SearchExprPtr right;
+
+  // kKeyword / kMetaString
+  std::string text;
+  std::string tag_name;  // kMetaString / kMetaNumeric
+
+  // kMetaNumeric
+  std::uint32_t number = 0;
+  NumCmp cmp = NumCmp::kMin;
+
+  // -- constructors -------------------------------------------------------
+  static SearchExprPtr keyword(std::string word);
+  static SearchExprPtr meta_string(std::string value, TagName tag);
+  static SearchExprPtr numeric(std::uint32_t value, NumCmp cmp, TagName tag);
+  static SearchExprPtr boolean(BoolOp op, SearchExprPtr l, SearchExprPtr r);
+
+  /// AND-chain of keywords — the overwhelmingly common real-world query.
+  static SearchExprPtr keywords(const std::vector<std::string>& words);
+
+  [[nodiscard]] SearchExprPtr clone() const;
+  bool operator==(const SearchExpr& other) const;
+
+  /// Number of nodes (used to bound decoding of hostile input).
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Collect all keyword terms, left to right.
+  void collect_keywords(std::vector<std::string>& out) const;
+};
+
+void encode_search_expr(ByteWriter& w, const SearchExpr& e);
+
+/// Decodes one expression; enforces a depth limit so forged deeply-nested
+/// input cannot blow the stack.
+SearchExprPtr decode_search_expr(ByteReader& r, int max_depth = 32);
+
+}  // namespace dtr::proto

@@ -1,0 +1,91 @@
+#include "proto/tags.hpp"
+
+namespace dtr::proto {
+
+namespace {
+std::string special_name(TagName n) {
+  return std::string(1, static_cast<char>(static_cast<std::uint8_t>(n)));
+}
+}  // namespace
+
+Tag Tag::str(TagName n, std::string v) {
+  return Tag{special_name(n), std::move(v)};
+}
+Tag Tag::u32(TagName n, std::uint32_t v) { return Tag{special_name(n), v}; }
+Tag Tag::str_named(std::string name, std::string v) {
+  return Tag{std::move(name), std::move(v)};
+}
+Tag Tag::u32_named(std::string name, std::uint32_t v) {
+  return Tag{std::move(name), v};
+}
+
+const Tag* find_tag(const TagList& tags, TagName name) {
+  for (const Tag& t : tags) {
+    if (t.has_special_name(name)) return &t;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> tag_string(const TagList& tags, TagName name) {
+  const Tag* t = find_tag(tags, name);
+  if (t == nullptr || !t->is_string()) return std::nullopt;
+  return t->as_string();
+}
+
+std::optional<std::uint32_t> tag_u32(const TagList& tags, TagName name) {
+  const Tag* t = find_tag(tags, name);
+  if (t == nullptr || !t->is_u32()) return std::nullopt;
+  return t->as_u32();
+}
+
+void encode_tag(ByteWriter& w, const Tag& tag) {
+  if (tag.is_string()) {
+    w.u8(static_cast<std::uint8_t>(TagType::kString));
+  } else {
+    w.u8(static_cast<std::uint8_t>(TagType::kU32));
+  }
+  w.str16(tag.name);
+  if (tag.is_string()) {
+    w.str16(tag.as_string());
+  } else {
+    w.u32le(tag.as_u32());
+  }
+}
+
+void encode_tag_list(ByteWriter& w, const TagList& tags) {
+  w.u32le(static_cast<std::uint32_t>(tags.size()));
+  for (const Tag& t : tags) encode_tag(w, t);
+}
+
+Tag decode_tag(ByteReader& r) {
+  Tag tag;
+  auto type = r.u8();
+  tag.name = r.str16();
+  if (type == static_cast<std::uint8_t>(TagType::kString)) {
+    tag.value = r.str16();
+  } else if (type == static_cast<std::uint8_t>(TagType::kU32)) {
+    tag.value = r.u32le();
+  } else {
+    r.fail();  // unknown tag type: the classic server dialect has only two
+  }
+  if (tag.name.empty()) r.fail();  // a tag must be named
+  return tag;
+}
+
+TagList decode_tag_list(ByteReader& r) {
+  std::uint32_t count = r.u32le();
+  // Each tag occupies >= 4 bytes on the wire; a count larger than the
+  // remaining payload could allocate unbounded memory on forged input.
+  if (count > r.remaining() / 4) {
+    r.fail();
+    return {};
+  }
+  TagList tags;
+  tags.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    tags.push_back(decode_tag(r));
+  }
+  return tags;
+}
+
+}  // namespace dtr::proto

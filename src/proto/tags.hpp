@@ -1,0 +1,88 @@
+// eDonkey metadata tags.
+//
+// Files in search results and publish messages carry a list of tags.  A tag
+// is (type, name, value); well-known names are single special bytes
+// (0x01 = filename, 0x02 = filesize, ...), other names are strings.  Only
+// the two value types the classic server protocol uses are implemented:
+// string (0x02) and 32-bit integer (0x03).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dtr::proto {
+
+/// Well-known single-byte tag names.
+enum class TagName : std::uint8_t {
+  kFileName = 0x01,
+  kFileSize = 0x02,
+  kFileType = 0x03,
+  kFileFormat = 0x04,
+  kVersion = 0x11,
+  kPort = 0x0F,
+  kDescription = 0x0B,
+  kAvailability = 0x15,
+  kCompleteSources = 0x30,
+};
+
+enum class TagType : std::uint8_t {
+  kString = 0x02,
+  kU32 = 0x03,
+};
+
+/// A metadata tag.  `name` is either a special byte (stored as a one-byte
+/// string) or a free-form string; the helpers below hide the difference.
+struct Tag {
+  std::string name;                              // raw wire name bytes
+  std::variant<std::string, std::uint32_t> value;
+
+  static Tag str(TagName n, std::string v);
+  static Tag u32(TagName n, std::uint32_t v);
+  static Tag str_named(std::string name, std::string v);
+  static Tag u32_named(std::string name, std::uint32_t v);
+
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value);
+  }
+  [[nodiscard]] bool is_u32() const {
+    return std::holds_alternative<std::uint32_t>(value);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value);
+  }
+  [[nodiscard]] std::uint32_t as_u32() const {
+    return std::get<std::uint32_t>(value);
+  }
+  [[nodiscard]] bool has_special_name(TagName n) const {
+    return name.size() == 1 &&
+           static_cast<std::uint8_t>(name[0]) == static_cast<std::uint8_t>(n);
+  }
+
+  bool operator==(const Tag&) const = default;
+};
+
+using TagList = std::vector<Tag>;
+
+/// Find the first tag with the given special name.
+const Tag* find_tag(const TagList& tags, TagName name);
+
+/// Convenience accessors used throughout the server and analysis code.
+std::optional<std::string> tag_string(const TagList& tags, TagName name);
+std::optional<std::uint32_t> tag_u32(const TagList& tags, TagName name);
+
+/// Wire encoding: u8 type, u16le name length, name bytes, then the value
+/// (str16 for strings, u32le for integers).
+void encode_tag(ByteWriter& w, const Tag& tag);
+void encode_tag_list(ByteWriter& w, const TagList& tags);
+
+/// Decoding; on malformed input the reader's failure flag is set and the
+/// return value must be discarded.
+Tag decode_tag(ByteReader& r);
+TagList decode_tag_list(ByteReader& r);
+
+}  // namespace dtr::proto

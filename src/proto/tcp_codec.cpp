@@ -1,0 +1,313 @@
+#include "proto/tcp_codec.hpp"
+
+#include <cstring>
+
+#include "proto/tags.hpp"
+
+namespace dtr::proto {
+
+namespace {
+
+void encode_file_id(ByteWriter& w, const FileId& id) {
+  w.raw(id.bytes.data(), id.bytes.size());
+}
+
+FileId decode_file_id(ByteReader& r) {
+  FileId id;
+  BytesView v = r.raw(16);
+  if (v.size() == 16) std::memcpy(id.bytes.data(), v.data(), 16);
+  return id;
+}
+
+void encode_endpoint(ByteWriter& w, const Endpoint& e) {
+  w.u32le(e.ip);
+  w.u16le(e.port);
+}
+
+Endpoint decode_endpoint(ByteReader& r) {
+  Endpoint e;
+  e.ip = r.u32le();
+  e.port = r.u16le();
+  return e;
+}
+
+void encode_file_entry(ByteWriter& w, const FileEntry& f) {
+  encode_file_id(w, f.file_id);
+  w.u32le(f.client_id);
+  w.u16le(f.port);
+  encode_tag_list(w, f.tags);
+}
+
+FileEntry decode_file_entry(ByteReader& r) {
+  FileEntry f;
+  f.file_id = decode_file_id(r);
+  f.client_id = r.u32le();
+  f.port = r.u16le();
+  f.tags = decode_tag_list(r);
+  return f;
+}
+
+struct TcpBodyEncoder {
+  ByteWriter& w;
+
+  void operator()(const LoginRequest& m) {
+    w.raw(m.user_hash.bytes.data(), m.user_hash.bytes.size());
+    w.u32le(m.client_id);
+    w.u16le(m.port);
+    TagList tags = {Tag::str(TagName::kFileName, m.name),  // nickname tag
+                    Tag::u32(TagName::kVersion, m.version)};
+    encode_tag_list(w, tags);
+  }
+  void operator()(const IdChange& m) { w.u32le(m.client_id); }
+  void operator()(const ServerMessage& m) { w.str16(m.text); }
+  void operator()(const OfferFiles& m) {
+    w.u32le(static_cast<std::uint32_t>(m.files.size()));
+    for (const auto& f : m.files) encode_file_entry(w, f);
+  }
+  void operator()(const ServerStatus& m) {
+    w.u32le(m.users);
+    w.u32le(m.files);
+  }
+  void operator()(const FileSearchReq& m) { encode_search_expr(w, *m.expr); }
+  void operator()(const FileSearchRes& m) {
+    w.u32le(static_cast<std::uint32_t>(m.results.size()));
+    for (const auto& f : m.results) encode_file_entry(w, f);
+  }
+  void operator()(const GetSourcesReq& m) {
+    for (const auto& id : m.file_ids) encode_file_id(w, id);
+  }
+  void operator()(const FoundSourcesRes& m) {
+    encode_file_id(w, m.file_id);
+    w.u8(static_cast<std::uint8_t>(m.sources.size()));
+    for (const auto& s : m.sources) encode_endpoint(w, s);
+  }
+};
+
+struct TcpOpcodeOf {
+  std::uint8_t operator()(const LoginRequest&) { return kOpLoginRequest; }
+  std::uint8_t operator()(const IdChange&) { return kOpIdChange; }
+  std::uint8_t operator()(const ServerMessage&) { return kOpServerMessage; }
+  std::uint8_t operator()(const OfferFiles&) { return kOpOfferFiles; }
+  std::uint8_t operator()(const ServerStatus&) { return kOpServerStatus; }
+  std::uint8_t operator()(const FileSearchReq&) { return kOpTcpSearchRequest; }
+  std::uint8_t operator()(const FileSearchRes&) { return kOpTcpSearchResult; }
+  std::uint8_t operator()(const GetSourcesReq&) { return kOpTcpGetSources; }
+  std::uint8_t operator()(const FoundSourcesRes&) { return kOpTcpFoundSources; }
+};
+
+}  // namespace
+
+std::uint8_t tcp_opcode_of(const TcpMessage& m) {
+  return std::visit(TcpOpcodeOf{}, m);
+}
+
+Bytes encode_tcp_message(const TcpMessage& m) {
+  ByteWriter body(64);
+  body.u8(tcp_opcode_of(m));
+  std::visit(TcpBodyEncoder{body}, m);
+
+  ByteWriter w(body.size() + 5);
+  w.u8(kProtoEdonkey);
+  w.u32le(static_cast<std::uint32_t>(body.size()));
+  w.raw(body.view());
+  return std::move(w).take();
+}
+
+const char* tcp_decode_error_name(TcpDecodeError e) {
+  switch (e) {
+    case TcpDecodeError::kNone:
+      return "none";
+    case TcpDecodeError::kBadMarker:
+      return "bad-marker";
+    case TcpDecodeError::kUnknownOpcode:
+      return "unknown-opcode";
+    case TcpDecodeError::kMalformedBody:
+      return "malformed-body";
+    case TcpDecodeError::kTrailingGarbage:
+      return "trailing-garbage";
+    case TcpDecodeError::kOversizedFrame:
+      return "oversized-frame";
+  }
+  return "?";
+}
+
+TcpDecodeResult decode_tcp_frame_content(BytesView content) {
+  TcpDecodeResult out;
+  if (content.empty()) {
+    out.error = TcpDecodeError::kMalformedBody;
+    return out;
+  }
+  const std::uint8_t op = content[0];
+  if (!tcp_opcode_known(op)) {
+    out.error = TcpDecodeError::kUnknownOpcode;
+    return out;
+  }
+  ByteReader r(content.subspan(1));
+  TcpMessage m = IdChange{};
+
+  switch (op) {
+    case kOpLoginRequest: {
+      LoginRequest v;
+      BytesView hash = r.raw(16);
+      if (hash.size() == 16) std::memcpy(v.user_hash.bytes.data(), hash.data(), 16);
+      v.client_id = r.u32le();
+      v.port = r.u16le();
+      TagList tags = decode_tag_list(r);
+      if (auto name = tag_string(tags, TagName::kFileName)) v.name = *name;
+      if (auto ver = tag_u32(tags, TagName::kVersion)) v.version = *ver;
+      m = std::move(v);
+      break;
+    }
+    case kOpIdChange: {
+      IdChange v;
+      v.client_id = r.u32le();
+      m = v;
+      break;
+    }
+    case kOpServerMessage: {
+      ServerMessage v;
+      v.text = r.str16();
+      m = std::move(v);
+      break;
+    }
+    case kOpOfferFiles: {
+      OfferFiles v;
+      std::uint32_t n = r.u32le();
+      if (n > r.remaining() / 22) {
+        r.fail();
+        break;
+      }
+      v.files.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        v.files.push_back(decode_file_entry(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpServerStatus: {
+      ServerStatus v;
+      v.users = r.u32le();
+      v.files = r.u32le();
+      m = v;
+      break;
+    }
+    case kOpTcpSearchRequest: {
+      FileSearchReq v;
+      v.expr = decode_search_expr(r);
+      if (!v.expr) r.fail();
+      m = std::move(v);
+      break;
+    }
+    case kOpTcpSearchResult: {
+      FileSearchRes v;
+      std::uint32_t n = r.u32le();
+      if (n > r.remaining() / 22) {
+        r.fail();
+        break;
+      }
+      v.results.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        v.results.push_back(decode_file_entry(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpTcpGetSources: {
+      GetSourcesReq v;
+      while (r.ok() && r.remaining() >= 16) v.file_ids.push_back(decode_file_id(r));
+      m = std::move(v);
+      break;
+    }
+    case kOpTcpFoundSources: {
+      FoundSourcesRes v;
+      v.file_id = decode_file_id(r);
+      std::uint8_t n = r.u8();
+      v.sources.reserve(n);
+      for (std::uint8_t i = 0; i < n && r.ok(); ++i)
+        v.sources.push_back(decode_endpoint(r));
+      m = std::move(v);
+      break;
+    }
+    default:
+      out.error = TcpDecodeError::kUnknownOpcode;
+      return out;
+  }
+
+  if (!r.ok()) {
+    out.error = TcpDecodeError::kMalformedBody;
+    return out;
+  }
+  if (!r.at_end()) {
+    out.error = TcpDecodeError::kTrailingGarbage;
+    return out;
+  }
+  out.message = std::move(m);
+  return out;
+}
+
+void TcpMessageExtractor::feed(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  drain();
+}
+
+void TcpMessageExtractor::resync() {
+  buffer_.clear();
+  scanning_ = true;
+  ++stats_.resyncs;
+}
+
+void TcpMessageExtractor::drain() {
+  for (;;) {
+    if (scanning_) {
+      // Look for the next plausible frame header: marker byte followed by a
+      // sane length.  Heuristic, like any mid-stream resynchronisation.
+      std::size_t i = 0;
+      for (; i < buffer_.size(); ++i) {
+        if (buffer_[i] != kProtoEdonkey) continue;
+        if (buffer_.size() - i >= 6) {
+          ByteReader peek(BytesView(buffer_.data() + i + 1, 5));
+          std::uint32_t length = peek.u32le();
+          std::uint8_t op = peek.u8();
+          if (length >= 1 && length <= kMaxFrameLength && tcp_opcode_known(op)) {
+            break;  // plausible header at i
+          }
+        } else {
+          break;  // not enough bytes to judge: keep the tail, wait for more
+        }
+      }
+      stats_.bytes_skipped += i;
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (buffer_.size() < 6) return;  // undecidable yet
+      scanning_ = false;
+    }
+
+    if (buffer_.size() < 5) return;
+    if (buffer_[0] != kProtoEdonkey) {
+      // Corrupt framing where a header should be: scan forward.
+      scanning_ = true;
+      ++stats_.undecoded;
+      buffer_.erase(buffer_.begin());
+      continue;
+    }
+    ByteReader header(BytesView(buffer_.data() + 1, 4));
+    std::uint32_t length = header.u32le();
+    if (length == 0 || length > kMaxFrameLength) {
+      scanning_ = true;
+      ++stats_.undecoded;
+      buffer_.erase(buffer_.begin());
+      continue;
+    }
+    if (buffer_.size() < 5 + length) return;  // frame incomplete
+
+    TcpDecodeResult result =
+        decode_tcp_frame_content(BytesView(buffer_.data() + 5, length));
+    if (result.ok()) {
+      ++stats_.messages;
+      if (sink_) sink_(std::move(*result.message));
+    } else {
+      ++stats_.undecoded;
+    }
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(5 + length));
+  }
+}
+
+}  // namespace dtr::proto

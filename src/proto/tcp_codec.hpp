@@ -1,0 +1,156 @@
+// eDonkey over TCP (the paper's future-work direction, §4).
+//
+// TCP framing, per the eMule protocol specification: every message is
+//   [marker u8 = 0xE3][length u32le][opcode u8][body (length-1 bytes)]
+// so messages survive segmentation and several can share one segment.
+//
+// The TCP dialect carries the session-level exchanges the UDP capture never
+// sees: the login handshake (client hash + requested ID -> server-assigned
+// clientID), the authoritative share announcements (offer-files), and the
+// server's textual messages.  Search and source requests reuse the bodies
+// of their UDP counterparts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "hash/digest.hpp"
+#include "proto/messages.hpp"
+#include "proto/opcodes.hpp"
+
+namespace dtr::proto {
+
+/// TCP opcodes (classic eDonkey client<->server TCP protocol).
+enum TcpOpcode : std::uint8_t {
+  kOpLoginRequest = 0x01,
+  kOpServerMessage = 0x38,
+  kOpIdChange = 0x40,
+  kOpOfferFiles = 0x15,
+  kOpTcpSearchRequest = 0x16,
+  kOpTcpSearchResult = 0x33,
+  kOpTcpGetSources = 0x19,
+  kOpTcpFoundSources = 0x42,
+  kOpServerStatus = 0x34,
+};
+
+constexpr bool tcp_opcode_known(std::uint8_t op) {
+  switch (op) {
+    case kOpLoginRequest:
+    case kOpServerMessage:
+    case kOpIdChange:
+    case kOpOfferFiles:
+    case kOpTcpSearchRequest:
+    case kOpTcpSearchResult:
+    case kOpTcpGetSources:
+    case kOpTcpFoundSources:
+    case kOpServerStatus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- TCP-only message bodies -------------------------------------------------
+
+struct LoginRequest {
+  Digest128 user_hash;      // the client's self-generated identity hash
+  ClientId client_id = 0;   // requested ID (0 = let the server choose)
+  std::uint16_t port = 0;   // the client's TCP listen port
+  std::string name;         // nickname tag
+  std::uint32_t version = 0;
+  bool operator==(const LoginRequest&) const = default;
+};
+
+struct IdChange {
+  ClientId client_id = 0;  // the ID the server assigned (low or high)
+  bool operator==(const IdChange&) const = default;
+};
+
+struct ServerMessage {
+  std::string text;
+  bool operator==(const ServerMessage&) const = default;
+};
+
+struct OfferFiles {
+  std::vector<FileEntry> files;
+  bool operator==(const OfferFiles&) const = default;
+};
+
+struct ServerStatus {
+  std::uint32_t users = 0;
+  std::uint32_t files = 0;
+  bool operator==(const ServerStatus&) const = default;
+};
+
+using TcpMessage =
+    std::variant<LoginRequest, IdChange, ServerMessage, OfferFiles,
+                 ServerStatus, FileSearchReq, FileSearchRes, GetSourcesReq,
+                 FoundSourcesRes>;
+
+std::uint8_t tcp_opcode_of(const TcpMessage& m);
+
+/// Serialize one framed message (marker + length + opcode + body).
+Bytes encode_tcp_message(const TcpMessage& m);
+
+enum class TcpDecodeError : std::uint8_t {
+  kNone = 0,
+  kBadMarker,
+  kUnknownOpcode,
+  kMalformedBody,
+  kTrailingGarbage,
+  kOversizedFrame,
+};
+
+const char* tcp_decode_error_name(TcpDecodeError e);
+
+struct TcpDecodeResult {
+  std::optional<TcpMessage> message;
+  TcpDecodeError error = TcpDecodeError::kNone;
+  [[nodiscard]] bool ok() const { return error == TcpDecodeError::kNone; }
+};
+
+/// Decode one frame's [opcode + body] content (after length removal).
+TcpDecodeResult decode_tcp_frame_content(BytesView content);
+
+/// Incremental frame extractor over a reassembled TCP stream: feed bytes in
+/// any chunking, get complete messages out.  On a stream gap, call
+/// `resync()` — the extractor drops its partial buffer and scans for the
+/// next plausible frame header (this is why the paper couldn't easily use
+/// lossy TCP flows; with framing knowledge it is merely lossy, not fatal).
+class TcpMessageExtractor {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t undecoded = 0;
+    std::uint64_t resyncs = 0;
+    std::uint64_t bytes_skipped = 0;  // during resync scans
+  };
+
+  /// Frames larger than this are treated as corruption (real offer lists
+  /// stay far below; a bogus length would otherwise stall the stream).
+  static constexpr std::uint32_t kMaxFrameLength = 4 * 1024 * 1024;
+
+  using MessageSink = std::function<void(TcpMessage&&)>;
+
+  explicit TcpMessageExtractor(MessageSink sink) : sink_(std::move(sink)) {}
+
+  void feed(BytesView data);
+  void resync();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void drain();
+
+  MessageSink sink_;
+  Bytes buffer_;
+  bool scanning_ = false;  // after a gap: looking for the next 0xE3 header
+  Stats stats_;
+};
+
+}  // namespace dtr::proto

@@ -1,0 +1,175 @@
+#include "server/index.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace dtr::server {
+
+bool FileIndex::publish(const proto::FileEntry& entry) {
+  auto [it, is_new_file] = files_.try_emplace(entry.file_id);
+  FileRecord& record = it->second;
+  if (is_new_file) {
+    if (auto name = proto::tag_string(entry.tags, proto::TagName::kFileName))
+      record.name = *name;
+    if (auto size = proto::tag_u32(entry.tags, proto::TagName::kFileSize))
+      record.size = *size;
+    if (auto type = proto::tag_string(entry.tags, proto::TagName::kFileType))
+      record.type = *type;
+    index_keywords(entry.file_id, record.name);
+  }
+
+  Source src{entry.client_id, entry.port};
+  auto found = std::find_if(
+      record.sources.begin(), record.sources.end(),
+      [&](const Source& s) { return s.client == src.client; });
+  if (found != record.sources.end()) {
+    found->port = src.port;  // refresh
+    return false;
+  }
+  record.sources.push_back(src);
+  by_client_[entry.client_id].push_back(entry.file_id);
+  ++total_sources_;
+  return true;
+}
+
+void FileIndex::retract_client(proto::ClientId client) {
+  auto it = by_client_.find(client);
+  if (it == by_client_.end()) return;
+  for (const FileId& id : it->second) {
+    auto fit = files_.find(id);
+    if (fit == files_.end()) continue;
+    auto& sources = fit->second.sources;
+    auto src = std::find_if(sources.begin(), sources.end(), [&](const Source& s) {
+      return s.client == client;
+    });
+    if (src != sources.end()) {
+      sources.erase(src);
+      --total_sources_;
+    }
+    if (sources.empty()) {
+      unindex_file(id, fit->second);
+      files_.erase(fit);
+    }
+  }
+  by_client_.erase(it);
+}
+
+const FileRecord* FileIndex::find(const FileId& id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void FileIndex::index_keywords(const FileId& id, const std::string& name) {
+  for (const std::string& kw : tokenize_keywords(name)) {
+    keywords_[kw].push_back(id);
+  }
+}
+
+void FileIndex::unindex_file(const FileId& id, const FileRecord& record) {
+  for (const std::string& kw : tokenize_keywords(record.name)) {
+    auto it = keywords_.find(kw);
+    if (it == keywords_.end()) continue;
+    auto& postings = it->second;
+    postings.erase(std::remove(postings.begin(), postings.end(), id),
+                   postings.end());
+    if (postings.empty()) keywords_.erase(it);
+  }
+}
+
+bool FileIndex::matches(const proto::SearchExpr& expr,
+                        const FileRecord& record) {
+  using Kind = proto::SearchExpr::Kind;
+  switch (expr.kind) {
+    case Kind::kBool: {
+      bool l = expr.left != nullptr && matches(*expr.left, record);
+      bool r = expr.right != nullptr && matches(*expr.right, record);
+      switch (expr.op) {
+        case proto::BoolOp::kAnd:
+          return l && r;
+        case proto::BoolOp::kOr:
+          return l || r;
+        case proto::BoolOp::kAndNot:
+          return l && !r;
+      }
+      return false;
+    }
+    case Kind::kKeyword: {
+      std::string lowered = to_lower(expr.text);
+      for (const std::string& kw : tokenize_keywords(record.name)) {
+        if (kw == lowered) return true;
+      }
+      return false;
+    }
+    case Kind::kMetaString: {
+      if (expr.tag_name.size() == 1 &&
+          static_cast<std::uint8_t>(expr.tag_name[0]) ==
+              static_cast<std::uint8_t>(proto::TagName::kFileType)) {
+        return to_lower(record.type) == to_lower(expr.text);
+      }
+      return false;  // other string metadata are not indexed
+    }
+    case Kind::kMetaNumeric: {
+      if (expr.tag_name.size() == 1 &&
+          static_cast<std::uint8_t>(expr.tag_name[0]) ==
+              static_cast<std::uint8_t>(proto::TagName::kFileSize)) {
+        return expr.cmp == proto::NumCmp::kMin ? record.size >= expr.number
+                                               : record.size <= expr.number;
+      }
+      if (expr.tag_name.size() == 1 &&
+          static_cast<std::uint8_t>(expr.tag_name[0]) ==
+              static_cast<std::uint8_t>(proto::TagName::kAvailability)) {
+        return expr.cmp == proto::NumCmp::kMin
+                   ? record.availability() >= expr.number
+                   : record.availability() <= expr.number;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::vector<FileId> FileIndex::search(const proto::SearchExpr& expr,
+                                      std::size_t limit) const {
+  std::vector<FileId> out;
+
+  // Use the keyword index to produce a candidate list: like real servers,
+  // scan the posting list of the *rarest* keyword in the expression, then
+  // filter candidates by full expression evaluation.  (For OR-rooted
+  // expressions this under-approximates — a file matching only the other
+  // branch is missed — which real directory servers also accepted in
+  // exchange for never scanning the whole index.)
+  std::vector<std::string> words;
+  expr.collect_keywords(words);
+
+  if (!words.empty()) {
+    const std::vector<FileId>* best = nullptr;
+    for (const std::string& word : words) {
+      auto it = keywords_.find(to_lower(word));
+      if (it == keywords_.end()) continue;
+      if (best == nullptr || it->second.size() < best->size()) {
+        best = &it->second;
+      }
+    }
+    if (best == nullptr) return out;
+    for (const FileId& id : *best) {
+      const FileRecord* record = find(id);
+      if (record != nullptr && matches(expr, *record)) {
+        out.push_back(id);
+        if (out.size() >= limit) break;
+      }
+    }
+    return out;
+  }
+
+  // Pure metadata query (no keyword): full scan, still capped.
+  for (const auto& [id, record] : files_) {
+    if (matches(expr, record)) {
+      out.push_back(id);
+      if (out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dtr::server

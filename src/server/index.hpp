@@ -1,0 +1,77 @@
+// The server's file and source indexes.
+//
+// An eDonkey directory server "indexes files and users, and their main role
+// is to answer to searches for files (based on metadata like filename, size
+// or filetype), and searches for providers (called sources) of given files"
+// (paper §2.1).  FileIndex stores, per fileID, the canonical metadata and
+// the current set of providers; KeywordIndex inverts filename keywords to
+// fileIDs for metadata search.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "proto/messages.hpp"
+#include "proto/search_expr.hpp"
+
+namespace dtr::server {
+
+/// One provider of a file, as stored by the server.
+struct Source {
+  proto::ClientId client = 0;
+  std::uint16_t port = 0;
+  bool operator==(const Source&) const = default;
+};
+
+/// Per-file record: canonical metadata plus the provider list.
+struct FileRecord {
+  std::string name;        // first-published filename wins (canonical)
+  std::uint32_t size = 0;  // bytes
+  std::string type;        // "audio", "video", ...
+  std::vector<Source> sources;
+
+  [[nodiscard]] std::uint32_t availability() const {
+    return static_cast<std::uint32_t>(sources.size());
+  }
+};
+
+class FileIndex {
+ public:
+  /// Add (or refresh) `client` as a provider of the file described by
+  /// `entry`.  Returns true if this was a new (file, provider) pair.
+  bool publish(const proto::FileEntry& entry);
+
+  /// Remove a provider from all its files (client went offline).  Cost is
+  /// proportional to the number of files the client provides.
+  void retract_client(proto::ClientId client);
+
+  [[nodiscard]] const FileRecord* find(const FileId& id) const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::uint64_t source_count() const { return total_sources_; }
+
+  /// All fileIDs matching a search expression, capped at `limit`.
+  [[nodiscard]] std::vector<FileId> search(const proto::SearchExpr& expr,
+                                           std::size_t limit) const;
+
+  /// Evaluate an expression against one record (exposed for tests).
+  [[nodiscard]] static bool matches(const proto::SearchExpr& expr,
+                                    const FileRecord& record);
+
+ private:
+  void index_keywords(const FileId& id, const std::string& name);
+  void unindex_file(const FileId& id, const FileRecord& record);
+
+  std::unordered_map<FileId, FileRecord, DigestHasher> files_;
+  // keyword -> fileIDs containing it (posting lists kept unsorted; order is
+  // publication order, which also gives deterministic answers).
+  std::unordered_map<std::string, std::vector<FileId>> keywords_;
+  // client -> files it provides (for retract_client).
+  std::unordered_map<proto::ClientId, std::vector<FileId>> by_client_;
+  std::uint64_t total_sources_ = 0;
+};
+
+}  // namespace dtr::server

@@ -1,0 +1,148 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+
+namespace dtr::server {
+
+EdonkeyServer::EdonkeyServer(ServerConfig config)
+    : config_(std::move(config)) {}
+
+proto::ClientId EdonkeyServer::client_id_for(proto::ClientId client_ip,
+                                             bool reachable) {
+  if (reachable) return client_ip;
+  auto [it, inserted] = low_ids_.try_emplace(client_ip, next_low_id_);
+  if (inserted) {
+    next_low_id_ = (next_low_id_ + 1) % proto::kLowIdThreshold;
+    if (next_low_id_ == 0) next_low_id_ = 1;
+  }
+  return it->second;
+}
+
+void EdonkeyServer::client_offline(proto::ClientId client_ip) {
+  index_.retract_client(client_ip);
+  published_count_.erase(client_ip);
+}
+
+proto::Message EdonkeyServer::answer_stat(const proto::ServStatReq& q) {
+  proto::ServStatRes res;
+  res.challenge = q.challenge;
+  res.users = user_count();
+  res.files = static_cast<std::uint32_t>(index_.file_count());
+  return res;
+}
+
+proto::Message EdonkeyServer::answer_desc() const {
+  proto::ServerDescRes res;
+  res.name = config_.name;
+  res.description = config_.description;
+  return res;
+}
+
+proto::Message EdonkeyServer::answer_server_list() const {
+  proto::ServerList res;
+  res.servers = config_.known_servers;
+  if (res.servers.size() > 255) res.servers.resize(255);
+  return res;
+}
+
+proto::Message EdonkeyServer::answer_search(const proto::FileSearchReq& q) {
+  ++stats_.searches;
+  proto::FileSearchRes res;
+  std::vector<FileId> ids = index_.search(*q.expr, config_.max_search_results);
+  res.results.reserve(ids.size());
+  for (const FileId& id : ids) {
+    const FileRecord* record = index_.find(id);
+    if (record == nullptr || record->sources.empty()) continue;
+    proto::FileEntry entry;
+    entry.file_id = id;
+    // Real servers return one representative source per result entry.
+    entry.client_id = record->sources.front().client;
+    entry.port = record->sources.front().port;
+    entry.tags.push_back(proto::Tag::str(proto::TagName::kFileName, record->name));
+    entry.tags.push_back(proto::Tag::u32(proto::TagName::kFileSize, record->size));
+    if (!record->type.empty()) {
+      entry.tags.push_back(
+          proto::Tag::str(proto::TagName::kFileType, record->type));
+    }
+    entry.tags.push_back(
+        proto::Tag::u32(proto::TagName::kAvailability, record->availability()));
+    res.results.push_back(std::move(entry));
+  }
+  return res;
+}
+
+std::vector<proto::Message> EdonkeyServer::answer_sources(
+    const proto::GetSourcesReq& q) {
+  ++stats_.source_requests;
+  std::vector<proto::Message> answers;
+  for (const FileId& id : q.file_ids) {
+    const FileRecord* record = index_.find(id);
+    if (record == nullptr || record->sources.empty()) {
+      ++stats_.unanswerable;
+      continue;  // real servers stay silent for unknown fileIDs
+    }
+    proto::FoundSourcesRes res;
+    res.file_id = id;
+    std::size_t n =
+        std::min(record->sources.size(), config_.max_sources_per_answer);
+    res.sources.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      res.sources.push_back(
+          {record->sources[i].client, record->sources[i].port});
+    }
+    answers.emplace_back(std::move(res));
+  }
+  return answers;
+}
+
+proto::Message EdonkeyServer::accept_publish(proto::ClientId client,
+                                             std::uint16_t client_port,
+                                             const proto::PublishReq& q) {
+  ++stats_.publishes;
+  std::uint32_t accepted = 0;
+  std::uint64_t& count = published_count_[client];
+  std::size_t batch = std::min(q.files.size(), config_.max_files_per_publish);
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (count >= config_.max_published_per_client) {
+      stats_.published_files_rejected += q.files.size() - i;
+      break;
+    }
+    proto::FileEntry entry = q.files[i];
+    entry.client_id = client;       // the server trusts the transport address
+    entry.port = client_port;
+    if (index_.publish(entry)) ++count;
+    ++accepted;
+  }
+  stats_.published_files_rejected += q.files.size() - batch;
+  stats_.published_files_accepted += accepted;
+  return proto::PublishAck{accepted};
+}
+
+std::vector<proto::Message> EdonkeyServer::handle(proto::ClientId client_ip,
+                                                  std::uint16_t client_port,
+                                                  const proto::Message& query,
+                                                  SimTime now) {
+  ++stats_.queries;
+  seen_clients_[client_ip] = now;
+
+  std::vector<proto::Message> answers;
+  if (const auto* q = std::get_if<proto::ServStatReq>(&query)) {
+    answers.push_back(answer_stat(*q));
+  } else if (std::holds_alternative<proto::ServerDescReq>(query)) {
+    answers.push_back(answer_desc());
+  } else if (std::holds_alternative<proto::GetServerList>(query)) {
+    answers.push_back(answer_server_list());
+  } else if (const auto* q = std::get_if<proto::FileSearchReq>(&query)) {
+    answers.push_back(answer_search(*q));
+  } else if (const auto* q = std::get_if<proto::GetSourcesReq>(&query)) {
+    answers = answer_sources(*q);
+  } else if (const auto* q = std::get_if<proto::PublishReq>(&query)) {
+    answers.push_back(accept_publish(client_ip, client_port, *q));
+  }
+  // Answers to answers (a client echoing server messages) are ignored.
+
+  stats_.answers += answers.size();
+  return answers;
+}
+
+}  // namespace dtr::server

@@ -1,0 +1,89 @@
+// The eDonkey directory server.
+//
+// The server in the paper is a closed-source black box; this is a functional
+// re-implementation of the behaviour the UDP capture observes: it answers
+// stat/description/server-list requests, metadata file searches, source
+// searches, and accepts publishes (see DESIGN.md on the publish dialect).
+// Clients that are not directly reachable receive a "low ID" below 2^24
+// (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "proto/messages.hpp"
+#include "server/index.hpp"
+
+namespace dtr::server {
+
+struct ServerConfig {
+  std::string name = "donkeytrace reference server";
+  std::string description = "synthetic eDonkey directory server";
+  std::uint16_t port = 4665;  // classic eDonkey server UDP port
+  std::size_t max_search_results = 201;  // classic server answer cap
+  std::size_t max_sources_per_answer = 255;  // u8 count field on the wire
+  std::size_t max_files_per_publish = 200;
+  std::size_t max_published_per_client = 1'000'000;  // effectively unlimited
+  std::vector<proto::Endpoint> known_servers;  // answer to GetServerList
+};
+
+/// Statistics the server keeps about the traffic it processed.
+struct ServerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t answers = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t source_requests = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t published_files_accepted = 0;
+  std::uint64_t published_files_rejected = 0;
+  std::uint64_t unanswerable = 0;  // e.g. sources asked for unknown files
+};
+
+class EdonkeyServer {
+ public:
+  explicit EdonkeyServer(ServerConfig config = {});
+
+  /// Process one client query; returns the answer messages to send back
+  /// (zero or more — a batched GetSources yields one FoundSources per known
+  /// fileID, like real servers).
+  std::vector<proto::Message> handle(proto::ClientId client_ip,
+                                     std::uint16_t client_port,
+                                     const proto::Message& query,
+                                     SimTime now);
+
+  /// A client disconnected: drop its published files.
+  void client_offline(proto::ClientId client_ip);
+
+  /// The clientID the server would report for this client: its IP when
+  /// directly reachable, else a stable per-client low ID.
+  proto::ClientId client_id_for(proto::ClientId client_ip, bool reachable);
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const FileIndex& index() const { return index_; }
+  [[nodiscard]] std::uint32_t user_count() const {
+    return static_cast<std::uint32_t>(seen_clients_.size());
+  }
+
+ private:
+  proto::Message answer_stat(const proto::ServStatReq& q);
+  proto::Message answer_desc() const;
+  proto::Message answer_server_list() const;
+  proto::Message answer_search(const proto::FileSearchReq& q);
+  std::vector<proto::Message> answer_sources(const proto::GetSourcesReq& q);
+  proto::Message accept_publish(proto::ClientId client,
+                                std::uint16_t client_port,
+                                const proto::PublishReq& q);
+
+  ServerConfig config_;
+  FileIndex index_;
+  ServerStats stats_;
+  std::unordered_map<proto::ClientId, proto::ClientId> low_ids_;
+  std::unordered_map<proto::ClientId, SimTime> seen_clients_;
+  std::unordered_map<proto::ClientId, std::uint64_t> published_count_;
+  proto::ClientId next_low_id_ = 1;
+};
+
+}  // namespace dtr::server

@@ -1,0 +1,112 @@
+#include "sim/background.hpp"
+
+#include <algorithm>
+
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+
+namespace dtr::sim {
+
+namespace {
+constexpr std::uint8_t kProtocolTcp = 6;
+constexpr net::MacAddress kServerMac = {0x02, 0xED, 0x0E, 0x00, 0x00, 0x01};
+constexpr net::MacAddress kRouterMac = {0x02, 0xED, 0x0E, 0x00, 0x00, 0x02};
+}  // namespace
+
+BackgroundTraffic::BackgroundTraffic(const BackgroundConfig& config)
+    : config_(config), rng_(0) {
+  reset();
+}
+
+void BackgroundTraffic::reset() {
+  rng_ = Rng(mix64(config_.seed ^ 0xBAC60ULL));
+  const double syn_rate = config_.syn_per_minute / 60.0;
+  next_syn_ = static_cast<SimTime>(rng_.exponential(syn_rate) *
+                                   static_cast<double>(kSecond));
+  burst_ = false;
+  state_end_ = static_cast<SimTime>(
+      rng_.exponential(1.0 / config_.mean_quiet_s) *
+      static_cast<double>(kSecond));
+  next_data_ = static_cast<SimTime>(
+      rng_.exponential(config_.data_rate_quiet) * static_cast<double>(kSecond));
+  emitted_ = 0;
+}
+
+void BackgroundTraffic::advance_mmpp_state() {
+  while (next_data_ > state_end_) {
+    burst_ = !burst_;
+    double hold = burst_ ? config_.mean_burst_s : config_.mean_quiet_s;
+    state_end_ += static_cast<SimTime>(rng_.exponential(1.0 / hold) *
+                                       static_cast<double>(kSecond));
+  }
+}
+
+std::optional<TimedFrame> BackgroundTraffic::next() {
+  const double syn_rate = config_.syn_per_minute / 60.0;
+  if (next_syn_ >= config_.duration && next_data_ >= config_.duration) {
+    return std::nullopt;
+  }
+  if (next_syn_ <= next_data_) {
+    TimedFrame f{next_syn_, make_tcp_frame(/*syn=*/true, rng_)};
+    next_syn_ += static_cast<SimTime>(rng_.exponential(syn_rate) *
+                                      static_cast<double>(kSecond));
+    ++emitted_;
+    return f;
+  }
+  advance_mmpp_state();
+  TimedFrame f{next_data_, make_tcp_frame(/*syn=*/false, rng_)};
+  double rate = burst_ ? config_.data_rate_burst : config_.data_rate_quiet;
+  next_data_ += static_cast<SimTime>(rng_.exponential(rate) *
+                                     static_cast<double>(kSecond));
+  ++emitted_;
+  return f;
+}
+
+Bytes BackgroundTraffic::make_tcp_frame(bool syn, Rng& rng) const {
+  // A minimal-but-wellformed TCP segment: 20-byte header (we do not model
+  // TCP semantics; the decoder only needs the IP protocol field).
+  ByteWriter tcp(20);
+  tcp.u16be(static_cast<std::uint16_t>(1024 + rng.below(60000)));  // src port
+  tcp.u16be(4661);                                                 // dst port
+  tcp.u32be(static_cast<std::uint32_t>(rng.next()));               // seq
+  tcp.u32be(0);                                                    // ack
+  tcp.u8(0x50);                                    // data offset 5 words
+  tcp.u8(syn ? 0x02 : 0x10);                       // SYN or ACK
+  tcp.u16be(65535);                                // window
+  tcp.u16be(0);                                    // checksum (not modelled)
+  tcp.u16be(0);                                    // urgent
+  Bytes payload = std::move(tcp).take();
+  if (!syn) {
+    std::size_t body = config_.data_frame_bytes > 20 + net::kIpv4HeaderSize
+                           ? config_.data_frame_bytes - 20 - net::kIpv4HeaderSize
+                           : 0;
+    payload.resize(payload.size() + body, 0xAB);
+  }
+
+  net::Ipv4Packet ip;
+  ip.protocol = kProtocolTcp;
+  ip.src = static_cast<std::uint32_t>(rng.next());
+  ip.dst = config_.server_ip;
+  ip.identification = static_cast<std::uint16_t>(rng.next());
+  ip.payload = std::move(payload);
+
+  net::EthernetFrame frame;
+  frame.dst = kServerMac;
+  frame.src = kRouterMac;
+  frame.payload = net::encode_ipv4(ip);
+  return net::encode_ethernet(frame);
+}
+
+void BackgroundTraffic::run(const FrameSink& sink) {
+  while (auto frame = next()) sink(*frame);
+}
+
+void FrameMerger::replay(const FrameSink& sink) {
+  std::stable_sort(frames_.begin(), frames_.end(),
+                   [](const TimedFrame& a, const TimedFrame& b) {
+                     return a.time < b.time;
+                   });
+  for (const TimedFrame& f : frames_) sink(f);
+}
+
+}  // namespace dtr::sim

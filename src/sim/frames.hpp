@@ -1,0 +1,20 @@
+// The mirror-port abstraction: a time-stamped ethernet frame stream.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+
+namespace dtr::sim {
+
+struct TimedFrame {
+  SimTime time = 0;
+  Bytes bytes;  // full ethernet frame as the mirror port emits it
+};
+
+/// Consumes the mirrored traffic (the paper's "copy of the traffic sent to
+/// a capture machine").
+using FrameSink = std::function<void(const TimedFrame&)>;
+
+}  // namespace dtr::sim

@@ -1,0 +1,275 @@
+#include "sim/tcp_session.hpp"
+
+#include <algorithm>
+
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp.hpp"
+
+namespace dtr::sim {
+
+namespace {
+
+constexpr net::MacAddress kServerMac = {0x02, 0xED, 0x0E, 0x00, 0x00, 0x01};
+constexpr net::MacAddress kRouterMac = {0x02, 0xED, 0x0E, 0x00, 0x00, 0x02};
+
+std::uint16_t client_tcp_port(std::uint32_t client_index, std::uint32_t session) {
+  return static_cast<std::uint16_t>(1024 + (client_index * 7 + session * 131) % 60000);
+}
+
+}  // namespace
+
+TcpCampaignSimulator::TcpCampaignSimulator(const TcpCampaignConfig& config)
+    : config_(config),
+      catalog_(config.catalog, config.seed),
+      population_(config.population, config.seed),
+      server_(),
+      rng_(mix64(config.seed ^ 0x7C9CA321ULL)) {}
+
+void TcpCampaignSimulator::emit_bare_segment(
+    std::vector<TimedFrame>& out, SimTime now, std::uint32_t src_ip,
+    std::uint16_t src_port, std::uint32_t dst_ip, std::uint16_t dst_port,
+    std::uint32_t seq, std::uint32_t ack, net::TcpFlags flags) {
+  net::TcpSegment seg;
+  seg.src_port = src_port;
+  seg.dst_port = dst_port;
+  seg.seq = seq;
+  seg.ack = ack;
+  seg.flags = flags;
+
+  net::Ipv4Packet ip;
+  ip.protocol = net::kProtocolTcp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.identification = next_ip_id_++;
+  ip.payload = net::encode_tcp(seg, src_ip, dst_ip);
+
+  net::EthernetFrame eth;
+  eth.dst = dst_ip == config_.server_ip ? kServerMac : kRouterMac;
+  eth.src = dst_ip == config_.server_ip ? kRouterMac : kServerMac;
+  eth.payload = net::encode_ipv4(ip);
+  out.push_back(TimedFrame{now, net::encode_ethernet(eth)});
+  ++truth_.segments;
+}
+
+void TcpCampaignSimulator::emit_stream(std::vector<TimedFrame>& out,
+                                       SimTime& now, std::uint32_t src_ip,
+                                       std::uint16_t src_port,
+                                       std::uint32_t dst_ip,
+                                       std::uint16_t dst_port,
+                                       std::uint32_t& seq,
+                                       BytesView stream_bytes, Rng& rng) {
+  std::size_t emitted_before = out.size();
+  std::size_t offset = 0;
+  while (offset < stream_bytes.size()) {
+    std::size_t n = std::min(config_.mss, stream_bytes.size() - offset);
+
+    net::TcpSegment seg;
+    seg.src_port = src_port;
+    seg.dst_port = dst_port;
+    seg.seq = seq;
+    seg.flags.ack = true;
+    seg.flags.psh = (offset + n == stream_bytes.size());
+    seg.payload.assign(stream_bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                       stream_bytes.begin() +
+                           static_cast<std::ptrdiff_t>(offset + n));
+
+    net::Ipv4Packet ip;
+    ip.protocol = net::kProtocolTcp;
+    ip.src = src_ip;
+    ip.dst = dst_ip;
+    ip.identification = next_ip_id_++;
+    ip.payload = net::encode_tcp(seg, src_ip, dst_ip);
+
+    net::EthernetFrame eth;
+    eth.dst = dst_ip == config_.server_ip ? kServerMac : kRouterMac;
+    eth.src = dst_ip == config_.server_ip ? kRouterMac : kServerMac;
+    eth.payload = net::encode_ipv4(ip);
+    out.push_back(TimedFrame{now, net::encode_ethernet(eth)});
+    ++truth_.segments;
+
+    seq += static_cast<std::uint32_t>(n);
+    offset += n;
+    now += 500 * kMicrosecond;
+  }
+
+  // Local reordering: swap adjacent data segments with small probability —
+  // real networks deliver mildly out of order, and the reassembler must cope.
+  for (std::size_t i = emitted_before + 1; i < out.size(); ++i) {
+    if (rng.chance(config_.reorder_p)) {
+      std::swap(out[i - 1].bytes, out[i].bytes);
+      ++truth_.reordered;
+    }
+  }
+}
+
+void TcpCampaignSimulator::emit_session(const SessionPlan& plan,
+                                        const FrameSink& sink) {
+  const auto& profile = population_.client(plan.client);
+  Rng r = rng_.fork(0x7C550000ULL + plan.client).fork(plan.start);
+
+  std::vector<TimedFrame> frames;
+  SimTime now = plan.start;
+  const std::uint32_t cip = profile.ip;
+  const std::uint16_t cport = client_tcp_port(plan.client, static_cast<std::uint32_t>(plan.start % 97));
+  const std::uint32_t sip = config_.server_ip;
+  const std::uint16_t sport = config_.server_port;
+
+  std::uint32_t cseq = static_cast<std::uint32_t>(r.next());
+  std::uint32_t sseq = static_cast<std::uint32_t>(r.next());
+
+  // Handshake.
+  emit_bare_segment(frames, now, cip, cport, sip, sport, cseq, 0, {.syn = true});
+  now += kMillisecond;
+  emit_bare_segment(frames, now, sip, sport, cip, cport, sseq, cseq + 1,
+                    {.syn = true, .ack = true});
+  now += kMillisecond;
+  ++cseq;
+  ++sseq;
+  emit_bare_segment(frames, now, cip, cport, sip, sport, cseq, sseq,
+                    {.ack = true});
+  now += kMillisecond;
+
+  ++truth_.sessions;
+
+  // --- Login ---------------------------------------------------------------
+  proto::LoginRequest login;
+  std::uint64_t h = mix64(profile.ip * 0x9E3779B97F4A7C15ULL);
+  for (int i = 0; i < 8; ++i) {
+    login.user_hash.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(h >> (8 * i));
+    login.user_hash.bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(~h >> (8 * i));
+  }
+  login.client_id = 0;
+  login.port = 4662;
+  login.name = "user" + std::to_string(plan.client);
+  login.version = 0x3C;
+  Bytes client_stream = proto::encode_tcp_message(proto::TcpMessage(login));
+  ++truth_.client_messages;
+
+  // --- Server side of the login --------------------------------------------
+  proto::ClientId cid = server_.client_id_for(profile.ip, profile.reachable);
+  Bytes server_stream;
+  {
+    Bytes idchange =
+        proto::encode_tcp_message(proto::TcpMessage(proto::IdChange{cid}));
+    server_stream.insert(server_stream.end(), idchange.begin(), idchange.end());
+    ++truth_.server_messages;
+    if (r.chance(config_.welcome_message_p)) {
+      Bytes welcome = proto::encode_tcp_message(proto::TcpMessage(
+          proto::ServerMessage{"welcome to the donkeytrace server"}));
+      server_stream.insert(server_stream.end(), welcome.begin(), welcome.end());
+      ++truth_.server_messages;
+    }
+    Bytes status = proto::encode_tcp_message(proto::TcpMessage(
+        proto::ServerStatus{server_.user_count(),
+                            static_cast<std::uint32_t>(
+                                server_.index().file_count())}));
+    server_stream.insert(server_stream.end(), status.begin(), status.end());
+    ++truth_.server_messages;
+  }
+
+  // --- Offers ----------------------------------------------------------------
+  const bool polluter = profile.kind == workload::ClientKind::kPolluter;
+  std::uint32_t to_offer = polluter ? profile.forged_files : profile.shares;
+  to_offer = std::min<std::uint32_t>(
+      to_offer, static_cast<std::uint32_t>(catalog_.size()));
+  workload::FileSizeModel size_model(config_.catalog.size_model);
+  for (std::uint32_t offset = 0; offset < to_offer; offset += 200) {
+    proto::OfferFiles offer;
+    std::uint32_t batch = std::min<std::uint32_t>(200, to_offer - offset);
+    offer.files.reserve(batch);
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      proto::FileEntry entry;
+      if (polluter) {
+        Rng fr = rng_.fork(0x7F04C000ULL + plan.client).fork(offset + i);
+        entry.file_id = workload::make_forged_file_id(fr);
+        entry.tags.push_back(proto::Tag::str(proto::TagName::kFileName,
+                                             "tp" + std::to_string(offset + i) +
+                                                 ".avi"));
+        entry.tags.push_back(proto::Tag::u32(
+            proto::TagName::kFileSize,
+            static_cast<std::uint32_t>(size_model.sample(fr))));
+      } else {
+        const auto& f = catalog_.file(
+            rng_.fork(0x751A2E00ULL + plan.client).fork(offset + i).below(
+                catalog_.size()));
+        entry.file_id = f.id;
+        entry.tags.push_back(proto::Tag::str(proto::TagName::kFileName, f.name));
+        entry.tags.push_back(proto::Tag::u32(proto::TagName::kFileSize, f.size));
+        entry.tags.push_back(proto::Tag::str(proto::TagName::kFileType, f.type));
+      }
+      entry.client_id = cid;
+      entry.port = 4662;
+      // Keep the server's index in sync (TCP offers are authoritative).
+      proto::PublishReq publish;
+      publish.files.push_back(entry);
+      server_.handle(cid, 4662, proto::Message(std::move(publish)), now);
+      offer.files.push_back(std::move(entry));
+    }
+    truth_.offer_entries += offer.files.size();
+    Bytes bytes = proto::encode_tcp_message(proto::TcpMessage(std::move(offer)));
+    client_stream.insert(client_stream.end(), bytes.begin(), bytes.end());
+    ++truth_.client_messages;
+  }
+
+  // --- Emit the two directions ------------------------------------------------
+  emit_stream(frames, now, cip, cport, sip, sport, cseq, client_stream, r);
+  now += 2 * kMillisecond;
+  emit_stream(frames, now, sip, sport, cip, cport, sseq, server_stream, r);
+  now += 2 * kMillisecond;
+
+  // --- Teardown ----------------------------------------------------------------
+  emit_bare_segment(frames, now, cip, cport, sip, sport, cseq, sseq,
+                    {.ack = true, .fin = true});
+  now += kMillisecond;
+  emit_bare_segment(frames, now, sip, sport, cip, cport, sseq, cseq + 1,
+                    {.ack = true, .fin = true});
+
+  for (TimedFrame& f : frames) sink(f);
+}
+
+void TcpCampaignSimulator::run(const FrameSink& sink) {
+  // Sessions, sorted by start time.  One TCP connection per session.
+  std::vector<SessionPlan> plans;
+  Rng srng = rng_.fork(0x7C5E55ULL);
+  for (std::uint32_t c = 0; c < population_.size(); ++c) {
+    for (std::uint32_t s = 0; s < population_.client(c).sessions; ++s) {
+      plans.push_back(SessionPlan{srng.below(config_.duration), c});
+    }
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const SessionPlan& a, const SessionPlan& b) {
+              return a.start < b.start;
+            });
+
+  // Sessions are short (tens of ms of frames) relative to their spacing;
+  // buffer and release in time order across overlapping sessions.
+  struct Pending {
+    SimTime time;
+    std::uint64_t seq;
+    Bytes bytes;
+    bool operator>(const Pending& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
+  std::uint64_t heap_seq = 0;
+
+  for (const SessionPlan& plan : plans) {
+    while (!heap.empty() && heap.top().time <= plan.start) {
+      sink(TimedFrame{heap.top().time, heap.top().bytes});
+      heap.pop();
+    }
+    emit_session(plan, [&](const TimedFrame& f) {
+      heap.push(Pending{f.time, heap_seq++, f.bytes});
+    });
+  }
+  while (!heap.empty()) {
+    sink(TimedFrame{heap.top().time, heap.top().bytes});
+    heap.pop();
+  }
+}
+
+}  // namespace dtr::sim

@@ -1,0 +1,126 @@
+#include "workload/behavior.hpp"
+
+#include <algorithm>
+
+namespace dtr::workload {
+
+const char* client_kind_name(ClientKind k) {
+  switch (k) {
+    case ClientKind::kCasual:
+      return "casual";
+    case ClientKind::kCollector:
+      return "collector";
+    case ClientKind::kCapped52:
+      return "capped52";
+    case ClientKind::kScanner:
+      return "scanner";
+    case ClientKind::kPolluter:
+      return "polluter";
+  }
+  return "?";
+}
+
+ClientPopulation::ClientPopulation(const PopulationConfig& config,
+                                   std::uint64_t seed)
+    : config_(config) {
+  Rng rng(mix64(seed ^ 0xC11E47B07ULL));
+  clients_.reserve(config_.client_count);
+  for (std::uint32_t i = 0; i < config_.client_count; ++i) {
+    clients_.push_back(make_profile(rng, i));
+  }
+}
+
+ClientProfile ClientPopulation::make_profile(Rng& rng, std::uint32_t serial) {
+  ClientProfile p;
+
+  // Unique public IP: spread serials over the unicast space with a mixed
+  // stride; uniqueness follows from mix64 being a bijection on 64 bits
+  // restricted to distinct serials... it is not on 32, so combine serial
+  // directly into the high bits to guarantee uniqueness.
+  p.ip = (serial << 8) | static_cast<std::uint32_t>(rng.below(256));
+  p.ip |= 0x02000000u;  // keep away from 0.x and low-ID-looking ranges
+  p.reachable = rng.chance(config_.reachable_fraction);
+
+  double u = rng.uniform();
+  if ((u -= config_.casual_fraction) < 0) {
+    p.kind = ClientKind::kCasual;
+  } else if ((u -= config_.collector_fraction) < 0) {
+    p.kind = ClientKind::kCollector;
+  } else if ((u -= config_.capped52_fraction) < 0) {
+    p.kind = ClientKind::kCapped52;
+  } else if ((u -= config_.scanner_fraction) < 0) {
+    p.kind = ClientKind::kScanner;
+  } else {
+    p.kind = ClientKind::kPolluter;
+  }
+
+  switch (p.kind) {
+    case ClientKind::kCasual:
+      p.shares = static_cast<std::uint32_t>(rng.power_law_int(
+          config_.casual_share_alpha, config_.casual_share_max));
+      p.asks = static_cast<std::uint32_t>(
+          rng.power_law_int(config_.casual_ask_alpha, config_.casual_ask_max));
+      break;
+    case ClientKind::kCollector: {
+      auto natural = static_cast<std::uint32_t>(rng.power_law_int(
+          config_.collector_share_alpha, config_.collector_share_max));
+      if (!config_.share_caps.empty() &&
+          rng.chance(config_.share_cap_adoption)) {
+        std::uint32_t cap = config_.share_caps[rng.below(
+            config_.share_caps.size())];
+        natural = std::min(natural, cap);
+      }
+      p.shares = natural;
+      p.asks = static_cast<std::uint32_t>(
+          rng.power_law_int(config_.casual_ask_alpha, config_.casual_ask_max));
+      break;
+    }
+    case ClientKind::kCapped52:
+      p.shares = static_cast<std::uint32_t>(rng.power_law_int(
+          config_.casual_share_alpha, config_.casual_share_max));
+      p.asks = config_.capped_ask_value;
+      break;
+    case ClientKind::kScanner:
+      p.shares = 1 + static_cast<std::uint32_t>(rng.below(5));
+      p.asks = static_cast<std::uint32_t>(rng.power_law_int(
+          config_.scanner_ask_alpha, config_.scanner_ask_max));
+      break;
+    case ClientKind::kPolluter:
+      p.shares = 0;  // polluters announce forged IDs, not catalog files
+      p.forged_files = config_.polluter_forged_files_min +
+                       static_cast<std::uint32_t>(rng.below(
+                           config_.polluter_forged_files_max -
+                           config_.polluter_forged_files_min + 1));
+      p.asks = 1 + static_cast<std::uint32_t>(rng.below(20));
+      break;
+  }
+
+  p.sessions = 1 + static_cast<std::uint32_t>(
+                       rng.exponential(1.0 / config_.mean_sessions));
+  return p;
+}
+
+std::vector<std::size_t> ClientPopulation::kind_counts() const {
+  std::vector<std::size_t> counts(5, 0);
+  for (const auto& c : clients_)
+    ++counts[static_cast<std::size_t>(c.kind)];
+  return counts;
+}
+
+FileId make_forged_file_id(Rng& rng) {
+  FileId id;
+  for (auto& b : id.bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  // Pollution concentrates on two prefixes: most tools zero the first
+  // word; a variant sets it to a small constant.  With first-two-byte
+  // bucketing these land in buckets 0 (0x0000) and 256 (0x0100).
+  if (rng.chance(0.6)) {
+    id.bytes[0] = 0x00;
+    id.bytes[1] = 0x00;
+  } else {
+    id.bytes[0] = 0x01;
+    id.bytes[1] = 0x00;
+  }
+  return id;
+}
+
+}  // namespace dtr::workload

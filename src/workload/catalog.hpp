@@ -1,0 +1,63 @@
+// Synthetic file catalog: the universe of files the client population can
+// share and search for.
+//
+// Each file gets an MD4 fileID (hash of its synthetic identity), a name
+// assembled from a Zipf-distributed token vocabulary (so the server's
+// keyword index has realistic skew), a size from the FileSizeModel, a type
+// correlated with size, and a Zipf popularity rank that drives both
+// providing and asking (Figures 4 and 5 both show power laws).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/digest.hpp"
+#include "workload/filesize_model.hpp"
+
+namespace dtr::workload {
+
+struct SyntheticFile {
+  FileId id;
+  std::string name;
+  std::uint32_t size = 0;  // bytes (fits the protocol's u32 size tag)
+  std::string type;        // "audio", "video", "doc", "pro", "image"
+};
+
+struct CatalogConfig {
+  std::uint32_t file_count = 50'000;
+  std::uint32_t vocabulary = 4'000;    // distinct name tokens
+  double token_zipf = 1.1;             // token popularity skew
+  double popularity_zipf = 0.95;       // file popularity skew (Figs 4/5)
+  FileSizeModelConfig size_model = FileSizeModelConfig::defaults();
+};
+
+class FileCatalog {
+ public:
+  /// Deterministically generate the catalog from a seed.
+  FileCatalog(const CatalogConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] const SyntheticFile& file(std::size_t i) const {
+    return files_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return files_.size(); }
+
+  /// Draw a file index by popularity (rank-1 = most popular).  Used for
+  /// both "which files do I share" and "which files do I want".
+  std::size_t sample_popular(Rng& rng) const;
+
+  /// Uniformly random file (used by scanners that probe the long tail).
+  std::size_t sample_uniform(Rng& rng) const;
+
+  [[nodiscard]] const CatalogConfig& config() const { return config_; }
+
+ private:
+  CatalogConfig config_;
+  std::vector<SyntheticFile> files_;
+  ZipfSampler popularity_;
+  // Popularity rank -> file index; identity here (files are generated in
+  // popularity order) but kept explicit for clarity.
+};
+
+}  // namespace dtr::workload

@@ -1,0 +1,64 @@
+#include "workload/filesize_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtr::workload {
+
+namespace {
+constexpr std::uint64_t kMB = 1000ull * 1000ull;  // media sizes are decimal
+}
+
+std::vector<SizePeak> FileSizeModelConfig::default_peaks() {
+  // Weights decrease away from the dominant 700 MB CD image peak;
+  // jitter keeps spikes narrow but not degenerate (burning software and
+  // rips differ by a few per mille).
+  return {
+      {700 * kMB, 0.055, 0.004},   // CD-ROM
+      {350 * kMB, 0.030, 0.004},   // 1/2 CD
+      {233 * kMB, 0.018, 0.004},   // 1/3 CD
+      {175 * kMB, 0.012, 0.004},   // 1/4 CD
+      {1400 * kMB, 0.025, 0.004},        // 2x CD
+      {1'073'741'824ull, 0.040, 0.002},  // 1 GB split pieces (binary GiB:
+                                         // split tools cut at 2^30 bytes)
+  };
+}
+
+FileSizeModelConfig FileSizeModelConfig::defaults() {
+  FileSizeModelConfig c;
+  c.peaks = default_peaks();
+  return c;
+}
+
+namespace {
+std::vector<double> component_weights(const FileSizeModelConfig& c) {
+  std::vector<double> w;
+  w.push_back(c.small_weight);
+  w.push_back(c.mid_weight);
+  for (const auto& peak : c.peaks) w.push_back(peak.weight);
+  return w;
+}
+}  // namespace
+
+FileSizeModel::FileSizeModel(FileSizeModelConfig config)
+    : config_(std::move(config)), component_picker_(component_weights(config_)) {}
+
+std::uint64_t FileSizeModel::sample(Rng& rng) const {
+  std::size_t component = component_picker_(rng);
+  double bytes;
+  if (component == 0) {
+    bytes = rng.lognormal(config_.small_log_mean, config_.small_log_sigma);
+  } else if (component == 1) {
+    bytes = rng.lognormal(config_.mid_log_mean, config_.mid_log_sigma);
+  } else {
+    const SizePeak& peak = config_.peaks[component - 2];
+    double center = static_cast<double>(peak.center_bytes);
+    bytes = peak.jitter > 0.0
+                ? center * std::exp(rng.normal(0.0, peak.jitter))
+                : center;
+  }
+  auto v = static_cast<std::uint64_t>(bytes);
+  return std::clamp(v, kMinBytes, kMaxBytes);
+}
+
+}  // namespace dtr::workload

@@ -1,0 +1,60 @@
+// File-size model (reproduces the shape of the paper's Figure 8).
+//
+// The paper observes that exchanged-file sizes are strongly tied to storage
+// media: "many small files (probably music files), and clear peaks at
+// 700 MB (typical size of a CD-ROM), and at fractions (1/2, 1/3, 1/4) or
+// multiples (2x) of this value.  The peak at 1 GB may indicate that users
+// split very large files (DVD images) into 1 GB pieces."  The model is a
+// mixture of
+//   * a lognormal bulk of small audio files (a few MB),
+//   * a lognormal mid-range bulk (other content),
+//   * narrow spikes at 175/233/350/700/1400 MB and 1 GB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dtr::workload {
+
+/// One spike of the mixture.
+struct SizePeak {
+  std::uint64_t center_bytes = 0;
+  double weight = 0.0;       // mixture weight
+  double jitter = 0.0;       // relative sigma of the spike (0 = exact)
+};
+
+struct FileSizeModelConfig {
+  double small_weight = 0.62;       // music-file bulk
+  double small_log_mean = 15.25;    // ln(bytes): e^15.25 ~ 4.2 MB
+  double small_log_sigma = 0.55;
+  double mid_weight = 0.20;         // everything else, broad
+  double mid_log_mean = 18.2;       // ~ 80 MB
+  double mid_log_sigma = 1.1;
+  std::vector<SizePeak> peaks;      // defaults in default_peaks()
+
+  static std::vector<SizePeak> default_peaks();
+  static FileSizeModelConfig defaults();
+};
+
+class FileSizeModel {
+ public:
+  explicit FileSizeModel(FileSizeModelConfig config =
+                             FileSizeModelConfig::defaults());
+
+  /// Sample a file size in bytes (clamped to [1 KB, 4 GB) so it fits the
+  /// 32-bit size field of the protocol).
+  std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] const FileSizeModelConfig& config() const { return config_; }
+
+  static constexpr std::uint64_t kMinBytes = 1024;
+  static constexpr std::uint64_t kMaxBytes = 0xFFFFFFFFull;
+
+ private:
+  FileSizeModelConfig config_;
+  AliasSampler component_picker_;
+};
+
+}  // namespace dtr::workload

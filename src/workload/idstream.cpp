@@ -1,0 +1,62 @@
+#include "workload/idstream.hpp"
+
+namespace dtr::workload {
+
+FileIdStream::FileIdStream(const FileIdStreamConfig& config)
+    : config_(config),
+      rng_(mix64(config.seed ^ 0xF11E57EAULL)),
+      rank_sampler_(config.zipf_skew, config.distinct_ids) {}
+
+FileId FileIdStream::universe_id(std::uint64_t index) const {
+  // Derive 128 pseudo-random bits from (seed, index).
+  std::uint64_t s = config_.seed * 0x9E3779B97F4A7C15ULL + index;
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  FileId id;
+  for (int i = 0; i < 8; ++i) {
+    id.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(a >> (8 * i));
+    id.bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  // Forged IDs occupy the front of the universe (they are also the most
+  // frequently re-announced, which matches polluters hammering the index).
+  auto forged_count =
+      static_cast<std::uint64_t>(config_.forged_fraction *
+                                 static_cast<double>(config_.distinct_ids));
+  if (index < forged_count) {
+    // Same two prefixes as make_forged_file_id, same 60/40 split.
+    if (index % 5 < 3) {
+      id.bytes[0] = 0x00;
+      id.bytes[1] = 0x00;
+    } else {
+      id.bytes[0] = 0x01;
+      id.bytes[1] = 0x00;
+    }
+  }
+  return id;
+}
+
+FileId FileIdStream::next() {
+  std::uint64_t rank = rank_sampler_(rng_) - 1;
+  return universe_id(rank);
+}
+
+ClientIdStream::ClientIdStream(const ClientIdStreamConfig& config)
+    : config_(config),
+      rng_(mix64(config.seed ^ 0xC11E57EAULL)),
+      rank_sampler_(config.zipf_skew, config.distinct_clients) {}
+
+proto::ClientId ClientIdStream::universe_id(std::uint64_t index) const {
+  // A bijective-ish spread of the index over the 32-bit space (collisions
+  // are possible but harmless: they only merge two stream elements).
+  std::uint64_t s = config_.seed ^ (index * 0xD1B54A32D192ED03ULL);
+  return static_cast<proto::ClientId>(splitmix64(s) >> 32);
+}
+
+proto::ClientId ClientIdStream::next() {
+  std::uint64_t rank = rank_sampler_(rng_) - 1;
+  return universe_id(rank);
+}
+
+}  // namespace dtr::workload

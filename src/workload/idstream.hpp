@@ -1,0 +1,71 @@
+// Synthetic identifier streams for the anonymisation-structure experiments
+// (Figure 3 and the §2.4 ablation benches).
+//
+// These streams replay what the anonymiser sees — a long sequence of
+// clientIDs / fileIDs with realistic repetition (the paper performs
+// "several billions" of searches but only millions of insertions) — without
+// paying for a full campaign simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/digest.hpp"
+#include "proto/opcodes.hpp"
+
+namespace dtr::workload {
+
+struct FileIdStreamConfig {
+  std::uint64_t distinct_ids = 1'000'000;   // universe size (insertions)
+  double zipf_skew = 0.9;                   // repetition pattern of lookups
+  double forged_fraction = 0.35;            // share of *distinct* IDs forged
+                                            // ("a majority of fileID start
+                                            // with 0 or 256" — §2.4 observed
+                                            // even higher shares)
+  std::uint64_t seed = 1;
+};
+
+/// Generates a stream of fileIDs over a fixed universe: each draw picks a
+/// universe element by Zipf rank, so early elements repeat heavily.  The
+/// universe mixes honest (uniform MD4-like) and forged IDs.
+class FileIdStream {
+ public:
+  explicit FileIdStream(const FileIdStreamConfig& config);
+
+  /// The i-th distinct ID of the universe (deterministic, O(1), no storage
+  /// of the whole universe: IDs are derived from the seed and index).
+  [[nodiscard]] FileId universe_id(std::uint64_t index) const;
+
+  /// Next stream element.
+  FileId next();
+
+  [[nodiscard]] const FileIdStreamConfig& config() const { return config_; }
+
+ private:
+  FileIdStreamConfig config_;
+  Rng rng_;
+  ZipfSampler rank_sampler_;
+};
+
+struct ClientIdStreamConfig {
+  std::uint64_t distinct_clients = 1'000'000;
+  double zipf_skew = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// Same idea for 32-bit clientIDs.
+class ClientIdStream {
+ public:
+  explicit ClientIdStream(const ClientIdStreamConfig& config);
+
+  [[nodiscard]] proto::ClientId universe_id(std::uint64_t index) const;
+  proto::ClientId next();
+
+ private:
+  ClientIdStreamConfig config_;
+  Rng rng_;
+  ZipfSampler rank_sampler_;
+};
+
+}  // namespace dtr::workload

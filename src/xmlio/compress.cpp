@@ -1,0 +1,146 @@
+#include "xmlio/compress.hpp"
+
+#include <cstring>
+
+namespace dtr::xmlio {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'D', 'T', 'Z', '1'};
+
+// Hash-chain matcher state: head[hash] = most recent position with that
+// 4-byte hash; prev[pos & mask] = previous position in the chain.
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::size_t kChainMask = kLzWindow - 1;
+constexpr int kMaxChainSteps = 64;  // match-effort bound
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Bytes lz_compress(BytesView data) {
+  ByteWriter out(data.size() / 2 + 32);
+  out.raw(kMagic, 4);
+  out.u64le(data.size());
+
+  if (data.empty()) return std::move(out).take();
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(kLzWindow, -1);
+
+  Bytes pending;          // token payload bytes for the current flag group
+  std::uint8_t flags = 0;
+  int flag_count = 0;
+
+  auto flush_group = [&] {
+    out.u8(flags);
+    out.raw(pending);
+    pending.clear();
+    flags = 0;
+    flag_count = 0;
+  };
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (pos + kLzMinMatch <= data.size()) {
+      std::uint32_t h = hash4(data.data() + pos);
+      std::int64_t candidate = head[h];
+      int steps = 0;
+      while (candidate >= 0 && steps < kMaxChainSteps &&
+             pos - static_cast<std::size_t>(candidate) <= kLzWindow) {
+        const auto cpos = static_cast<std::size_t>(candidate);
+        std::size_t len = 0;
+        std::size_t max_len = std::min(kLzMaxMatch, data.size() - pos);
+        while (len < max_len && data[cpos + len] == data[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - cpos;
+          if (len == max_len) break;
+        }
+        candidate = prev[cpos & kChainMask];
+        ++steps;
+      }
+    }
+
+    if (best_len >= kLzMinMatch) {
+      flags |= static_cast<std::uint8_t>(1u << flag_count);
+      pending.push_back(static_cast<std::uint8_t>(best_dist - 1));
+      pending.push_back(static_cast<std::uint8_t>((best_dist - 1) >> 8));
+      pending.push_back(static_cast<std::uint8_t>(best_len - kLzMinMatch));
+      // Insert all covered positions into the chains.
+      std::size_t end = pos + best_len;
+      for (; pos < end; ++pos) {
+        if (pos + kLzMinMatch <= data.size()) {
+          std::uint32_t h = hash4(data.data() + pos);
+          prev[pos & kChainMask] = head[h];
+          head[h] = static_cast<std::int64_t>(pos);
+        }
+      }
+    } else {
+      pending.push_back(data[pos]);
+      if (pos + kLzMinMatch <= data.size()) {
+        std::uint32_t h = hash4(data.data() + pos);
+        prev[pos & kChainMask] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+      }
+      ++pos;
+    }
+
+    if (++flag_count == 8) flush_group();
+  }
+  if (flag_count > 0) flush_group();
+  return std::move(out).take();
+}
+
+std::optional<Bytes> lz_decompress(BytesView compressed) {
+  if (compressed.size() < 12) return std::nullopt;
+  if (std::memcmp(compressed.data(), kMagic, 4) != 0) return std::nullopt;
+  ByteReader r(compressed.subspan(4));
+  std::uint64_t original_size = r.u64le();
+  // Refuse absurd sizes relative to the input (a 12-byte file cannot claim
+  // terabytes: max expansion per token is kLzMaxMatch bytes from 3).
+  if (original_size > (compressed.size() + 1) * kLzMaxMatch) {
+    return std::nullopt;
+  }
+
+  Bytes out;
+  out.reserve(original_size);
+  while (out.size() < original_size) {
+    if (!r.ok() || r.at_end()) return std::nullopt;
+    std::uint8_t flags = r.u8();
+    for (int bit = 0; bit < 8 && out.size() < original_size; ++bit) {
+      if (flags & (1u << bit)) {
+        std::uint16_t dist_raw = r.u16le();
+        std::uint8_t len_raw = r.u8();
+        if (!r.ok()) return std::nullopt;
+        std::size_t dist = static_cast<std::size_t>(dist_raw) + 1;
+        std::size_t len = static_cast<std::size_t>(len_raw) + kLzMinMatch;
+        if (dist > out.size()) return std::nullopt;  // out-of-window
+        if (out.size() + len > original_size) return std::nullopt;
+        std::size_t from = out.size() - dist;
+        for (std::size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+      } else {
+        std::uint8_t byte = r.u8();
+        if (!r.ok()) return std::nullopt;
+        out.push_back(byte);
+      }
+    }
+  }
+  return out;
+}
+
+double lz_ratio(BytesView original, BytesView compressed) {
+  if (original.empty()) return 1.0;
+  return static_cast<double>(compressed.size()) /
+         static_cast<double>(original.size());
+}
+
+}  // namespace dtr::xmlio

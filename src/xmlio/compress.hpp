@@ -1,0 +1,36 @@
+// LZSS compression for released datasets.
+//
+// The paper stores the dataset as XML because, "once compressed, [it] does
+// not have a prohibitive space cost" (footnote 3).  This module provides
+// the compression half of that story without external dependencies: a
+// classic LZSS (sliding-window dictionary) codec with a hash-chain matcher.
+// XML's repetitive structure compresses extremely well under it (typically
+// 4-8x on dataset files).
+//
+// Container format ("DTZ1"): 4-byte magic, u64le original size, then token
+// groups — one flag byte per 8 tokens (bit set = match), literals are raw
+// bytes, matches are 3 bytes: u16le distance (1-based), u8 length-3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace dtr::xmlio {
+
+constexpr std::size_t kLzWindow = 65536;  // max match distance
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzMaxMatch = 258;  // kLzMinMatch + 254
+
+/// Compress `data`.  Output is never more than input + input/8 + 16 bytes.
+Bytes lz_compress(BytesView data);
+
+/// Decompress; nullopt on malformed input (bad magic, truncated stream,
+/// out-of-window reference, or size mismatch).
+std::optional<Bytes> lz_decompress(BytesView compressed);
+
+/// Convenience: compressed-size / original-size (1.0 when empty).
+double lz_ratio(BytesView original, BytesView compressed);
+
+}  // namespace dtr::xmlio

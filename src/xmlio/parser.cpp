@@ -1,0 +1,204 @@
+#include "xmlio/parser.hpp"
+
+#include <cctype>
+
+namespace dtr::xmlio {
+
+int XmlParser::get() { return in_.get(); }
+int XmlParser::peek() { return in_.peek(); }
+
+void XmlParser::fail(std::string message) {
+  ok_ = false;
+  if (error_.empty()) error_ = std::move(message);
+}
+
+bool XmlParser::expect(char c) {
+  int got = get();
+  if (got != c) {
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+  return true;
+}
+
+std::string XmlParser::read_name() {
+  std::string name;
+  int c = peek();
+  while (c != EOF && (std::isalnum(c) || c == '_' || c == '-' || c == ':' ||
+                      c == '.')) {
+    name.push_back(static_cast<char>(get()));
+    c = peek();
+  }
+  if (name.empty()) fail("empty name");
+  return name;
+}
+
+std::string XmlParser::decode_entities(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    std::size_t semi = raw.find(';', i);
+    if (semi == std::string::npos) {
+      fail("unterminated entity");
+      return out;
+    }
+    std::string entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp")
+      out.push_back('&');
+    else if (entity == "lt")
+      out.push_back('<');
+    else if (entity == "gt")
+      out.push_back('>');
+    else if (entity == "quot")
+      out.push_back('"');
+    else if (entity == "apos")
+      out.push_back('\'');
+    else
+      fail("unknown entity: " + entity);
+    i = semi;
+  }
+  return out;
+}
+
+void XmlParser::skip_whitespace() {
+  while (std::isspace(peek())) get();
+}
+
+std::optional<XmlToken> XmlParser::next() {
+  if (!ok_) return std::nullopt;
+  if (pending_end_) {
+    XmlToken t;
+    t.kind = XmlToken::Kind::kEndElement;
+    t.name = std::move(*pending_end_);
+    pending_end_.reset();
+    return t;
+  }
+
+  // Accumulate text until '<' or EOF.
+  std::string text;
+  for (;;) {
+    int c = peek();
+    if (c == EOF) {
+      if (!text.empty() && text.find_first_not_of(" \t\r\n") != std::string::npos) {
+        XmlToken t;
+        t.kind = XmlToken::Kind::kText;
+        t.text = decode_entities(text);
+        return t;
+      }
+      return std::nullopt;
+    }
+    if (c == '<') break;
+    text.push_back(static_cast<char>(get()));
+  }
+  if (text.find_first_not_of(" \t\r\n") != std::string::npos) {
+    XmlToken t;
+    t.kind = XmlToken::Kind::kText;
+    t.text = decode_entities(text);
+    return t;
+  }
+  return parse_tag();
+}
+
+std::optional<XmlToken> XmlParser::parse_tag() {
+  expect('<');
+  int c = peek();
+
+  if (c == '?') {  // XML declaration / processing instruction: skip it
+    while (ok_) {
+      int ch = get();
+      if (ch == EOF) {
+        fail("unterminated declaration");
+        return std::nullopt;
+      }
+      if (ch == '?' && peek() == '>') {
+        get();
+        return next();
+      }
+    }
+    return std::nullopt;
+  }
+
+  if (c == '!') {  // comment: <!-- ... -->
+    get();
+    if (get() != '-' || get() != '-') {
+      fail("malformed comment");
+      return std::nullopt;
+    }
+    int dashes = 0;
+    for (;;) {
+      int ch = get();
+      if (ch == EOF) {
+        fail("unterminated comment");
+        return std::nullopt;
+      }
+      if (ch == '-') {
+        ++dashes;
+      } else if (ch == '>' && dashes >= 2) {
+        return next();
+      } else {
+        dashes = 0;
+      }
+    }
+  }
+
+  if (c == '/') {  // end tag
+    get();
+    XmlToken t;
+    t.kind = XmlToken::Kind::kEndElement;
+    t.name = read_name();
+    skip_whitespace();
+    if (!expect('>')) return std::nullopt;
+    if (!ok_) return std::nullopt;
+    return t;
+  }
+
+  // Start tag.
+  XmlToken t;
+  t.kind = XmlToken::Kind::kStartElement;
+  t.name = read_name();
+  for (;;) {
+    skip_whitespace();
+    int ch = peek();
+    if (ch == EOF) {
+      fail("unterminated start tag");
+      return std::nullopt;
+    }
+    if (ch == '>') {
+      get();
+      break;
+    }
+    if (ch == '/') {
+      get();
+      if (!expect('>')) return std::nullopt;
+      t.self_closing = true;
+      pending_end_ = t.name;
+      break;
+    }
+    // Attribute.
+    std::string key = read_name();
+    skip_whitespace();
+    if (!expect('=')) return std::nullopt;
+    skip_whitespace();
+    if (!expect('"')) return std::nullopt;
+    std::string value;
+    for (;;) {
+      int vc = get();
+      if (vc == EOF) {
+        fail("unterminated attribute value");
+        return std::nullopt;
+      }
+      if (vc == '"') break;
+      value.push_back(static_cast<char>(vc));
+    }
+    t.attrs.emplace_back(std::move(key), decode_entities(value));
+    if (!ok_) return std::nullopt;
+  }
+  if (!ok_) return std::nullopt;
+  return t;
+}
+
+}  // namespace dtr::xmlio

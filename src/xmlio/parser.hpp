@@ -1,0 +1,63 @@
+// Minimal streaming XML pull parser.
+//
+// Supports the subset the dataset schema uses: elements, attributes
+// (double-quoted), text nodes, self-closing tags, comments, the XML
+// declaration, and the five standard entities.  No DTDs, namespaces or
+// CDATA — the writer never produces them.  One token at a time, so a
+// multi-gigabyte dataset can be analysed without loading it into memory.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtr::xmlio {
+
+struct XmlToken {
+  enum class Kind { kStartElement, kEndElement, kText };
+
+  Kind kind = Kind::kText;
+  std::string name;                                       // element tokens
+  std::vector<std::pair<std::string, std::string>> attrs; // start tokens
+  std::string text;                                       // text tokens
+  bool self_closing = false;                              // start tokens
+
+  [[nodiscard]] const std::string* attr(std::string_view key) const {
+    for (const auto& [k, v] : attrs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::istream& in) : in_(in) {}
+
+  /// Next token, or nullopt at end of input.  A syntax error sets ok() to
+  /// false and ends the stream.
+  std::optional<XmlToken> next();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  int get();
+  int peek();
+  void fail(std::string message);
+  bool expect(char c);
+  std::string read_name();
+  std::string decode_entities(const std::string& raw);
+  void skip_whitespace();
+  std::optional<XmlToken> parse_tag();
+
+  std::istream& in_;
+  bool ok_ = true;
+  std::string error_;
+  // Emulated token for the EndElement of a self-closing tag.
+  std::optional<std::string> pending_end_;
+};
+
+}  // namespace dtr::xmlio

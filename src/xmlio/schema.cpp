@@ -1,0 +1,495 @@
+#include "xmlio/schema.hpp"
+
+#include <charconv>
+#include <ostream>
+
+namespace dtr::xmlio {
+
+namespace {
+
+const char* kind_name(const anon::AnonMessage& m) {
+  struct Visitor {
+    const char* operator()(const anon::AServStatReq&) { return "statreq"; }
+    const char* operator()(const anon::AServStatRes&) { return "statres"; }
+    const char* operator()(const anon::AServerDescReq&) { return "descreq"; }
+    const char* operator()(const anon::AServerDescRes&) { return "descres"; }
+    const char* operator()(const anon::AGetServerList&) { return "getservers"; }
+    const char* operator()(const anon::AServerList&) { return "servers"; }
+    const char* operator()(const anon::AFileSearchReq&) { return "search"; }
+    const char* operator()(const anon::AFileSearchRes&) { return "results"; }
+    const char* operator()(const anon::AGetSourcesReq&) { return "getsrc"; }
+    const char* operator()(const anon::AFoundSourcesRes&) { return "foundsrc"; }
+    const char* operator()(const anon::APublishReq&) { return "publish"; }
+    const char* operator()(const anon::APublishAck&) { return "puback"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+void write_expr(XmlWriter& w, const anon::AnonSearchExpr& e) {
+  using Kind = proto::SearchExpr::Kind;
+  switch (e.kind) {
+    case Kind::kBool: {
+      const char* name = e.op == proto::BoolOp::kAnd     ? "and"
+                         : e.op == proto::BoolOp::kOr    ? "or"
+                                                         : "andnot";
+      w.open(name);
+      if (e.left) write_expr(w, *e.left);
+      if (e.right) write_expr(w, *e.right);
+      w.close();
+      break;
+    }
+    case Kind::kKeyword:
+      w.open("kw").attr("h", e.token->hex()).close();
+      break;
+    case Kind::kMetaString:
+      w.open("meta")
+          .attr("h", e.token->hex())
+          .attr("tag", e.tag_token->hex())
+          .close();
+      break;
+    case Kind::kMetaNumeric:
+      w.open("num")
+          .attr("tag", e.tag_token->hex())
+          .attr("cmp", e.cmp == proto::NumCmp::kMin ? "min" : "max")
+          .attr("v", static_cast<std::uint64_t>(e.number))
+          .close();
+      break;
+  }
+}
+
+void write_file_entry(XmlWriter& w, const anon::AnonFileEntry& f) {
+  w.open("f").attr("id", f.file).attr("prov", f.provider);
+  if (f.port != 0) w.attr("port", f.port);
+  if (f.meta.name) w.attr("name", f.meta.name->hex());
+  if (f.meta.size_kb) w.attr("szkb", *f.meta.size_kb);
+  if (f.meta.type) w.attr("type", f.meta.type->hex());
+  if (f.meta.availability) w.attr("avail", *f.meta.availability);
+  w.close();
+}
+
+struct BodyWriter {
+  XmlWriter& w;
+
+  void operator()(const anon::AServStatReq&) {}
+  void operator()(const anon::AServStatRes& m) {
+    w.attr("users", m.users).attr("files", m.files);
+  }
+  void operator()(const anon::AServerDescReq&) {}
+  void operator()(const anon::AServerDescRes& m) {
+    w.attr("name", m.name.hex()).attr("desc", m.description.hex());
+  }
+  void operator()(const anon::AGetServerList&) {}
+  void operator()(const anon::AServerList& m) { w.attr("n", m.count); }
+  void operator()(const anon::AFileSearchReq& m) {
+    if (m.expr) write_expr(w, *m.expr);
+  }
+  void operator()(const anon::AFileSearchRes& m) {
+    for (const auto& f : m.results) write_file_entry(w, f);
+  }
+  void operator()(const anon::AGetSourcesReq& m) {
+    for (auto id : m.files) w.open("f").attr("id", id).close();
+  }
+  void operator()(const anon::AFoundSourcesRes& m) {
+    w.attr("file", m.file);
+    for (const auto& s : m.sources)
+      w.open("s").attr("c", s.client).attr("p", s.port).close();
+  }
+  void operator()(const anon::APublishReq& m) {
+    for (const auto& f : m.files) write_file_entry(w, f);
+  }
+  void operator()(const anon::APublishAck& m) { w.attr("n", m.accepted); }
+};
+
+}  // namespace
+
+DatasetWriter::DatasetWriter(std::ostream& out, bool pretty)
+    : writer_(out, pretty) {
+  writer_.declaration();
+  writer_.open("capture").attr("spec", kCaptureSpec);
+}
+
+DatasetWriter::~DatasetWriter() { finish(); }
+
+void DatasetWriter::write(const anon::AnonEvent& event) {
+  writer_.open("msg")
+      .attr("t", event.time)
+      .attr("peer", event.peer)
+      .attr("dir", event.is_query ? "q" : "a")
+      .attr("kind", kind_name(event.message));
+  // Attribute-carrying bodies must write attrs before children; BodyWriter
+  // follows that order internally.
+  std::visit(BodyWriter{writer_}, event.message);
+  writer_.close();
+  ++events_;
+}
+
+void DatasetWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  writer_.close_all();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::optional<std::uint64_t> attr_u64(const XmlToken& t, std::string_view key) {
+  const std::string* raw = t.attr(key);
+  if (raw == nullptr) return std::nullopt;
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size())
+    return std::nullopt;
+  return value;
+}
+
+std::optional<anon::StringToken> attr_hash(const XmlToken& t,
+                                           std::string_view key) {
+  const std::string* raw = t.attr(key);
+  if (raw == nullptr || raw->size() != 32) return std::nullopt;
+  return Digest128::from_hex(*raw);
+}
+
+}  // namespace
+
+DatasetReader::DatasetReader(std::istream& in) : parser_(in) {}
+
+void DatasetReader::fail(std::string message) {
+  ok_ = false;
+  if (error_.empty()) error_ = std::move(message);
+}
+
+std::optional<anon::AnonEvent> DatasetReader::next() {
+  if (!ok()) return std::nullopt;
+
+  for (;;) {
+    auto token = parser_.next();
+    if (!token) return std::nullopt;
+    if (token->kind == XmlToken::Kind::kText) continue;
+    if (token->kind == XmlToken::Kind::kEndElement) {
+      if (token->name == "capture") return std::nullopt;
+      continue;
+    }
+    if (token->name == "capture") {
+      root_seen_ = true;
+      continue;
+    }
+    if (!root_seen_) {
+      fail("msg outside <capture> root");
+      return std::nullopt;
+    }
+    if (token->name != "msg") {
+      fail("unexpected element <" + token->name + ">");
+      return std::nullopt;
+    }
+
+    anon::AnonEvent ev;
+    auto t = attr_u64(*token, "t");
+    auto peer = attr_u64(*token, "peer");
+    const std::string* dir = token->attr("dir");
+    if (!t || !peer || dir == nullptr || (*dir != "q" && *dir != "a")) {
+      fail("msg missing t/peer/dir");
+      return std::nullopt;
+    }
+    ev.time = *t;
+    ev.peer = static_cast<anon::AnonClientId>(*peer);
+    ev.is_query = (*dir == "q");
+    auto body = parse_body(*token);
+    if (!body) return std::nullopt;
+    ev.message = std::move(*body);
+    return ev;
+  }
+}
+
+namespace {
+
+/// Recursive expression parse: `start` is the already-consumed start tag.
+anon::AnonSearchExprPtr parse_expr(XmlParser& parser, const XmlToken& start,
+                                   bool& ok) {
+  using Kind = proto::SearchExpr::Kind;
+  auto e = std::make_unique<anon::AnonSearchExpr>();
+
+  if (start.name == "kw") {
+    e->kind = Kind::kKeyword;
+    e->token = attr_hash(start, "h");
+    if (!e->token) ok = false;
+  } else if (start.name == "meta") {
+    e->kind = Kind::kMetaString;
+    e->token = attr_hash(start, "h");
+    e->tag_token = attr_hash(start, "tag");
+    if (!e->token || !e->tag_token) ok = false;
+  } else if (start.name == "num") {
+    e->kind = Kind::kMetaNumeric;
+    e->tag_token = attr_hash(start, "tag");
+    auto v = attr_u64(start, "v");
+    const std::string* cmp = start.attr("cmp");
+    if (!e->tag_token || !v || cmp == nullptr || (*cmp != "min" && *cmp != "max")) {
+      ok = false;
+    } else {
+      e->number = static_cast<std::uint32_t>(*v);
+      e->cmp = *cmp == "min" ? proto::NumCmp::kMin : proto::NumCmp::kMax;
+    }
+  } else if (start.name == "and" || start.name == "or" ||
+             start.name == "andnot") {
+    e->kind = Kind::kBool;
+    e->op = start.name == "and"  ? proto::BoolOp::kAnd
+            : start.name == "or" ? proto::BoolOp::kOr
+                                 : proto::BoolOp::kAndNot;
+  } else {
+    ok = false;
+  }
+  if (!ok) return nullptr;
+
+  // Consume children up to the matching end tag.
+  int child_index = 0;
+  for (;;) {
+    auto token = parser.next();
+    if (!token) {
+      ok = false;
+      return nullptr;
+    }
+    if (token->kind == XmlToken::Kind::kText) continue;
+    if (token->kind == XmlToken::Kind::kEndElement) {
+      if (token->name != start.name) ok = false;
+      break;
+    }
+    // Child element: only boolean nodes have children.
+    if (e->kind != Kind::kBool || child_index > 1) {
+      ok = false;
+      return nullptr;
+    }
+    auto child = parse_expr(parser, *token, ok);
+    if (!ok) return nullptr;
+    (child_index == 0 ? e->left : e->right) = std::move(child);
+    ++child_index;
+  }
+  if (!ok) return nullptr;
+  if (e->kind == Kind::kBool && child_index != 2) {
+    ok = false;
+    return nullptr;
+  }
+  return e;
+}
+
+std::optional<anon::AnonFileEntry> parse_file_entry(const XmlToken& t) {
+  anon::AnonFileEntry f;
+  auto id = attr_u64(t, "id");
+  auto prov = attr_u64(t, "prov");
+  if (!id || !prov) return std::nullopt;
+  f.file = *id;
+  f.provider = static_cast<anon::AnonClientId>(*prov);
+  if (auto port = attr_u64(t, "port")) f.port = static_cast<std::uint16_t>(*port);
+  f.meta.name = attr_hash(t, "name");
+  if (auto sz = attr_u64(t, "szkb"))
+    f.meta.size_kb = static_cast<std::uint32_t>(*sz);
+  f.meta.type = attr_hash(t, "type");
+  if (auto avail = attr_u64(t, "avail"))
+    f.meta.availability = static_cast<std::uint32_t>(*avail);
+  return f;
+}
+
+}  // namespace
+
+std::optional<anon::AnonMessage> DatasetReader::parse_body(
+    const XmlToken& msg_tag) {
+  const std::string* kind = msg_tag.attr("kind");
+  if (kind == nullptr) {
+    fail("msg missing kind");
+    return std::nullopt;
+  }
+
+  anon::AnonMessage out;
+  bool want_children = false;
+
+  if (*kind == "statreq") {
+    out = anon::AServStatReq{};
+  } else if (*kind == "statres") {
+    anon::AServStatRes m;
+    auto users = attr_u64(msg_tag, "users");
+    auto files = attr_u64(msg_tag, "files");
+    if (!users || !files) {
+      fail("statres missing users/files");
+      return std::nullopt;
+    }
+    m.users = static_cast<std::uint32_t>(*users);
+    m.files = static_cast<std::uint32_t>(*files);
+    out = m;
+  } else if (*kind == "descreq") {
+    out = anon::AServerDescReq{};
+  } else if (*kind == "descres") {
+    anon::AServerDescRes m;
+    auto name = attr_hash(msg_tag, "name");
+    auto desc = attr_hash(msg_tag, "desc");
+    if (!name || !desc) {
+      fail("descres missing name/desc");
+      return std::nullopt;
+    }
+    m.name = *name;
+    m.description = *desc;
+    out = m;
+  } else if (*kind == "getservers") {
+    out = anon::AGetServerList{};
+  } else if (*kind == "servers") {
+    anon::AServerList m;
+    auto n = attr_u64(msg_tag, "n");
+    if (!n) {
+      fail("servers missing n");
+      return std::nullopt;
+    }
+    m.count = static_cast<std::uint32_t>(*n);
+    out = m;
+  } else if (*kind == "search" || *kind == "results" || *kind == "getsrc" ||
+             *kind == "foundsrc" || *kind == "publish") {
+    want_children = true;
+  } else if (*kind == "puback") {
+    anon::APublishAck m;
+    auto n = attr_u64(msg_tag, "n");
+    if (!n) {
+      fail("puback missing n");
+      return std::nullopt;
+    }
+    m.accepted = static_cast<std::uint32_t>(*n);
+    out = m;
+  } else {
+    fail("unknown msg kind: " + *kind);
+    return std::nullopt;
+  }
+
+  if (!want_children) {
+    // Consume to </msg>.
+    for (;;) {
+      auto token = parser_.next();
+      if (!token) {
+        fail("unterminated msg");
+        return std::nullopt;
+      }
+      if (token->kind == XmlToken::Kind::kEndElement && token->name == "msg")
+        break;
+      if (token->kind == XmlToken::Kind::kStartElement) {
+        fail("unexpected child in <msg kind=\"" + *kind + "\">");
+        return std::nullopt;
+      }
+    }
+    return out;
+  }
+
+  // Children-bearing kinds.
+  anon::AFileSearchReq search;
+  anon::AFileSearchRes results;
+  anon::AGetSourcesReq getsrc;
+  anon::AFoundSourcesRes foundsrc;
+  anon::APublishReq publish;
+
+  if (*kind == "foundsrc") {
+    auto file = attr_u64(msg_tag, "file");
+    if (!file) {
+      fail("foundsrc missing file");
+      return std::nullopt;
+    }
+    foundsrc.file = *file;
+  }
+
+  for (;;) {
+    auto token = parser_.next();
+    if (!token) {
+      fail("unterminated msg");
+      return std::nullopt;
+    }
+    if (token->kind == XmlToken::Kind::kText) continue;
+    if (token->kind == XmlToken::Kind::kEndElement) {
+      if (token->name == "msg") break;
+      fail("mismatched end tag </" + token->name + ">");
+      return std::nullopt;
+    }
+
+    if (*kind == "search") {
+      bool expr_ok = true;
+      search.expr = parse_expr(parser_, *token, expr_ok);
+      if (!expr_ok || search.expr == nullptr) {
+        fail("malformed search expression");
+        return std::nullopt;
+      }
+    } else if (*kind == "results" || *kind == "publish") {
+      if (token->name != "f") {
+        fail("expected <f> entry");
+        return std::nullopt;
+      }
+      auto entry = parse_file_entry(*token);
+      if (!entry) {
+        fail("malformed <f> entry");
+        return std::nullopt;
+      }
+      (*kind == "results" ? results.results : publish.files)
+          .push_back(std::move(*entry));
+      // Self-closing <f/> emits its end tag via the parser; consume it.
+      if (!token->self_closing) {
+        fail("<f> must be empty");
+        return std::nullopt;
+      }
+      auto end = parser_.next();
+      if (!end || end->kind != XmlToken::Kind::kEndElement) {
+        fail("expected </f>");
+        return std::nullopt;
+      }
+    } else if (*kind == "getsrc") {
+      if (token->name != "f") {
+        fail("expected <f> entry");
+        return std::nullopt;
+      }
+      auto id = attr_u64(*token, "id");
+      if (!id) {
+        fail("<f> missing id");
+        return std::nullopt;
+      }
+      getsrc.files.push_back(*id);
+      if (!token->self_closing) {
+        fail("<f> must be empty");
+        return std::nullopt;
+      }
+      auto end = parser_.next();
+      if (!end || end->kind != XmlToken::Kind::kEndElement) {
+        fail("expected </f>");
+        return std::nullopt;
+      }
+    } else if (*kind == "foundsrc") {
+      if (token->name != "s") {
+        fail("expected <s> source");
+        return std::nullopt;
+      }
+      auto c = attr_u64(*token, "c");
+      auto p = attr_u64(*token, "p");
+      if (!c || !p) {
+        fail("<s> missing c/p");
+        return std::nullopt;
+      }
+      foundsrc.sources.push_back(
+          {static_cast<anon::AnonClientId>(*c), static_cast<std::uint16_t>(*p)});
+      if (!token->self_closing) {
+        fail("<s> must be empty");
+        return std::nullopt;
+      }
+      auto end = parser_.next();
+      if (!end || end->kind != XmlToken::Kind::kEndElement) {
+        fail("expected </s>");
+        return std::nullopt;
+      }
+    }
+  }
+
+  if (*kind == "search") {
+    if (search.expr == nullptr) {
+      fail("search without expression");
+      return std::nullopt;
+    }
+    return anon::AnonMessage{std::move(search)};
+  }
+  if (*kind == "results") return anon::AnonMessage{std::move(results)};
+  if (*kind == "getsrc") return anon::AnonMessage{std::move(getsrc)};
+  if (*kind == "foundsrc") return anon::AnonMessage{std::move(foundsrc)};
+  return anon::AnonMessage{std::move(publish)};
+}
+
+}  // namespace dtr::xmlio

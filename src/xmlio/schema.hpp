@@ -1,0 +1,76 @@
+// Dataset schema: AnonEvent <-> XML.
+//
+// One <msg> element per anonymised message, inside a <capture> root:
+//
+//   <capture spec="donkeytrace-1">
+//     <msg t="1234567" peer="42" dir="q" kind="getsrc"><f id="17"/></msg>
+//     <msg t="1234590" peer="42" dir="a" kind="foundsrc" file="17">
+//       <s c="99" p="4662"/>
+//     </msg>
+//     ...
+//   </capture>
+//
+// Attributes:  t = microseconds since capture start, peer = anonymised
+// clientID of the dialog's client side, dir = q(uery)/a(nswer).
+// Search expressions serialise as nested <and>/<or>/<andnot>/<kw>/<meta>/
+// <num> elements; hashes are 32-hex-digit MD5 tokens.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "anon/anonymiser.hpp"
+#include "xmlio/parser.hpp"
+#include "xmlio/writer.hpp"
+
+namespace dtr::xmlio {
+
+constexpr const char* kCaptureSpec = "donkeytrace-1";
+
+/// Streams AnonEvents into a <capture> document.
+class DatasetWriter {
+ public:
+  explicit DatasetWriter(std::ostream& out, bool pretty = false);
+  ~DatasetWriter();
+
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  void write(const anon::AnonEvent& event);
+
+  /// Close the root element.  Called by the destructor if omitted.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  XmlWriter writer_;
+  bool finished_ = false;
+  std::uint64_t events_ = 0;
+};
+
+/// Streams AnonEvents back out of a dataset document.
+class DatasetReader {
+ public:
+  explicit DatasetReader(std::istream& in);
+
+  /// Next event, or nullopt at end.  Malformed documents set ok() false.
+  std::optional<anon::AnonEvent> next();
+
+  [[nodiscard]] bool ok() const { return ok_ && parser_.ok(); }
+  [[nodiscard]] const std::string& error() const {
+    return error_.empty() ? parser_.error() : error_;
+  }
+
+ private:
+  void fail(std::string message);
+  std::optional<anon::AnonMessage> parse_body(const XmlToken& msg_tag);
+
+  XmlParser parser_;
+  bool ok_ = true;
+  bool root_seen_ = false;
+  std::string error_;
+};
+
+}  // namespace dtr::xmlio

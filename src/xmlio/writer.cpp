@@ -1,0 +1,100 @@
+#include "xmlio/writer.hpp"
+
+namespace dtr::xmlio {
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+XmlWriter::XmlWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+void XmlWriter::declaration() {
+  out_ << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  if (pretty_) out_ << '\n';
+}
+
+void XmlWriter::finish_open_tag() {
+  if (tag_open_) {
+    out_ << '>';
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::indent() {
+  if (!pretty_) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+XmlWriter& XmlWriter::open(std::string_view name) {
+  finish_open_tag();
+  indent();
+  out_ << '<' << name;
+  stack_.emplace_back(name);
+  tag_open_ = true;
+  has_children_ = false;
+  ++elements_;
+  return *this;
+}
+
+XmlWriter& XmlWriter::attr(std::string_view name, std::string_view value) {
+  out_ << ' ' << name << "=\"" << xml_escape(value) << '"';
+  return *this;
+}
+
+XmlWriter& XmlWriter::attr(std::string_view name, std::uint64_t value) {
+  out_ << ' ' << name << "=\"" << value << '"';
+  return *this;
+}
+
+XmlWriter& XmlWriter::text(std::string_view content) {
+  finish_open_tag();
+  out_ << xml_escape(content);
+  has_children_ = true;  // suppress indentation before the closing tag
+  return *this;
+}
+
+XmlWriter& XmlWriter::close() {
+  std::string name = stack_.back();
+  stack_.pop_back();
+  if (tag_open_) {
+    out_ << "/>";
+    tag_open_ = false;
+  } else {
+    if (!has_children_) indent();
+    out_ << "</" << name << '>';
+  }
+  has_children_ = false;
+  return *this;
+}
+
+void XmlWriter::close_all() {
+  while (!stack_.empty()) close();
+  if (pretty_) out_ << '\n';
+}
+
+}  // namespace dtr::xmlio

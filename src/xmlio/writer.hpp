@@ -1,0 +1,52 @@
+// Streaming XML writer.
+//
+// The released dataset is XML: "it leads to easy-to-read and rigorously
+// specified text files, and, once compressed, does not have a prohibitive
+// space cost" (paper, footnote 3).  The writer is strictly streaming — the
+// capture pipeline emits messages as they happen and never holds more than
+// the current element in memory.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtr::xmlio {
+
+/// Escape the five XML special characters in attribute/text context.
+std::string xml_escape(std::string_view s);
+
+class XmlWriter {
+ public:
+  /// The writer does not own the stream; it must outlive the writer.
+  explicit XmlWriter(std::ostream& out, bool pretty = false);
+
+  /// Emits the XML declaration.  Call at most once, before any element.
+  void declaration();
+
+  XmlWriter& open(std::string_view name);
+  XmlWriter& attr(std::string_view name, std::string_view value);
+  XmlWriter& attr(std::string_view name, std::uint64_t value);
+  XmlWriter& text(std::string_view content);
+  XmlWriter& close();       ///< close the innermost open element
+
+  void close_all();
+
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+  [[nodiscard]] std::uint64_t elements_written() const { return elements_; }
+
+ private:
+  void finish_open_tag();
+  void indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  bool tag_open_ = false;    // '<name ...' emitted but not yet '>' closed
+  bool has_children_ = false;
+  std::vector<std::string> stack_;
+  std::uint64_t elements_ = 0;
+};
+
+}  // namespace dtr::xmlio

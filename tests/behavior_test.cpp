@@ -1,0 +1,231 @@
+// Tests for the behaviour-analysis extensions (paper §4 future work):
+// ActivityTracker (temporal) and FileSpreadTracker (file spread).
+#include <gtest/gtest.h>
+
+#include "analysis/spread.hpp"
+#include "analysis/temporal.hpp"
+#include "core/campaign_runner.hpp"
+
+namespace dtr::analysis {
+namespace {
+
+anon::AnonEvent query_at(SimTime t, anon::AnonClientId peer) {
+  anon::AnonEvent ev;
+  ev.time = t;
+  ev.peer = peer;
+  ev.is_query = true;
+  ev.message = anon::AServStatReq{};
+  return ev;
+}
+
+anon::AnonEvent publish_at(SimTime t, anon::AnonClientId peer,
+                           std::initializer_list<anon::AnonFileId> files) {
+  anon::AnonEvent ev;
+  ev.time = t;
+  ev.peer = peer;
+  ev.is_query = true;
+  anon::APublishReq req;
+  for (auto f : files) {
+    anon::AnonFileEntry e;
+    e.file = f;
+    e.provider = peer;
+    req.files.push_back(e);
+  }
+  ev.message = std::move(req);
+  return ev;
+}
+
+// ---------------------------------------------------------------------------
+// ActivityTracker
+// ---------------------------------------------------------------------------
+
+TEST(Activity, BinsByTime) {
+  ActivityTracker tracker(kHour);
+  tracker.consume(query_at(10 * kMinute, 1));
+  tracker.consume(query_at(50 * kMinute, 2));
+  tracker.consume(query_at(90 * kMinute, 1));
+  ASSERT_EQ(tracker.bins().size(), 2u);
+  EXPECT_EQ(tracker.bins()[0].messages, 2u);
+  EXPECT_EQ(tracker.bins()[1].messages, 1u);
+}
+
+TEST(Activity, ActiveClientsCountedOncePerBin) {
+  ActivityTracker tracker(kHour);
+  tracker.consume(query_at(1 * kMinute, 7));
+  tracker.consume(query_at(2 * kMinute, 7));
+  tracker.consume(query_at(3 * kMinute, 8));
+  EXPECT_EQ(tracker.bins()[0].active_clients, 2u);
+  // Same client in a later bin counts active again.
+  tracker.consume(query_at(61 * kMinute, 7));
+  EXPECT_EQ(tracker.bins()[1].active_clients, 1u);
+}
+
+TEST(Activity, NewClientsOnlyOnFirstAppearance) {
+  ActivityTracker tracker(kHour);
+  tracker.consume(query_at(1 * kMinute, 7));
+  tracker.consume(query_at(61 * kMinute, 7));
+  tracker.consume(query_at(62 * kMinute, 9));
+  EXPECT_EQ(tracker.bins()[0].new_clients, 1u);
+  EXPECT_EQ(tracker.bins()[1].new_clients, 1u);  // only client 9
+}
+
+TEST(Activity, NewFilesTracked) {
+  ActivityTracker tracker(kHour);
+  tracker.consume(publish_at(1 * kMinute, 1, {100, 101}));
+  tracker.consume(publish_at(61 * kMinute, 2, {100, 102}));
+  EXPECT_EQ(tracker.bins()[0].new_files, 2u);
+  EXPECT_EQ(tracker.bins()[1].new_files, 1u);  // only file 102
+}
+
+TEST(Activity, QueriesVsAnswers) {
+  ActivityTracker tracker(kHour);
+  tracker.consume(query_at(0, 1));
+  anon::AnonEvent answer;
+  answer.time = 1;
+  answer.peer = 1;
+  answer.is_query = false;
+  answer.message = anon::AServStatRes{1, 2};
+  tracker.consume(answer);
+  EXPECT_EQ(tracker.bins()[0].messages, 2u);
+  EXPECT_EQ(tracker.bins()[0].queries, 1u);
+}
+
+TEST(Activity, PeakAndMean) {
+  ActivityTracker tracker(kHour);
+  for (int i = 0; i < 10; ++i) tracker.consume(query_at(10 * kMinute, 1));
+  tracker.consume(query_at(90 * kMinute, 1));
+  EXPECT_EQ(tracker.peak_bin(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.mean_rate(), 5.5);
+  EXPECT_NEAR(tracker.peak_to_mean(), 10.0 / 5.5, 1e-9);
+}
+
+TEST(Activity, EmptyTracker) {
+  ActivityTracker tracker;
+  EXPECT_EQ(tracker.peak_bin(), 0u);
+  EXPECT_EQ(tracker.mean_rate(), 0.0);
+  EXPECT_EQ(tracker.peak_to_mean(), 0.0);
+}
+
+TEST(Activity, FoundSourcesProvidersCountAsActive) {
+  ActivityTracker tracker(kHour);
+  anon::AnonEvent ev;
+  ev.time = 0;
+  ev.peer = 1;
+  ev.is_query = false;
+  ev.message = anon::AFoundSourcesRes{55, {{20, 4662}, {21, 4662}}};
+  tracker.consume(ev);
+  EXPECT_EQ(tracker.bins()[0].active_clients, 3u);  // peer + two providers
+}
+
+// ---------------------------------------------------------------------------
+// FileSpreadTracker
+// ---------------------------------------------------------------------------
+
+TEST(Spread, MilestonesRecordedInOrder) {
+  FileSpreadTracker tracker;
+  for (std::uint32_t p = 0; p < 30; ++p) {
+    tracker.observe_provider(42, p, p * kMinute);
+  }
+  const auto& spread = tracker.files().at(42);
+  EXPECT_EQ(spread.providers, 30u);
+  EXPECT_TRUE(spread.reached[0]);  // 1
+  EXPECT_TRUE(spread.reached[1]);  // 2
+  EXPECT_TRUE(spread.reached[2]);  // 5
+  EXPECT_TRUE(spread.reached[3]);  // 10
+  EXPECT_TRUE(spread.reached[4]);  // 25
+  EXPECT_FALSE(spread.reached[5]);  // 100 not reached
+  EXPECT_EQ(spread.milestone_time[0], 0u);
+  EXPECT_EQ(spread.milestone_time[2], 4 * kMinute);   // 5th provider
+  EXPECT_EQ(spread.milestone_time[4], 24 * kMinute);  // 25th provider
+}
+
+TEST(Spread, DuplicateProvidersIgnored) {
+  FileSpreadTracker tracker;
+  tracker.observe_provider(1, 10, 0);
+  tracker.observe_provider(1, 10, kMinute);
+  tracker.observe_provider(1, 11, 2 * kMinute);
+  EXPECT_EQ(tracker.files().at(1).providers, 2u);
+  EXPECT_EQ(tracker.files().at(1).milestone_time[1], 2 * kMinute);
+}
+
+TEST(Spread, TimeToMilestoneHistogram) {
+  FileSpreadTracker tracker;
+  // File A: 2nd provider after 100 s; file B after 200 s; file C never.
+  tracker.observe_provider(1, 10, 0);
+  tracker.observe_provider(1, 11, 100 * kSecond);
+  tracker.observe_provider(2, 10, 0);
+  tracker.observe_provider(2, 11, 200 * kSecond);
+  tracker.observe_provider(3, 10, 0);
+  CountHistogram h = tracker.time_to_milestone(1);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count_of(100), 1u);
+  EXPECT_EQ(h.count_of(200), 1u);
+}
+
+TEST(Spread, MilestoneCounts) {
+  FileSpreadTracker tracker;
+  for (std::uint32_t p = 0; p < 5; ++p) tracker.observe_provider(1, p, p);
+  tracker.observe_provider(2, 0, 0);
+  auto counts = tracker.milestone_counts();
+  EXPECT_EQ(counts[0], 2u);  // both reached 1 provider
+  EXPECT_EQ(counts[1], 1u);  // only file 1 reached 2
+  EXPECT_EQ(counts[2], 1u);  // and 5
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(Spread, ConsumesPipelineMessageKinds) {
+  FileSpreadTracker tracker;
+  tracker.consume(publish_at(0, 1, {100}));
+  anon::AnonEvent found;
+  found.time = kMinute;
+  found.peer = 9;
+  found.is_query = false;
+  found.message = anon::AFoundSourcesRes{100, {{2, 4662}}};
+  tracker.consume(found);
+  anon::AnonEvent results;
+  results.time = 2 * kMinute;
+  results.peer = 9;
+  results.is_query = false;
+  anon::AFileSearchRes res;
+  anon::AnonFileEntry e;
+  e.file = 100;
+  e.provider = 3;
+  res.results.push_back(e);
+  results.message = std::move(res);
+  tracker.consume(results);
+  EXPECT_EQ(tracker.files().at(100).providers, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Wired into the pipeline via extra_sink
+// ---------------------------------------------------------------------------
+
+TEST(BehaviorIntegration, TrackersSeeTheWholeStream) {
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(31);
+  cfg.buffer.capacity = 1 << 20;
+  cfg.buffer.drain_rate = 1e9;
+  cfg.buffer.stall_per_hour = 0.0;
+
+  ActivityTracker activity(kHour);
+  FileSpreadTracker spread;
+  std::uint64_t sunk = 0;
+  cfg.extra_sink = [&](const anon::AnonEvent& ev) {
+    activity.consume(ev);
+    spread.consume(ev);
+    ++sunk;
+  };
+  core::CampaignRunner runner(cfg);
+  core::CampaignReport report = runner.run();
+
+  EXPECT_EQ(sunk, report.pipeline.anonymised_events);
+  std::uint64_t binned = 0;
+  for (const auto& b : activity.bins()) binned += b.messages;
+  EXPECT_EQ(binned, sunk);
+  EXPECT_FALSE(spread.files().empty());
+  auto counts = spread.milestone_counts();
+  EXPECT_GT(counts[0], 0u);
+  EXPECT_GT(counts[1], 0u) << "some files must gain a second provider";
+}
+
+}  // namespace
+}  // namespace dtr::analysis

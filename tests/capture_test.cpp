@@ -1,0 +1,158 @@
+// Capture-side tests: the kernel-buffer loss model (the mechanism behind
+// Figure 2) and the capture engine's loss accounting.
+#include <gtest/gtest.h>
+
+#include "capture/engine.hpp"
+#include "capture/kernel_buffer.hpp"
+#include "net/pcap.hpp"
+
+namespace dtr::capture {
+namespace {
+
+KernelBufferConfig no_stall_config() {
+  KernelBufferConfig cfg;
+  cfg.capacity = 100;
+  cfg.drain_rate = 1000.0;
+  cfg.stall_per_hour = 0.0;  // deterministic: no reader stalls
+  cfg.stall_mean = kMillisecond;
+  return cfg;
+}
+
+TEST(KernelBuffer, NoLossBelowDrainRate) {
+  KernelBuffer buf(no_stall_config());
+  // 500 packets/s against a 1000/s drain: occupancy never builds up.
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(buf.offer(static_cast<SimTime>(i) * 2 * kMillisecond));
+  }
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.accepted(), 5000u);
+}
+
+TEST(KernelBuffer, BurstBeyondCapacityDrops) {
+  KernelBuffer buf(no_stall_config());  // capacity 100
+  // 1000 packets at the same instant: at most ~100 fit.
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 1000; ++i) accepted += buf.offer(kSecond);
+  EXPECT_GT(buf.dropped(), 800u);
+  EXPECT_LE(accepted, 101u);
+  EXPECT_EQ(accepted + buf.dropped(), 1000u);
+}
+
+TEST(KernelBuffer, DrainsBetweenBursts) {
+  KernelBuffer buf(no_stall_config());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(buf.offer(kSecond));
+  EXPECT_EQ(buf.occupancy(), 100u);
+  // After 200 ms at 1000/s the buffer has room for ~200 more.
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 150; ++i)
+    accepted += buf.offer(kSecond + 200 * kMillisecond);
+  EXPECT_GT(accepted, 90u);
+}
+
+TEST(KernelBuffer, SustainedOverloadLosesTheExcess) {
+  KernelBufferConfig cfg = no_stall_config();
+  cfg.capacity = 50;
+  cfg.drain_rate = 100.0;
+  KernelBuffer buf(cfg);
+  // 10 seconds at 300 packets/s against 100/s drain: ~2/3 lost.
+  std::uint64_t offered = 0;
+  for (SimTime t = 0; t < 10 * kSecond; t += kSecond / 300) {
+    buf.offer(t);
+    ++offered;
+  }
+  double loss_rate =
+      static_cast<double>(buf.dropped()) / static_cast<double>(offered);
+  EXPECT_NEAR(loss_rate, 2.0 / 3.0, 0.05);
+}
+
+TEST(KernelBuffer, StallsCauseLossEvenAtModestRate) {
+  KernelBufferConfig cfg;
+  cfg.capacity = 100;
+  cfg.drain_rate = 2000.0;
+  cfg.stall_per_hour = 3600.0;  // a stall every second on average
+  cfg.stall_mean = 500 * kMillisecond;
+  cfg.seed = 5;
+  KernelBuffer buf(cfg);
+  // 1000/s for 60 s: without stalls this never drops (drain is 2x), but
+  // half-second stalls overflow the 100-packet buffer routinely.
+  for (SimTime t = 0; t < 60 * kSecond; t += kMillisecond) buf.offer(t);
+  EXPECT_GT(buf.dropped(), 0u);
+  // Yet the overall loss rate stays small — Figure 2's "losses, although
+  // very rare" regime.
+  EXPECT_LT(buf.dropped(), buf.accepted() / 2);
+}
+
+TEST(KernelBuffer, DeterministicForSeed) {
+  KernelBufferConfig cfg;
+  cfg.stall_per_hour = 100.0;
+  cfg.seed = 9;
+  KernelBuffer a(cfg), b(cfg);
+  for (SimTime t = 0; t < 5 * kSecond; t += 100) {
+    EXPECT_EQ(a.offer(t), b.offer(t));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CaptureEngine
+// ---------------------------------------------------------------------------
+
+sim::TimedFrame frame_at(SimTime t) {
+  return sim::TimedFrame{t, Bytes(64, 0xAA)};
+}
+
+TEST(Engine, LossSeriesSumsToTotalLost) {
+  KernelBufferConfig cfg = no_stall_config();
+  cfg.capacity = 10;
+  cfg.drain_rate = 10.0;
+  CaptureEngine engine(cfg);
+  for (int burst = 0; burst < 5; ++burst) {
+    SimTime t = static_cast<SimTime>(burst) * 10 * kSecond;
+    for (int i = 0; i < 100; ++i) engine.offer(frame_at(t));
+  }
+  std::uint64_t series_sum = 0;
+  for (const auto& p : engine.loss_series()) series_sum += p.lost;
+  EXPECT_EQ(series_sum, engine.lost());
+  EXPECT_GT(engine.lost(), 0u);
+  EXPECT_EQ(engine.loss_series().size(), 5u) << "one loss point per burst second";
+}
+
+TEST(Engine, CumulativeLossesMonotonic) {
+  KernelBufferConfig cfg = no_stall_config();
+  cfg.capacity = 5;
+  cfg.drain_rate = 1.0;
+  CaptureEngine engine(cfg);
+  for (int i = 0; i < 300; ++i)
+    engine.offer(frame_at(static_cast<SimTime>(i) * 100 * kMillisecond));
+  auto cumulative = engine.cumulative_losses();
+  ASSERT_FALSE(cumulative.empty());
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i].lost, cumulative[i - 1].lost);
+    EXPECT_GE(cumulative[i].second, cumulative[i - 1].second);
+  }
+  EXPECT_EQ(cumulative.back().lost, engine.lost());
+}
+
+TEST(Engine, SurvivorsReachSinkAndPcap) {
+  KernelBufferConfig cfg = no_stall_config();
+  cfg.capacity = 3;
+  cfg.drain_rate = 0.001;  // nearly no drain: only 3 packets survive
+  CaptureEngine engine(cfg);
+  net::PcapWriter pcap;
+  engine.set_pcap(&pcap);
+  std::uint64_t sank = 0;
+  engine.set_sink([&](const sim::TimedFrame&) { ++sank; });
+  for (int i = 0; i < 10; ++i) engine.offer(frame_at(kSecond));
+  EXPECT_EQ(sank, 3u);
+  EXPECT_EQ(pcap.records_written(), 3u);
+  EXPECT_EQ(engine.captured(), 3u);
+  EXPECT_EQ(engine.lost(), 7u);
+}
+
+TEST(Engine, NoSinksIsFine) {
+  CaptureEngine engine(no_stall_config());
+  EXPECT_TRUE(engine.offer(frame_at(0)));
+  EXPECT_EQ(engine.captured(), 1u);
+}
+
+}  // namespace
+}  // namespace dtr::capture

@@ -1,0 +1,30 @@
+# CLI smoke test: run a tiny campaign, write a compressed dataset, then
+# analyze it (which validates it against the formal spec first).
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --xml smoke.xml.dtz
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_campaign)
+if(NOT rc_campaign EQUAL 0)
+  message(FATAL_ERROR "donkeytrace campaign failed: ${rc_campaign}")
+endif()
+
+execute_process(
+  COMMAND ${DONKEYTRACE} analyze smoke.xml.dtz
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_analyze
+  OUTPUT_VARIABLE out_analyze)
+if(NOT rc_analyze EQUAL 0)
+  message(FATAL_ERROR "donkeytrace analyze failed: ${rc_analyze}")
+endif()
+if(NOT out_analyze MATCHES "distinct clients")
+  message(FATAL_ERROR "analyze output missing summary table")
+endif()
+
+execute_process(
+  COMMAND ${DONKEYTRACE} decompress smoke.xml.dtz
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_decompress)
+if(NOT rc_decompress EQUAL 0)
+  message(FATAL_ERROR "donkeytrace decompress failed: ${rc_decompress}")
+endif()

@@ -1,0 +1,223 @@
+// Decoder tests: the eth -> IP -> UDP -> eDonkey chain, §2.3 statistics,
+// and end-to-end agreement with the simulator's ground truth.
+#include <gtest/gtest.h>
+
+#include "decode/decoder.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/udp.hpp"
+#include "proto/codec.hpp"
+#include "sim/background.hpp"
+#include "sim/campaign.hpp"
+
+namespace dtr::decode {
+namespace {
+
+constexpr std::uint32_t kServerIp = 0xC0A80001;
+constexpr std::uint16_t kServerPort = 4665;
+
+sim::TimedFrame make_frame(SimTime t, std::uint32_t src, std::uint16_t sport,
+                           std::uint32_t dst, std::uint16_t dport,
+                           Bytes payload, std::uint8_t protocol = 17) {
+  net::UdpDatagram udp;
+  udp.src_port = sport;
+  udp.dst_port = dport;
+  udp.payload = std::move(payload);
+  net::Ipv4Packet ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.protocol = protocol;
+  ip.identification = 77;
+  ip.payload = net::encode_udp(udp, src, dst);
+  net::EthernetFrame eth;
+  eth.payload = net::encode_ipv4(ip);
+  return sim::TimedFrame{t, net::encode_ethernet(eth)};
+}
+
+TEST(Decoder, DecodesAQueryToTheServer) {
+  std::vector<DecodedMessage> out;
+  FrameDecoder dec(kServerIp, kServerPort,
+                   [&](DecodedMessage&& m) { out.push_back(std::move(m)); });
+  Bytes payload = proto::encode_message(proto::ServStatReq{123});
+  dec.push(make_frame(kSecond, 0x0A000001, 4662, kServerIp, kServerPort,
+                      payload));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, kSecond);
+  EXPECT_EQ(out[0].src_ip, 0x0A000001u);
+  EXPECT_EQ(out[0].dst_port, kServerPort);
+  EXPECT_EQ(std::get<proto::ServStatReq>(out[0].message).challenge, 123u);
+  EXPECT_EQ(dec.stats().decoded, 1u);
+  EXPECT_EQ(dec.stats().udp_packets, 1u);
+}
+
+TEST(Decoder, IgnoresTcpButCountsIt) {
+  FrameDecoder dec(kServerIp, kServerPort, nullptr);
+  // The paper: tcp is captured but not decoded.
+  Bytes tcpish(40, 0);
+  net::Ipv4Packet ip;
+  ip.src = 1;
+  ip.dst = kServerIp;
+  ip.protocol = 6;
+  ip.payload = tcpish;
+  net::EthernetFrame eth;
+  eth.payload = net::encode_ipv4(ip);
+  dec.push(sim::TimedFrame{0, net::encode_ethernet(eth)});
+  EXPECT_EQ(dec.stats().tcp_packets, 1u);
+  EXPECT_EQ(dec.stats().udp_packets, 0u);
+  EXPECT_EQ(dec.stats().edonkey_messages, 0u);
+}
+
+TEST(Decoder, IgnoresNonIpv4Frames) {
+  FrameDecoder dec(kServerIp, kServerPort, nullptr);
+  net::EthernetFrame arp;
+  arp.ether_type = net::kEtherTypeArp;
+  arp.payload = Bytes(28, 0);
+  dec.push(sim::TimedFrame{0, net::encode_ethernet(arp)});
+  EXPECT_EQ(dec.stats().non_ipv4_frames, 1u);
+}
+
+TEST(Decoder, CountsBadIpPackets) {
+  FrameDecoder dec(kServerIp, kServerPort, nullptr);
+  net::EthernetFrame eth;
+  eth.payload = Bytes(30, 0x45);  // garbage "IP" bytes
+  dec.push(sim::TimedFrame{0, net::encode_ethernet(eth)});
+  EXPECT_EQ(dec.stats().bad_ip_packets, 1u);
+}
+
+TEST(Decoder, CountsMalformedUdp) {
+  FrameDecoder dec(kServerIp, kServerPort, nullptr);
+  net::Ipv4Packet ip;
+  ip.src = 1;
+  ip.dst = kServerIp;
+  ip.payload = Bytes(4, 0);  // shorter than a UDP header
+  net::EthernetFrame eth;
+  eth.payload = net::encode_ipv4(ip);
+  dec.push(sim::TimedFrame{0, net::encode_ethernet(eth)});
+  EXPECT_EQ(dec.stats().udp_malformed, 1u);
+}
+
+TEST(Decoder, SkipsDialogsNotInvolvingTheServer) {
+  std::vector<DecodedMessage> out;
+  FrameDecoder dec(kServerIp, kServerPort,
+                   [&](DecodedMessage&& m) { out.push_back(std::move(m)); });
+  Bytes payload = proto::encode_message(proto::ServStatReq{1});
+  dec.push(make_frame(0, 0x0A000001, 4662, 0x0B000001, 4665 + 1, payload));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(dec.stats().udp_packets, 1u);
+  EXPECT_EQ(dec.stats().edonkey_messages, 0u);
+}
+
+TEST(Decoder, ClassifiesStructuralVsEffectiveFailures) {
+  FrameDecoder dec(kServerIp, kServerPort, nullptr);
+  // Structural: bad opcode.
+  Bytes bad_op = proto::encode_message(proto::ServStatReq{1});
+  bad_op[1] = 0x55;
+  dec.push(make_frame(0, 1, 4662, kServerIp, kServerPort, bad_op));
+  // Effective: trailing garbage on a variable-length message.
+  Bytes trailing = proto::encode_message(proto::ServerDescRes{"a", "b"});
+  trailing.push_back(0xFF);
+  dec.push(make_frame(0, 1, 4662, kServerIp, kServerPort, trailing));
+
+  EXPECT_EQ(dec.stats().edonkey_messages, 2u);
+  EXPECT_EQ(dec.stats().undecoded_structural, 1u);
+  EXPECT_EQ(dec.stats().undecoded_effective, 1u);
+  EXPECT_DOUBLE_EQ(dec.stats().undecoded_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(dec.stats().structural_share_of_undecoded(), 0.5);
+}
+
+TEST(Decoder, ReassemblesFragmentedAnnounce) {
+  std::vector<DecodedMessage> out;
+  FrameDecoder dec(kServerIp, kServerPort,
+                   [&](DecodedMessage&& m) { out.push_back(std::move(m)); });
+
+  // Build a publish message too big for one MTU.
+  proto::PublishReq req;
+  for (int i = 0; i < 100; ++i) {
+    proto::FileEntry e;
+    e.file_id.bytes[0] = static_cast<std::uint8_t>(i);
+    e.client_id = 5;
+    e.tags = {proto::Tag::str(proto::TagName::kFileName,
+                              "some long file name " + std::to_string(i) +
+                                  ".mp3"),
+              proto::Tag::u32(proto::TagName::kFileSize, 1024)};
+    req.files.push_back(std::move(e));
+  }
+  Bytes payload = proto::encode_message(proto::Message(std::move(req)));
+  ASSERT_GT(payload.size(), 1500u);
+
+  net::UdpDatagram udp;
+  udp.src_port = 4662;
+  udp.dst_port = kServerPort;
+  udp.payload = payload;
+  net::Ipv4Packet ip;
+  ip.src = 0x0A000001;
+  ip.dst = kServerIp;
+  ip.identification = 42;
+  ip.payload = net::encode_udp(udp, ip.src, ip.dst);
+  auto pieces = net::fragment_ipv4(ip, 1500);
+  ASSERT_GT(pieces.size(), 1u);
+  for (const auto& piece : pieces) {
+    net::EthernetFrame eth;
+    eth.payload = net::encode_ipv4(piece);
+    dec.push(sim::TimedFrame{kSecond, net::encode_ethernet(eth)});
+  }
+
+  ASSERT_EQ(out.size(), 1u);
+  const auto& decoded = std::get<proto::PublishReq>(out[0].message);
+  EXPECT_EQ(decoded.files.size(), 100u);
+  EXPECT_EQ(dec.stats().udp_fragments, pieces.size());
+  EXPECT_EQ(dec.reassembly_stats().reassembled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end against the simulator
+// ---------------------------------------------------------------------------
+
+TEST(Decoder, EndToEndMatchesGroundTruth) {
+  sim::CampaignConfig cfg;
+  cfg.seed = 11;
+  cfg.duration = 3 * kHour;
+  cfg.population.client_count = 50;
+  cfg.catalog.file_count = 300;
+  cfg.catalog.vocabulary = 120;
+  cfg.population.collector_share_max = 600;
+  cfg.population.scanner_ask_max = 300;
+  sim::CampaignSimulator simulator(cfg);
+
+  std::uint64_t decoded_messages = 0;
+  FrameDecoder dec(cfg.server_ip, cfg.server_port,
+                   [&](DecodedMessage&&) { ++decoded_messages; });
+  simulator.run([&](const sim::TimedFrame& f) { dec.push(f); });
+  dec.finish(cfg.duration);
+
+  const sim::GroundTruth& truth = simulator.truth();
+  const DecodeStats& stats = dec.stats();
+
+  EXPECT_EQ(stats.frames, truth.frames);
+  EXPECT_EQ(stats.udp_fragments, truth.ip_fragments);
+  // Every non-faulted message decodes; faulted ones *may* still decode
+  // (body corruption is not always fatal).
+  EXPECT_EQ(stats.decoded, decoded_messages);
+  EXPECT_GE(stats.decoded, truth.total_messages() - truth.faulted_datagrams);
+  EXPECT_LE(stats.decoded, truth.total_messages());
+  EXPECT_EQ(stats.edonkey_messages + stats.udp_malformed,
+            truth.total_messages())
+      << "every simulated message reaches the eDonkey layer unless its "
+         "truncation broke the UDP header itself";
+  EXPECT_LE(stats.undecoded(), truth.faulted_datagrams);
+}
+
+TEST(Decoder, BackgroundTrafficFullySkipped) {
+  sim::BackgroundConfig cfg;
+  cfg.duration = kMinute;
+  cfg.syn_per_minute = 1000;
+  cfg.data_rate_quiet = 100;
+  sim::BackgroundTraffic bg(cfg);
+  FrameDecoder dec(kServerIp, kServerPort, nullptr);
+  bg.run([&](const sim::TimedFrame& f) { dec.push(f); });
+  EXPECT_EQ(dec.stats().tcp_packets, dec.stats().frames);
+  EXPECT_EQ(dec.stats().edonkey_messages, 0u);
+}
+
+}  // namespace
+}  // namespace dtr::decode

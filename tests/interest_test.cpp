@@ -1,0 +1,159 @@
+// Tests for the interest-graph / communities analysis (paper §4).
+#include <gtest/gtest.h>
+
+#include "analysis/interest_graph.hpp"
+#include "core/campaign_runner.hpp"
+
+namespace dtr::analysis {
+namespace {
+
+TEST(InterestGraph, EdgesDeduplicated) {
+  InterestGraph g;
+  g.add_interest(1, 100);
+  g.add_interest(1, 100);
+  g.add_interest(1, 101);
+  g.add_interest(2, 100);
+  EXPECT_EQ(g.edges(), 3u);
+  EXPECT_EQ(g.clients(), 2u);
+  EXPECT_EQ(g.files(), 2u);
+}
+
+TEST(InterestGraph, DegreeHistograms) {
+  InterestGraph g;
+  g.add_interest(1, 100);
+  g.add_interest(1, 101);
+  g.add_interest(2, 100);
+  CountHistogram cd = g.client_degrees();
+  EXPECT_EQ(cd.count_of(2), 1u);
+  EXPECT_EQ(cd.count_of(1), 1u);
+  CountHistogram fd = g.file_degrees();
+  EXPECT_EQ(fd.count_of(2), 1u);  // file 100
+  EXPECT_EQ(fd.count_of(1), 1u);  // file 101
+}
+
+TEST(InterestGraph, ConsumeRoutesGetSourcesQueries) {
+  InterestGraph g;
+  anon::AnonEvent ev;
+  ev.time = 0;
+  ev.peer = 5;
+  ev.is_query = true;
+  ev.message = anon::AGetSourcesReq{{1, 2, 3}};
+  g.consume(ev);
+  // Answers are not interests.
+  anon::AnonEvent ans;
+  ans.time = 1;
+  ans.peer = 5;
+  ans.is_query = false;
+  ans.message = anon::AFoundSourcesRes{1, {{9, 4662}}};
+  g.consume(ans);
+  EXPECT_EQ(g.edges(), 3u);
+  EXPECT_EQ(g.clients(), 1u);
+}
+
+TEST(InterestGraph, SimilarClientsRankedByOverlap) {
+  InterestGraph g;
+  // Client 1 and 2 share two files; 1 and 3 share one.
+  g.add_interest(1, 10);
+  g.add_interest(1, 11);
+  g.add_interest(1, 12);
+  g.add_interest(2, 10);
+  g.add_interest(2, 11);
+  g.add_interest(3, 12);
+  auto similar = g.similar_clients(1, 5);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].first, 2u);
+  EXPECT_EQ(similar[0].second, 2u);
+  EXPECT_EQ(similar[1].first, 3u);
+  EXPECT_EQ(similar[1].second, 1u);
+  EXPECT_TRUE(g.similar_clients(999, 5).empty());
+}
+
+TEST(InterestGraph, ClusteringDetectsCommunities) {
+  // Two disjoint communities of 12 clients, each community sharing its own
+  // pool of 12 files (every member interested in 5 of them).
+  InterestGraph clustered;
+  Rng rng(3);
+  for (int community = 0; community < 2; ++community) {
+    for (int c = 0; c < 12; ++c) {
+      anon::AnonClientId client =
+          static_cast<anon::AnonClientId>(community * 100 + c);
+      for (int pick = 0; pick < 5; ++pick) {
+        clustered.add_interest(
+            client, static_cast<anon::AnonFileId>(1000 * community +
+                                                  rng.below(12)));
+      }
+    }
+  }
+  auto est = clustered.estimate_clustering(4000, 7);
+  EXPECT_GT(est.coefficient, est.null_expectation)
+      << "community structure must exceed the degree-preserving null";
+  EXPECT_GT(est.lift(), 1.1);
+
+  // A random bipartite graph of the same density shows no such lift.
+  InterestGraph random_graph;
+  for (int c = 0; c < 24; ++c) {
+    for (int pick = 0; pick < 5; ++pick) {
+      random_graph.add_interest(
+          static_cast<anon::AnonClientId>(c),
+          static_cast<anon::AnonFileId>(rng.below(24)));
+    }
+  }
+  auto null_est = random_graph.estimate_clustering(4000, 7);
+  EXPECT_LT(null_est.lift(), est.lift());
+}
+
+TEST(InterestGraph, EmptyGraphEstimates) {
+  InterestGraph g;
+  auto est = g.estimate_clustering(100, 1);
+  EXPECT_EQ(est.samples, 0u);
+  EXPECT_EQ(est.coefficient, 0.0);
+}
+
+TEST(InterestGraph, TasteGroupsCreateMeasurableLift) {
+  // The same campaign, with and without taste groups: communities of
+  // interest must raise the clustering lift above the structureless run.
+  auto run_with_groups = [](std::uint32_t groups) {
+    core::RunnerConfig cfg = core::RunnerConfig::tiny(23);
+    cfg.campaign.duration = 12 * kHour;
+    cfg.campaign.population.client_count = 300;
+    cfg.campaign.catalog.file_count = 4'000;
+    cfg.campaign.population.taste_groups = groups;
+    cfg.campaign.population.taste_affinity = 0.9;
+    cfg.buffer.capacity = 1 << 20;
+    cfg.buffer.drain_rate = 1e9;
+    cfg.buffer.stall_per_hour = 0.0;
+    InterestGraph g;
+    cfg.extra_sink = [&](const anon::AnonEvent& ev) { g.consume(ev); };
+    core::CampaignRunner runner(cfg);
+    runner.run();
+    return g.estimate_clustering(8000, 3).lift();
+  };
+  double structured = run_with_groups(10);
+  double structureless = run_with_groups(0);
+  EXPECT_GT(structured, structureless + 0.02)
+      << "structured=" << structured << " structureless=" << structureless;
+  EXPECT_GT(structured, 1.02);
+}
+
+TEST(InterestGraph, EndToEndFromCampaign) {
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(17);
+  cfg.buffer.capacity = 1 << 20;
+  cfg.buffer.drain_rate = 1e9;
+  cfg.buffer.stall_per_hour = 0.0;
+  InterestGraph g;
+  cfg.extra_sink = [&](const anon::AnonEvent& ev) { g.consume(ev); };
+  core::CampaignRunner runner(cfg);
+  runner.run();
+
+  EXPECT_GT(g.edges(), 0u);
+  EXPECT_GT(g.clients(), 0u);
+  // Zipf-popular asking creates overlap: clustering estimate must produce
+  // a sane value in [0, 1].
+  auto est = g.estimate_clustering(2000, 5);
+  EXPECT_GE(est.coefficient, 0.0);
+  EXPECT_LE(est.coefficient, 1.0);
+  EXPECT_EQ(est.samples, 2000u);
+}
+
+}  // namespace
+}  // namespace dtr::analysis

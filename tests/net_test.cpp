@@ -1,0 +1,384 @@
+// Network substrate tests: ethernet framing, IPv4 encode/decode/checksum,
+// fragmentation + reassembly, UDP with pseudo-header checksum, pcap files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/pcap.hpp"
+#include "net/udp.hpp"
+
+namespace dtr::net {
+namespace {
+
+Bytes pattern_bytes(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i * 7);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ethernet
+// ---------------------------------------------------------------------------
+
+TEST(Ethernet, Roundtrip) {
+  EthernetFrame f;
+  f.dst = {1, 2, 3, 4, 5, 6};
+  f.src = {7, 8, 9, 10, 11, 12};
+  f.ether_type = kEtherTypeIpv4;
+  f.payload = pattern_bytes(100);
+  Bytes wire = encode_ethernet(f);
+  ASSERT_EQ(wire.size(), kEthernetHeaderSize + 100);
+  auto out = decode_ethernet(wire);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->dst, f.dst);
+  EXPECT_EQ(out->src, f.src);
+  EXPECT_EQ(out->ether_type, f.ether_type);
+  EXPECT_EQ(out->payload, f.payload);
+}
+
+TEST(Ethernet, TooShortRejected) {
+  EXPECT_FALSE(decode_ethernet(pattern_bytes(13)));
+  EXPECT_TRUE(decode_ethernet(pattern_bytes(14)));  // empty payload is fine
+}
+
+TEST(Ethernet, EtherTypeBigEndian) {
+  EthernetFrame f;
+  f.ether_type = 0x0800;
+  Bytes wire = encode_ethernet(f);
+  EXPECT_EQ(wire[12], 0x08);
+  EXPECT_EQ(wire[13], 0x00);
+}
+
+// ---------------------------------------------------------------------------
+// Internet checksum
+// ---------------------------------------------------------------------------
+
+TEST(Checksum, KnownVectors) {
+  Bytes simple = {0x00, 0x01};
+  EXPECT_EQ(internet_checksum(simple), 0xFFFE);
+  // With carry folding: 0xFFFF + 0x0001 -> 0x0000 + carry -> 0x0001 -> ~ = 0xFFFE.
+  Bytes carry = {0xFF, 0xFF, 0x00, 0x01};
+  EXPECT_EQ(internet_checksum(carry), 0xFFFE);
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(Checksum, OddLength) {
+  Bytes data = {0xAB};
+  // Pad with zero: sum = 0xAB00 -> ~0xAB00.
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xAB00));
+}
+
+TEST(Checksum, SelfVerifies) {
+  // A buffer with its own checksum embedded sums to zero.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes data(20);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    data[10] = data[11] = 0;
+    std::uint16_t csum = internet_checksum(data);
+    data[10] = static_cast<std::uint8_t>(csum >> 8);
+    data[11] = static_cast<std::uint8_t>(csum);
+    EXPECT_EQ(internet_checksum(data), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IPv4
+// ---------------------------------------------------------------------------
+
+Ipv4Packet sample_packet(std::size_t payload_size = 64) {
+  Ipv4Packet p;
+  p.src = 0x0A000001;
+  p.dst = 0xC0A80001;
+  p.identification = 0x1234;
+  p.ttl = 61;
+  p.payload = pattern_bytes(payload_size);
+  return p;
+}
+
+TEST(Ipv4, Roundtrip) {
+  Ipv4Packet p = sample_packet();
+  Bytes wire = encode_ipv4(p);
+  auto out = decode_ipv4(wire);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->src, p.src);
+  EXPECT_EQ(out->dst, p.dst);
+  EXPECT_EQ(out->identification, p.identification);
+  EXPECT_EQ(out->ttl, p.ttl);
+  EXPECT_EQ(out->protocol, kProtocolUdp);
+  EXPECT_EQ(out->payload, p.payload);
+  EXPECT_FALSE(out->is_fragment());
+}
+
+TEST(Ipv4, ChecksumCorruptionRejected) {
+  Bytes wire = encode_ipv4(sample_packet());
+  wire[8] ^= 0xFF;  // flip the TTL: header checksum must now fail
+  EXPECT_FALSE(decode_ipv4(wire));
+}
+
+TEST(Ipv4, ShortAndBadVersionRejected) {
+  EXPECT_FALSE(decode_ipv4(pattern_bytes(10)));
+  Bytes wire = encode_ipv4(sample_packet());
+  wire[0] = 0x65;  // version 6
+  EXPECT_FALSE(decode_ipv4(wire));
+}
+
+TEST(Ipv4, TotalLengthBounds) {
+  Bytes wire = encode_ipv4(sample_packet(64));
+  wire.resize(40);  // truncate below total_length
+  EXPECT_FALSE(decode_ipv4(wire));
+}
+
+TEST(Ipv4, FragmentationSplitsOnEightByteBoundaries) {
+  Ipv4Packet p = sample_packet(4000);
+  auto pieces = fragment_ipv4(p, 1500);
+  ASSERT_GT(pieces.size(), 1u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    total += pieces[i].payload.size();
+    if (i + 1 < pieces.size()) {
+      EXPECT_TRUE(pieces[i].more_fragments);
+      EXPECT_EQ(pieces[i].payload.size() % 8, 0u);
+    } else {
+      EXPECT_FALSE(pieces[i].more_fragments);
+    }
+    EXPECT_LE(pieces[i].payload.size() + kIpv4HeaderSize, 1500u);
+  }
+  EXPECT_EQ(total, p.payload.size());
+}
+
+TEST(Ipv4, SmallPacketNotFragmented) {
+  auto pieces = fragment_ipv4(sample_packet(100), 1500);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_FALSE(pieces[0].is_fragment());
+}
+
+TEST(Reassembly, InOrder) {
+  Ipv4Packet p = sample_packet(5000);
+  Ipv4Reassembler r;
+  std::optional<Ipv4Packet> whole;
+  for (const auto& piece : fragment_ipv4(p, 1500)) {
+    whole = r.push(piece, kSecond);
+  }
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->payload, p.payload);
+  EXPECT_EQ(r.stats().reassembled, 1u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Reassembly, OutOfOrder) {
+  Ipv4Packet p = sample_packet(5000);
+  auto pieces = fragment_ipv4(p, 1500);
+  std::reverse(pieces.begin(), pieces.end());
+  Ipv4Reassembler r;
+  std::optional<Ipv4Packet> whole;
+  for (const auto& piece : pieces) {
+    auto got = r.push(piece, kSecond);
+    if (got) whole = got;
+  }
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->payload, p.payload);
+}
+
+TEST(Reassembly, DuplicateFragmentCountedAndIgnored) {
+  Ipv4Packet p = sample_packet(3000);
+  auto pieces = fragment_ipv4(p, 1500);
+  ASSERT_GE(pieces.size(), 2u);
+  Ipv4Reassembler r;
+  EXPECT_FALSE(r.push(pieces[0], 0));
+  EXPECT_FALSE(r.push(pieces[0], 0));  // duplicate
+  auto whole = r.push(pieces[1], 0);
+  if (pieces.size() == 2) {
+    ASSERT_TRUE(whole);
+    EXPECT_EQ(whole->payload, p.payload);
+  }
+  EXPECT_EQ(r.stats().overlapping, 1u);
+}
+
+TEST(Reassembly, InterleavedStreams) {
+  Ipv4Packet a = sample_packet(3000);
+  Ipv4Packet b = sample_packet(3000);
+  b.identification = 0x9999;
+  b.payload[0] ^= 0xFF;
+  auto pa = fragment_ipv4(a, 1500);
+  auto pb = fragment_ipv4(b, 1500);
+  ASSERT_EQ(pa.size(), pb.size());
+  Ipv4Reassembler r;
+  std::optional<Ipv4Packet> wa, wb;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    auto got_a = r.push(pa[i], 0);
+    if (got_a) wa = got_a;
+    auto got_b = r.push(pb[i], 0);
+    if (got_b) wb = got_b;
+  }
+  ASSERT_TRUE(wa);
+  ASSERT_TRUE(wb);
+  EXPECT_EQ(wa->payload, a.payload);
+  EXPECT_EQ(wb->payload, b.payload);
+}
+
+TEST(Reassembly, ExpiryDropsStalePartials) {
+  Ipv4Packet p = sample_packet(3000);
+  auto pieces = fragment_ipv4(p, 1500);
+  Ipv4Reassembler r(10 * kSecond);
+  EXPECT_FALSE(r.push(pieces[0], 0));
+  EXPECT_EQ(r.pending(), 1u);
+  r.expire(5 * kSecond);
+  EXPECT_EQ(r.pending(), 1u);  // not yet
+  r.expire(20 * kSecond);
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_EQ(r.stats().expired, 1u);
+  // The late last fragment no longer completes anything.
+  EXPECT_FALSE(r.push(pieces[1], 21 * kSecond));
+}
+
+TEST(Reassembly, NonFragmentPassesThrough) {
+  Ipv4Reassembler r;
+  Ipv4Packet p = sample_packet(100);
+  auto out = r.push(p, 0);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->payload, p.payload);
+  EXPECT_EQ(r.stats().fragments_seen, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+TEST(Udp, Roundtrip) {
+  UdpDatagram d;
+  d.src_port = 4662;
+  d.dst_port = 4665;
+  d.payload = pattern_bytes(200);
+  Bytes wire = encode_udp(d, 0x0A000001, 0xC0A80001);
+  auto out = decode_udp(wire, 0x0A000001, 0xC0A80001);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->src_port, 4662);
+  EXPECT_EQ(out->dst_port, 4665);
+  EXPECT_EQ(out->payload, d.payload);
+}
+
+TEST(Udp, ChecksumDetectsPayloadCorruption) {
+  UdpDatagram d;
+  d.payload = pattern_bytes(50);
+  Bytes wire = encode_udp(d, 1, 2);
+  wire[20] ^= 0x01;
+  EXPECT_FALSE(decode_udp(wire, 1, 2));
+}
+
+TEST(Udp, ChecksumCoversPseudoHeader) {
+  UdpDatagram d;
+  d.payload = pattern_bytes(50);
+  Bytes wire = encode_udp(d, 1, 2);
+  // Same bytes, different claimed addresses: checksum must fail.
+  EXPECT_FALSE(decode_udp(wire, 1, 3));
+  EXPECT_TRUE(decode_udp(wire, 1, 2));
+}
+
+TEST(Udp, ZeroChecksumAccepted) {
+  UdpDatagram d;
+  d.payload = pattern_bytes(10);
+  Bytes wire = encode_udp(d, 1, 2);
+  wire[6] = wire[7] = 0;  // checksum "not computed"
+  EXPECT_TRUE(decode_udp(wire, 1, 2));
+}
+
+TEST(Udp, ShortAndBadLengthRejected) {
+  EXPECT_FALSE(decode_udp(pattern_bytes(7), 1, 2));
+  UdpDatagram d;
+  d.payload = pattern_bytes(10);
+  Bytes wire = encode_udp(d, 1, 2);
+  wire[4] = 0xFF;  // length > buffer
+  wire[5] = 0xFF;
+  EXPECT_FALSE(decode_udp(wire, 1, 2));
+}
+
+// ---------------------------------------------------------------------------
+// pcap
+// ---------------------------------------------------------------------------
+
+TEST(Pcap, MemoryRoundtrip) {
+  PcapWriter w;
+  w.write(1 * kSecond + 250, pattern_bytes(60));
+  w.write(2 * kSecond, pattern_bytes(1500));
+  EXPECT_EQ(w.records_written(), 2u);
+
+  PcapReader r(BytesView(w.buffer()));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.link_type(), kLinkTypeEthernet);
+  auto rec1 = r.next();
+  ASSERT_TRUE(rec1);
+  EXPECT_EQ(rec1->timestamp, 1 * kSecond + 250);
+  EXPECT_EQ(rec1->data, pattern_bytes(60));
+  EXPECT_EQ(rec1->original_length, 60u);
+  auto rec2 = r.next();
+  ASSERT_TRUE(rec2);
+  EXPECT_EQ(rec2->data.size(), 1500u);
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.ok());  // clean EOF
+}
+
+TEST(Pcap, SnaplenTruncates) {
+  PcapWriter w(100);
+  w.write(0, pattern_bytes(500));
+  PcapReader r(BytesView(w.buffer()));
+  auto rec = r.next();
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->data.size(), 100u);
+  EXPECT_EQ(rec->original_length, 500u);
+}
+
+TEST(Pcap, BadMagicRejected) {
+  Bytes junk(24, 0x42);
+  PcapReader r{BytesView(junk)};
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.next());
+}
+
+TEST(Pcap, TruncatedRecordFlagsError) {
+  PcapWriter w;
+  w.write(0, pattern_bytes(60));
+  Bytes data = w.buffer();
+  data.resize(data.size() - 10);  // cut into the record body
+  PcapReader r{BytesView(data)};
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.next());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Pcap, FileRoundtrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "dtr_pcap_test.pcap").string();
+  {
+    PcapWriter w(path);
+    for (int i = 0; i < 10; ++i)
+      w.write(static_cast<SimTime>(i) * kSecond, pattern_bytes(64 + i));
+    w.flush();
+  }
+  PcapReader r(path);
+  ASSERT_TRUE(r.ok());
+  int count = 0;
+  while (auto rec = r.next()) {
+    EXPECT_EQ(rec->timestamp, static_cast<SimTime>(count) * kSecond);
+    EXPECT_EQ(rec->data.size(), 64u + static_cast<std::size_t>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(r.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, EmptyFileIsCleanEnd) {
+  PcapWriter w;
+  PcapReader r(BytesView(w.buffer()));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace dtr::net

@@ -1,0 +1,288 @@
+// Integration tests: the threaded pipeline, the CampaignRunner facade
+// (simulate -> capture -> decode -> anonymise -> analyse -> XML), and
+// end-to-end consistency with ground truth.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/campaign_runner.hpp"
+#include "core/pipeline.hpp"
+#include "core/queue.hpp"
+#include "xmlio/schema.hpp"
+
+#include <thread>
+
+namespace dtr::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(10);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(10);
+  q.push(1);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_FALSE(q.push(2));  // closed: rejected
+}
+
+TEST(BoundedQueue, BackpressureBlocksUntilConsumed) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // blocks until a pop frees a slot
+    third_pushed = true;
+  });
+  // Give the producer a chance to block.
+  while (q.size() < 2) {
+  }
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumer) {
+  BoundedQueue<int> q(8);
+  std::vector<std::thread> producers;
+  const int per_producer = 500;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < per_producer; ++i) q.push(p * per_producer + i);
+    });
+  }
+  std::set<int> seen;
+  for (int i = 0; i < 4 * per_producer; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v);
+    EXPECT_TRUE(seen.insert(*v).second);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(seen.size(), 4u * per_producer);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end campaign
+// ---------------------------------------------------------------------------
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static RunnerConfig config() {
+    RunnerConfig cfg = RunnerConfig::tiny(21);
+    cfg.buffer.capacity = 1 << 20;   // no capture losses in this test
+    cfg.buffer.stall_per_hour = 0.0;
+    cfg.buffer.drain_rate = 1e9;
+    return cfg;
+  }
+};
+
+TEST_F(EndToEnd, PipelineSeesEverythingTheSimulatorSent) {
+  RunnerConfig cfg = config();
+  CampaignRunner runner(cfg);
+  CampaignReport report = runner.run();
+
+  EXPECT_EQ(report.frames_lost, 0u);
+  EXPECT_EQ(report.frames_captured, report.truth.frames);
+  EXPECT_EQ(report.pipeline.decode.frames, report.truth.frames);
+  EXPECT_EQ(report.pipeline.decode.udp_fragments, report.truth.ip_fragments);
+
+  // Decoded messages: everything except (some of) the faulted datagrams.
+  EXPECT_GE(report.pipeline.decode.decoded,
+            report.truth.total_messages() - report.truth.faulted_datagrams);
+  EXPECT_LE(report.pipeline.decode.decoded, report.truth.total_messages());
+  EXPECT_EQ(report.pipeline.anonymised_events, report.pipeline.decode.decoded);
+}
+
+TEST_F(EndToEnd, StatsMatchAnonymisedStream) {
+  CampaignRunner runner(config());
+  CampaignReport report = runner.run();
+  const analysis::CampaignStats& stats = runner.stats();
+
+  EXPECT_EQ(stats.messages(), report.pipeline.anonymised_events);
+  EXPECT_GT(stats.queries(), 0u);
+  EXPECT_GT(stats.answers(), 0u);
+  // Distinct clients at the analysis level == the anonymiser's table size.
+  EXPECT_EQ(stats.distinct_clients(), report.pipeline.distinct_clients);
+  EXPECT_GT(stats.provider_relations(), 0u);
+  EXPECT_GT(stats.asker_relations(), 0u);
+  // The size distribution has data (publishes carry sizes).
+  EXPECT_GT(stats.size_distribution().total(), 0u);
+}
+
+TEST_F(EndToEnd, DistinctClientsBoundedByPopulationIdentifiers) {
+  CampaignRunner runner(config());
+  CampaignReport report = runner.run();
+  // Every identifier is either a client IP or a server-assigned low ID, so
+  // distinct anonymised clients <= 2 * population.
+  EXPECT_GT(report.pipeline.distinct_clients, 0u);
+  EXPECT_LE(report.pipeline.distinct_clients,
+            2ull * runner.simulator().population().size());
+}
+
+TEST_F(EndToEnd, XmlDatasetRoundtripsToIdenticalStats) {
+  std::ostringstream xml;
+  RunnerConfig cfg = config();
+  cfg.xml_out = &xml;
+  CampaignRunner runner(cfg);
+  CampaignReport report = runner.run();
+  ASSERT_EQ(report.pipeline.xml_events, report.pipeline.anonymised_events);
+
+  // Re-read the dataset like a downstream user would and recompute stats.
+  std::istringstream in(xml.str());
+  xmlio::DatasetReader reader(in);
+  analysis::CampaignStats replayed;
+  std::uint64_t events = 0;
+  while (auto ev = reader.next()) {
+    replayed.consume(*ev);
+    ++events;
+  }
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(events, report.pipeline.xml_events);
+
+  const analysis::CampaignStats& live = runner.stats();
+  EXPECT_EQ(replayed.messages(), live.messages());
+  EXPECT_EQ(replayed.queries(), live.queries());
+  EXPECT_EQ(replayed.distinct_clients(), live.distinct_clients());
+  EXPECT_EQ(replayed.provider_relations(), live.provider_relations());
+  EXPECT_EQ(replayed.asker_relations(), live.asker_relations());
+  EXPECT_EQ(replayed.size_distribution().total(),
+            live.size_distribution().total());
+}
+
+TEST_F(EndToEnd, AnonymisationIsConsistentAcrossTheDataset) {
+  RunnerConfig cfg = config();
+  cfg.keep_events = true;
+  CampaignRunner runner(cfg);
+  runner.run();
+
+  // Peers are dense 0..N-1.
+  const auto& events = runner.pipeline().events();
+  ASSERT_FALSE(events.empty());
+  std::uint64_t n = runner.pipeline().client_table().distinct();
+  for (const auto& ev : events) {
+    EXPECT_LT(ev.peer, n);
+  }
+}
+
+TEST_F(EndToEnd, CaptureLossesAppearUnderPressure) {
+  RunnerConfig cfg = RunnerConfig::tiny(22);
+  cfg.campaign.flash_crowd_fraction = 0.7;  // concentrate the traffic
+  cfg.campaign.flash_crowd_count = 1;
+  cfg.campaign.flash_crowd_width = 30 * kSecond;
+  cfg.buffer.capacity = 64;
+  cfg.buffer.drain_rate = 50.0;  // overwhelmed during the crowd
+  cfg.buffer.stall_per_hour = 0.0;
+  CampaignRunner runner(cfg);
+  CampaignReport report = runner.run();
+  EXPECT_GT(report.frames_lost, 0u);
+  EXPECT_FALSE(report.loss_series.empty());
+  std::uint64_t series_total = 0;
+  for (const auto& p : report.loss_series) series_total += p.lost;
+  EXPECT_EQ(series_total, report.frames_lost);
+  // What the pipeline decoded is exactly what survived capture.
+  EXPECT_EQ(report.pipeline.decode.frames, report.frames_captured);
+}
+
+TEST_F(EndToEnd, BackgroundTrafficIsCapturedButNotDecoded) {
+  RunnerConfig cfg = config();
+  sim::BackgroundConfig bg;
+  bg.syn_per_minute = 500;
+  bg.data_rate_quiet = 20;
+  bg.data_rate_burst = 100;
+  cfg.background = bg;
+  CampaignRunner runner(cfg);
+  CampaignReport report = runner.run();
+  EXPECT_GT(report.pipeline.decode.tcp_packets, 0u);
+  EXPECT_GT(report.frames_captured, report.truth.frames)
+      << "mirror carries more than the eDonkey traffic";
+  // eDonkey decoding is unaffected by the TCP half.
+  EXPECT_GE(report.pipeline.decode.decoded,
+            report.truth.total_messages() - report.truth.faulted_datagrams);
+}
+
+TEST_F(EndToEnd, DeterministicReports) {
+  CampaignRunner a(config()), b(config());
+  CampaignReport ra = a.run(), rb = b.run();
+  EXPECT_EQ(ra.truth.total_messages(), rb.truth.total_messages());
+  EXPECT_EQ(ra.pipeline.decode.decoded, rb.pipeline.decode.decoded);
+  EXPECT_EQ(ra.pipeline.distinct_clients, rb.pipeline.distinct_clients);
+  EXPECT_EQ(ra.pipeline.distinct_files, rb.pipeline.distinct_files);
+  EXPECT_EQ(a.stats().provider_relations(), b.stats().provider_relations());
+}
+
+TEST_F(EndToEnd, PcapDumpReplaysThroughOfflineDecoder) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "dtr_pipeline_test.pcap")
+                         .string();
+  RunnerConfig cfg = config();
+  cfg.pcap_path = path;
+  CampaignRunner runner(cfg);
+  CampaignReport live = runner.run();
+
+  // Offline pass: read the pcap, decode again, expect identical counts.
+  net::PcapReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::uint64_t decoded = 0;
+  decode::FrameDecoder dec(cfg.campaign.server_ip, cfg.campaign.server_port,
+                           [&](decode::DecodedMessage&&) { ++decoded; });
+  while (auto rec = reader.next()) {
+    dec.push(sim::TimedFrame{rec->timestamp, rec->data});
+  }
+  EXPECT_EQ(decoded, live.pipeline.decode.decoded);
+  EXPECT_EQ(dec.stats().frames, live.pipeline.decode.frames);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 inside the pipeline
+// ---------------------------------------------------------------------------
+
+TEST(PipelineFileStore, PollutersSkewNaiveBucketsEndToEnd) {
+  // Run the same campaign through two pipelines differing only in the
+  // fileID index byte pair; the naive one must develop hot buckets 0/256.
+  sim::CampaignConfig sim_cfg = RunnerConfig::tiny(33).campaign;
+  sim_cfg.population.polluter_fraction = 0.10;  // amplify for a tiny run
+  sim_cfg.population.casual_fraction = 0.70;
+
+  auto run_with = [&](unsigned b0, unsigned b1) {
+    sim::CampaignSimulator simulator(sim_cfg);
+    PipelineConfig cfg;
+    cfg.server_ip = sim_cfg.server_ip;
+    cfg.server_port = sim_cfg.server_port;
+    cfg.fileid_index_byte_0 = b0;
+    cfg.fileid_index_byte_1 = b1;
+    CapturePipeline pipeline(cfg);
+    simulator.run(
+        [&](const sim::TimedFrame& f) { pipeline.push(f); });
+    pipeline.finish();
+    const auto& store = pipeline.fileid_store();
+    return std::make_pair(store.bucket_size(0) + store.bucket_size(256),
+                          store.distinct());
+  };
+
+  auto [naive_hot, naive_distinct] = run_with(0, 1);
+  auto [fixed_hot, fixed_distinct] = run_with(5, 11);
+  EXPECT_EQ(naive_distinct, fixed_distinct);
+  EXPECT_GT(naive_hot, fixed_hot * 10)
+      << "first-two-byte indexing must concentrate forged IDs";
+}
+
+}  // namespace
+}  // namespace dtr::core

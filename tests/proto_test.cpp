@@ -1,0 +1,603 @@
+// eDonkey protocol tests: tags, search expressions, full message codec
+// (round trip for all twelve message types), the two-step validation /
+// decode procedure, and fault injection.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hash/md4.hpp"
+#include "proto/codec.hpp"
+#include "proto/fault.hpp"
+#include "proto/messages.hpp"
+
+namespace dtr::proto {
+namespace {
+
+FileId fid(const char* s) { return Md4::digest(std::string_view(s)); }
+
+// ---------------------------------------------------------------------------
+// Tags
+// ---------------------------------------------------------------------------
+
+TEST(Tags, StringTagRoundtrip) {
+  ByteWriter w;
+  encode_tag(w, Tag::str(TagName::kFileName, "movie.avi"));
+  ByteReader r(w.view());
+  Tag t = decode_tag(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(t.has_special_name(TagName::kFileName));
+  EXPECT_EQ(t.as_string(), "movie.avi");
+}
+
+TEST(Tags, U32TagRoundtrip) {
+  ByteWriter w;
+  encode_tag(w, Tag::u32(TagName::kFileSize, 734003200));
+  ByteReader r(w.view());
+  Tag t = decode_tag(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(t.as_u32(), 734003200u);
+}
+
+TEST(Tags, NamedTagRoundtrip) {
+  ByteWriter w;
+  encode_tag(w, Tag::str_named("codec", "xvid"));
+  ByteReader r(w.view());
+  Tag t = decode_tag(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(t.name, "codec");
+  EXPECT_EQ(t.as_string(), "xvid");
+}
+
+TEST(Tags, ListRoundtrip) {
+  TagList tags = {Tag::str(TagName::kFileName, "x.mp3"),
+                  Tag::u32(TagName::kFileSize, 4200000),
+                  Tag::u32(TagName::kAvailability, 17)};
+  ByteWriter w;
+  encode_tag_list(w, tags);
+  ByteReader r(w.view());
+  TagList out = decode_tag_list(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, tags);
+}
+
+TEST(Tags, FindAndAccessors) {
+  TagList tags = {Tag::str(TagName::kFileName, "x"),
+                  Tag::u32(TagName::kFileSize, 9)};
+  EXPECT_EQ(tag_string(tags, TagName::kFileName), "x");
+  EXPECT_EQ(tag_u32(tags, TagName::kFileSize), 9u);
+  EXPECT_EQ(tag_string(tags, TagName::kFileType), std::nullopt);
+  // Type mismatch: size tag exists but is not a string.
+  EXPECT_EQ(tag_string(tags, TagName::kFileSize), std::nullopt);
+}
+
+TEST(Tags, UnknownTypeFailsDecode) {
+  ByteWriter w;
+  w.u8(0x07);  // not a known tag type
+  w.str16("\x01");
+  w.u32le(1);
+  ByteReader r(w.view());
+  (void)decode_tag(r);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Tags, EmptyNameFailsDecode) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(TagType::kU32));
+  w.str16("");
+  w.u32le(1);
+  ByteReader r(w.view());
+  (void)decode_tag(r);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Tags, HostileCountRejected) {
+  // A tag list claiming 2^31 tags in a 10-byte body must not allocate.
+  ByteWriter w;
+  w.u32le(0x80000000u);
+  w.raw(Bytes(10, 0));
+  ByteReader r(w.view());
+  (void)decode_tag_list(r);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Search expressions
+// ---------------------------------------------------------------------------
+
+TEST(SearchExpr, KeywordRoundtrip) {
+  auto e = SearchExpr::keyword("madonna");
+  ByteWriter w;
+  encode_search_expr(w, *e);
+  ByteReader r(w.view());
+  auto out = decode_search_expr(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, *e);
+}
+
+TEST(SearchExpr, ComplexTreeRoundtrip) {
+  // (("roman" AND "polanski") OR size >= 700MB) ANDNOT type == "audio"
+  auto tree = SearchExpr::boolean(
+      BoolOp::kAndNot,
+      SearchExpr::boolean(
+          BoolOp::kOr,
+          SearchExpr::boolean(BoolOp::kAnd, SearchExpr::keyword("roman"),
+                              SearchExpr::keyword("polanski")),
+          SearchExpr::numeric(700 * 1000 * 1000, NumCmp::kMin,
+                              TagName::kFileSize)),
+      SearchExpr::meta_string("audio", TagName::kFileType));
+  ByteWriter w;
+  encode_search_expr(w, *tree);
+  ByteReader r(w.view());
+  auto out = decode_search_expr(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, *tree);
+  EXPECT_EQ(out->node_count(), 7u);
+}
+
+TEST(SearchExpr, KeywordsHelperBuildsAndChain) {
+  auto e = SearchExpr::keywords({"a1", "b2", "c3"});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, SearchExpr::Kind::kBool);
+  std::vector<std::string> words;
+  e->collect_keywords(words);
+  EXPECT_EQ(words, (std::vector<std::string>{"a1", "b2", "c3"}));
+}
+
+TEST(SearchExpr, KeywordsHelperEmpty) {
+  EXPECT_EQ(SearchExpr::keywords({}), nullptr);
+}
+
+TEST(SearchExpr, CloneIsDeepAndEqual) {
+  auto e = SearchExpr::boolean(BoolOp::kAnd, SearchExpr::keyword("x1"),
+                               SearchExpr::keyword("y2"));
+  auto c = e->clone();
+  EXPECT_EQ(*c, *e);
+  EXPECT_NE(c->left.get(), e->left.get());
+}
+
+TEST(SearchExpr, DepthLimitStopsHostileNesting) {
+  // 100 nested AND openings with no terminals.
+  ByteWriter w;
+  for (int i = 0; i < 100; ++i) {
+    w.u8(0x00);
+    w.u8(0x00);
+  }
+  ByteReader r(w.view());
+  auto out = decode_search_expr(r);
+  EXPECT_EQ(out, nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SearchExpr, EmptyKeywordRejected) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.str16("");
+  ByteReader r(w.view());
+  EXPECT_EQ(decode_search_expr(r), nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SearchExpr, BadComparatorRejected) {
+  ByteWriter w;
+  w.u8(0x03);
+  w.u32le(100);
+  w.u8(0x09);  // not min/max
+  w.str16("\x02");
+  ByteReader r(w.view());
+  EXPECT_EQ(decode_search_expr(r), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Message codec: round trip for every message type
+// ---------------------------------------------------------------------------
+
+FileEntry sample_entry(int i) {
+  FileEntry e;
+  e.file_id = fid(("file" + std::to_string(i)).c_str());
+  e.client_id = 0x0A000001 + static_cast<std::uint32_t>(i);
+  e.port = static_cast<std::uint16_t>(4662 + i);
+  e.tags = {Tag::str(TagName::kFileName, "name" + std::to_string(i) + ".avi"),
+            Tag::u32(TagName::kFileSize, 1000000u + static_cast<std::uint32_t>(i)),
+            Tag::str(TagName::kFileType, "video"),
+            Tag::u32(TagName::kAvailability, 3)};
+  return e;
+}
+
+std::vector<Message> all_message_samples() {
+  std::vector<Message> msgs;
+  msgs.push_back(ServStatReq{0xDEADBEEF});
+  msgs.push_back(ServStatRes{0xDEADBEEF, 1234567, 89012345});
+  msgs.push_back(ServerDescReq{});
+  msgs.push_back(ServerDescRes{"BigServer", "a fine donkey server"});
+  msgs.push_back(GetServerList{});
+  msgs.push_back(ServerList{{{0x01020304, 4661}, {0x05060708, 4242}}});
+  {
+    FileSearchReq req;
+    req.expr = SearchExpr::boolean(
+        BoolOp::kAnd, SearchExpr::keyword("great"),
+        SearchExpr::numeric(1024, NumCmp::kMax, TagName::kFileSize));
+    msgs.push_back(std::move(req));
+  }
+  msgs.push_back(FileSearchRes{{sample_entry(1), sample_entry(2)}});
+  msgs.push_back(GetSourcesReq{{fid("a"), fid("b"), fid("c")}});
+  msgs.push_back(FoundSourcesRes{
+      fid("a"), {{0x0A000001, 4662}, {123 /* low id */, 0}}});
+  msgs.push_back(PublishReq{{sample_entry(3)}});
+  msgs.push_back(PublishAck{42});
+  return msgs;
+}
+
+struct MessageEq {
+  const Message& other;
+  bool operator()(const FileSearchReq&) const { return false; }  // pre-handled
+  template <typename T>
+  bool operator()(const T& v) const {
+    return v == std::get<T>(other);
+  }
+};
+
+bool messages_equal(const Message& a, const Message& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* fa = std::get_if<FileSearchReq>(&a)) {
+    const auto& fb = std::get<FileSearchReq>(b);
+    return *fa->expr == *fb.expr;
+  }
+  return std::visit(MessageEq{b}, a);
+}
+
+class MessageRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MessageRoundtrip, EncodeValidateDecode) {
+  auto msgs = all_message_samples();
+  const Message& original = msgs[GetParam()];
+
+  Bytes wire = encode_message(original);
+  EXPECT_EQ(validate_structure(wire), DecodeError::kNone)
+      << "opcode " << int(opcode_of(original));
+  DecodeResult result = decode_datagram(wire);
+  ASSERT_TRUE(result.ok()) << decode_error_name(result.error);
+  EXPECT_TRUE(messages_equal(original, *result.message));
+  EXPECT_EQ(opcode_of(*result.message), opcode_of(original));
+}
+
+TEST_P(MessageRoundtrip, CloneEqualsOriginal) {
+  auto msgs = all_message_samples();
+  const Message& original = msgs[GetParam()];
+  Message copy = clone_message(original);
+  EXPECT_TRUE(messages_equal(original, copy));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundtrip,
+                         ::testing::Range<std::size_t>(0, 12));
+
+TEST(MessageMeta, QueryAnswerClassification) {
+  auto msgs = all_message_samples();
+  int queries = 0;
+  for (const auto& m : msgs) queries += is_query(m);
+  EXPECT_EQ(queries, 6);  // one query per family pair
+  EXPECT_TRUE(is_query(msgs[0]));    // ServStatReq
+  EXPECT_FALSE(is_query(msgs[1]));   // ServStatRes
+}
+
+TEST(MessageMeta, FamilyClassification) {
+  auto msgs = all_message_samples();
+  EXPECT_EQ(family_of(msgs[0]), Family::kManagement);
+  EXPECT_EQ(family_of(msgs[6]), Family::kFileSearch);
+  EXPECT_EQ(family_of(msgs[8]), Family::kSourceSearch);
+  EXPECT_EQ(family_of(msgs[10]), Family::kAnnouncement);
+  EXPECT_STREQ(family_name(Family::kSourceSearch), "source-search");
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation vs effective decode
+// ---------------------------------------------------------------------------
+
+TEST(Validation, EmptyAndTiny) {
+  EXPECT_EQ(validate_structure({}), DecodeError::kTooShort);
+  Bytes one = {0xE3};
+  EXPECT_EQ(validate_structure(one), DecodeError::kTooShort);
+}
+
+TEST(Validation, BadMarker) {
+  Bytes wire = encode_message(ServStatReq{1});
+  wire[0] = 0x42;
+  EXPECT_EQ(validate_structure(wire), DecodeError::kBadMarker);
+}
+
+TEST(Validation, EmuleDialectRecognisedNotDecoded) {
+  // eMule extension (0xC5) and compressed (0xD4) datagrams are part of real
+  // traffic; the classic-server decoder recognises and skips them.
+  Bytes wire = encode_message(ServStatReq{1});
+  wire[0] = kProtoEmuleExt;
+  EXPECT_EQ(validate_structure(wire), DecodeError::kUnsupportedDialect);
+  wire[0] = 0xD4;
+  EXPECT_EQ(validate_structure(wire), DecodeError::kUnsupportedDialect);
+  EXPECT_TRUE(is_structural(DecodeError::kUnsupportedDialect));
+  EXPECT_STREQ(decode_error_name(DecodeError::kUnsupportedDialect),
+               "unsupported-dialect");
+}
+
+TEST(Validation, UnknownOpcode) {
+  Bytes wire = encode_message(ServStatReq{1});
+  wire[1] = 0x77;
+  EXPECT_EQ(validate_structure(wire), DecodeError::kUnknownOpcode);
+}
+
+TEST(Validation, LengthMismatch) {
+  Bytes wire = encode_message(ServStatReq{1});
+  wire.push_back(0);  // statreq body must be exactly 4 bytes
+  EXPECT_EQ(validate_structure(wire), DecodeError::kLengthMismatch);
+}
+
+TEST(Validation, GetSourcesMustBeMultipleOf16) {
+  Bytes wire = encode_message(GetSourcesReq{{fid("z")}});
+  wire.push_back(0);
+  EXPECT_EQ(validate_structure(wire), DecodeError::kLengthMismatch);
+}
+
+TEST(Validation, StructuralErrorsAreClassified) {
+  EXPECT_TRUE(is_structural(DecodeError::kTooShort));
+  EXPECT_TRUE(is_structural(DecodeError::kBadMarker));
+  EXPECT_TRUE(is_structural(DecodeError::kUnknownOpcode));
+  EXPECT_TRUE(is_structural(DecodeError::kLengthMismatch));
+  EXPECT_FALSE(is_structural(DecodeError::kMalformedBody));
+  EXPECT_FALSE(is_structural(DecodeError::kTrailingGarbage));
+}
+
+TEST(Decode, TrailingGarbageDetected) {
+  // ServerDescRes passes the (minimal) structural check but the effective
+  // decode must notice unconsumed bytes.
+  Bytes wire = encode_message(ServerDescRes{"n", "d"});
+  wire.push_back(0xAA);
+  DecodeResult result = decode_datagram(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kTrailingGarbage);
+}
+
+TEST(Decode, CorruptSearchBodyIsMalformed) {
+  FileSearchReq req;
+  req.expr = SearchExpr::keyword("hello");
+  Bytes wire = encode_message(std::move(req));
+  wire[2] = 0x09;  // invalid expression node kind
+  DecodeResult result = decode_datagram(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kMalformedBody);
+}
+
+TEST(Decode, HostileResultCountRejected) {
+  // A search result claiming 100M entries in a tiny datagram.
+  ByteWriter w;
+  w.u8(kProtoEdonkey);
+  w.u8(kOpGlobSearchRes);
+  w.u32le(100'000'000);
+  Bytes wire = std::move(w).take();
+  DecodeResult result = decode_datagram(wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kMalformedBody);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+class FaultKinds : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(FaultKinds, BreaksDecodingInTheExpectedWay) {
+  const FaultKind kind = GetParam();
+  Rng rng(77);
+  int applied = 0, broke = 0, structural = 0;
+  for (int i = 0; i < 200; ++i) {
+    Bytes wire = encode_message(ServStatRes{rng.below(1000) == 0 ? 1u : 2u,
+                                            static_cast<std::uint32_t>(i), 7});
+    FaultKind got = apply_fault(wire, kind, rng);
+    if (got == FaultKind::kNone) continue;
+    ++applied;
+    DecodeResult result = decode_datagram(wire);
+    if (!result.ok()) {
+      ++broke;
+      structural += is_structural(result.error);
+    }
+  }
+  ASSERT_GT(applied, 0);
+  switch (kind) {
+    case FaultKind::kTruncate:
+    case FaultKind::kBadMarker:
+    case FaultKind::kBadOpcode:
+      EXPECT_EQ(broke, applied);
+      EXPECT_EQ(structural, broke) << "these faults must fail validation";
+      break;
+    case FaultKind::kPadGarbage:
+      EXPECT_EQ(broke, applied);
+      EXPECT_EQ(structural, broke)
+          << "statres has a fixed length, padding is structural";
+      break;
+    case FaultKind::kCorruptBody:
+      // Body flips on a fixed-length numeric message never break framing.
+      EXPECT_EQ(broke, 0);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaults, FaultKinds,
+                         ::testing::Values(FaultKind::kTruncate,
+                                           FaultKind::kBadMarker,
+                                           FaultKind::kBadOpcode,
+                                           FaultKind::kPadGarbage,
+                                           FaultKind::kCorruptBody));
+
+TEST(FaultProfile, PaperCalibrationOrderOfMagnitude) {
+  // The calibrated profile must produce roughly 2x 0.68 % faults on client
+  // queries (answers, half the dataset, are never faulted) with a
+  // structural majority.  Verify the *picker*, not the decoder.
+  FaultProfile p = FaultProfile::paper_calibrated();
+  EXPECT_NEAR(p.total(), 0.0146, 0.004);
+  Rng rng(99);
+  int faults = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) faults += (pick_fault(p, rng) != FaultKind::kNone);
+  EXPECT_NEAR(static_cast<double>(faults) / n, p.total(), 0.001);
+}
+
+TEST(Fault, CorruptBodyBreaksVariableLengthMessages) {
+  // On tag-bearing messages, body corruption plausibly breaks the decode
+  // (that is what produces the paper's non-structural 22 %).
+  Rng rng(123);
+  int broke = 0, tries = 0;
+  for (int i = 0; i < 500; ++i) {
+    Bytes wire = encode_message(PublishReq{{sample_entry(i)}});
+    if (apply_fault(wire, FaultKind::kCorruptBody, rng) == FaultKind::kNone)
+      continue;
+    ++tries;
+    broke += !decode_datagram(wire).ok();
+  }
+  ASSERT_GT(tries, 0);
+  EXPECT_GT(broke, tries / 10);
+}
+
+TEST(Fault, NamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kTruncate), "truncate");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "none");
+}
+
+// ---------------------------------------------------------------------------
+// Generator-based property: random messages of every type round-trip.
+// ---------------------------------------------------------------------------
+
+std::string random_string(dtr::Rng& rng, std::size_t max_len) {
+  std::string s(rng.below(max_len + 1), ' ');
+  for (char& c : s) c = static_cast<char>(32 + rng.below(95));
+  return s;
+}
+
+FileId random_fid(dtr::Rng& rng) {
+  FileId id;
+  for (auto& b : id.bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return id;
+}
+
+TagList random_tags(dtr::Rng& rng) {
+  TagList tags;
+  std::size_t n = rng.below(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.5)) {
+      tags.push_back(Tag::str(TagName::kFileName, random_string(rng, 40)));
+    } else {
+      tags.push_back(Tag::u32(TagName::kFileSize,
+                              static_cast<std::uint32_t>(rng.next())));
+    }
+  }
+  return tags;
+}
+
+SearchExprPtr random_expr(dtr::Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.55)) {
+    switch (rng.below(3)) {
+      case 0:
+        return SearchExpr::keyword(random_string(rng, 15) + "x");  // nonempty
+      case 1:
+        return SearchExpr::meta_string(random_string(rng, 10),
+                                       TagName::kFileType);
+      default:
+        return SearchExpr::numeric(static_cast<std::uint32_t>(rng.next()),
+                                   rng.chance(0.5) ? NumCmp::kMin : NumCmp::kMax,
+                                   TagName::kFileSize);
+    }
+  }
+  auto op = static_cast<BoolOp>(rng.below(3));
+  return SearchExpr::boolean(op, random_expr(rng, depth - 1),
+                             random_expr(rng, depth - 1));
+}
+
+FileEntry random_entry(dtr::Rng& rng) {
+  FileEntry e;
+  e.file_id = random_fid(rng);
+  e.client_id = static_cast<ClientId>(rng.next());
+  e.port = static_cast<std::uint16_t>(rng.next());
+  e.tags = random_tags(rng);
+  return e;
+}
+
+Message random_message(dtr::Rng& rng) {
+  switch (rng.below(12)) {
+    case 0:
+      return ServStatReq{static_cast<std::uint32_t>(rng.next())};
+    case 1:
+      return ServStatRes{static_cast<std::uint32_t>(rng.next()),
+                         static_cast<std::uint32_t>(rng.next()),
+                         static_cast<std::uint32_t>(rng.next())};
+    case 2:
+      return ServerDescReq{};
+    case 3:
+      return ServerDescRes{random_string(rng, 30), random_string(rng, 60)};
+    case 4:
+      return GetServerList{};
+    case 5: {
+      ServerList m;
+      std::size_t n = rng.below(8);
+      for (std::size_t i = 0; i < n; ++i)
+        m.servers.push_back({static_cast<std::uint32_t>(rng.next()),
+                             static_cast<std::uint16_t>(rng.next())});
+      return m;
+    }
+    case 6: {
+      FileSearchReq m;
+      m.expr = random_expr(rng, 4);
+      return m;
+    }
+    case 7: {
+      FileSearchRes m;
+      std::size_t n = rng.below(6);
+      for (std::size_t i = 0; i < n; ++i) m.results.push_back(random_entry(rng));
+      return m;
+    }
+    case 8: {
+      GetSourcesReq m;
+      std::size_t n = 1 + rng.below(5);
+      for (std::size_t i = 0; i < n; ++i) m.file_ids.push_back(random_fid(rng));
+      return m;
+    }
+    case 9: {
+      FoundSourcesRes m;
+      m.file_id = random_fid(rng);
+      std::size_t n = rng.below(40);
+      for (std::size_t i = 0; i < n; ++i)
+        m.sources.push_back({static_cast<std::uint32_t>(rng.next()),
+                             static_cast<std::uint16_t>(rng.next())});
+      return m;
+    }
+    case 10: {
+      PublishReq m;
+      std::size_t n = rng.below(8);
+      for (std::size_t i = 0; i < n; ++i) m.files.push_back(random_entry(rng));
+      return m;
+    }
+    default:
+      return PublishAck{static_cast<std::uint32_t>(rng.next())};
+  }
+}
+
+class RandomMessageProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomMessageProperty, EveryRandomMessageRoundtrips) {
+  dtr::Rng rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    Message original = random_message(rng);
+    Bytes wire = encode_message(original);
+    EXPECT_EQ(validate_structure(wire), DecodeError::kNone)
+        << "iteration " << i << " opcode " << int(opcode_of(original));
+    DecodeResult result = decode_datagram(wire);
+    ASSERT_TRUE(result.ok())
+        << "iteration " << i << ": " << decode_error_name(result.error);
+    EXPECT_TRUE(messages_equal(original, *result.message)) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMessageProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dtr::proto

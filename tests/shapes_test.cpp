@@ -1,0 +1,115 @@
+// Shape-invariant integration tests: the paper's qualitative findings must
+// hold for the default workload model at small scale, for multiple seeds —
+// they are properties of the model, not artifacts of one lucky seed.
+#include <gtest/gtest.h>
+
+#include "analysis/powerlaw.hpp"
+#include "analysis/report.hpp"
+#include "core/campaign_runner.hpp"
+
+namespace dtr {
+namespace {
+
+core::RunnerConfig shape_config(std::uint64_t seed) {
+  core::RunnerConfig cfg;
+  cfg.campaign.seed = seed;
+  cfg.campaign.duration = 2 * kDay;
+  cfg.campaign.population.client_count = 700;
+  cfg.campaign.catalog.file_count = 6'000;
+  cfg.campaign.catalog.vocabulary = 800;
+  cfg.campaign.population.collector_share_max = 3'000;
+  cfg.campaign.population.scanner_ask_max = 2'000;
+  cfg.campaign.population.casual_ask_max = 300;
+  cfg.buffer.capacity = 1 << 20;
+  cfg.buffer.drain_rate = 1e9;
+  cfg.buffer.stall_per_hour = 0.0;
+  return cfg;
+}
+
+/// CampaignStats owns non-copyable counters, so tests extract the
+/// histograms they need while the runner is alive.
+struct Shapes {
+  CountHistogram providers_per_file;
+  CountHistogram askers_per_file;
+  CountHistogram files_per_provider;
+  CountHistogram files_per_asker;
+  CountHistogram sizes;
+};
+
+class ShapeInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Shapes run(std::uint64_t seed) {
+    core::CampaignRunner runner(shape_config(seed));
+    runner.run();
+    const analysis::CampaignStats& stats = runner.stats();
+    return Shapes{stats.providers_per_file(), stats.askers_per_file(),
+                  stats.files_per_provider(), stats.files_per_asker(),
+                  stats.size_distribution()};
+  }
+};
+
+TEST_P(ShapeInvariants, ProvidersPerFileIsHeavyTailedWithDominantSingles) {
+  Shapes shapes = run(GetParam());
+  CountHistogram& h = shapes.providers_per_file;
+  ASSERT_FALSE(h.empty());
+  // Fig 4: files with one provider dominate; the tail spans >= 2 orders.
+  EXPECT_GT(h.count_of(1), h.total() / 3);
+  EXPECT_GT(h.count_of(1), h.count_of(2));
+  EXPECT_GE(h.max_value(), 100u);
+}
+
+TEST_P(ShapeInvariants, AskersPerFileIsHeavyTailed) {
+  Shapes shapes = run(GetParam());
+  CountHistogram& h = shapes.askers_per_file;
+  ASSERT_FALSE(h.empty());
+  EXPECT_GE(h.max_value(), 20u);          // Fig 5 head
+  EXPECT_GT(h.count_of(1), h.total() / 5);  // and a broad bottom
+}
+
+TEST_P(ShapeInvariants, FilesPerAskerHasThe52Peak) {
+  Shapes shapes = run(GetParam());
+  CountHistogram& h = shapes.files_per_asker;
+  // Fig 7: the singular value.  Compare 52 against its neighbourhood.
+  std::uint64_t at52 = h.count_of(52);
+  std::uint64_t neighbours = 0;
+  int n = 0;
+  for (std::uint64_t x = 47; x <= 57; ++x) {
+    if (x == 52) continue;
+    neighbours += h.count_of(x);
+    ++n;
+  }
+  double mean = static_cast<double>(neighbours) / n;
+  EXPECT_GT(static_cast<double>(at52), 3.0 * mean + 2.0)
+      << "at52=" << at52 << " neighbourhood mean=" << mean;
+}
+
+TEST_P(ShapeInvariants, FilesPerProviderIsNotAPowerLaw) {
+  Shapes shapes = run(GetParam());
+  analysis::PowerLawFit fit =
+      analysis::fit_power_law(shapes.files_per_provider, 1);
+  EXPECT_FALSE(fit.plausible()) << analysis::describe_fit(fit);
+}
+
+TEST_P(ShapeInvariants, SizePeakAt700MB) {
+  Shapes shapes = run(GetParam());
+  const CountHistogram& sizes = shapes.sizes;
+  // Mass within ±2% of 700 MB (in KB) must beat a same-width window 10%
+  // higher (plain lognormal tail would be monotone).
+  auto mass = [&](std::uint64_t center) {
+    std::uint64_t lo = center * 98 / 100, hi = center * 102 / 100;
+    std::uint64_t total = 0;
+    for (auto it = sizes.bins().lower_bound(lo);
+         it != sizes.bins().end() && it->first <= hi; ++it) {
+      total += it->second;
+    }
+    return total;
+  };
+  std::uint64_t peak = mass(700'000'000 / 1024);
+  std::uint64_t off_peak = mass(770'000'000 / 1024);
+  EXPECT_GT(peak, 2 * off_peak + 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeInvariants, ::testing::Values(101, 202));
+
+}  // namespace
+}  // namespace dtr

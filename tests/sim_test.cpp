@@ -1,0 +1,177 @@
+// Campaign-simulator tests: frame stream properties, ground-truth
+// consistency, determinism, and the background-traffic generator.
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "sim/background.hpp"
+#include "sim/campaign.hpp"
+
+namespace dtr::sim {
+namespace {
+
+CampaignConfig tiny_config(std::uint64_t seed = 42) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = 4 * kHour;
+  cfg.population.client_count = 60;
+  cfg.catalog.file_count = 400;
+  cfg.catalog.vocabulary = 150;
+  cfg.population.collector_share_max = 900;
+  cfg.population.scanner_ask_max = 400;
+  cfg.flash_crowd_count = 2;
+  return cfg;
+}
+
+TEST(Campaign, FramesAreTimeOrdered) {
+  CampaignSimulator sim(tiny_config());
+  SimTime last = 0;
+  std::uint64_t frames = 0;
+  sim.run([&](const TimedFrame& f) {
+    EXPECT_GE(f.time, last);
+    last = f.time;
+    ++frames;
+  });
+  EXPECT_GT(frames, 100u);
+  EXPECT_EQ(frames, sim.truth().frames);
+}
+
+TEST(Campaign, FramesAreValidEthernetIpv4) {
+  CampaignSimulator sim(tiny_config());
+  std::uint64_t checked = 0;
+  sim.run([&](const TimedFrame& f) {
+    auto eth = net::decode_ethernet(f.bytes);
+    ASSERT_TRUE(eth);
+    EXPECT_EQ(eth->ether_type, net::kEtherTypeIpv4);
+    auto ip = net::decode_ipv4(eth->payload);
+    ASSERT_TRUE(ip) << "IP header must checksum correctly";
+    EXPECT_EQ(ip->protocol, net::kProtocolUdp);
+    ++checked;
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Campaign, GroundTruthConsistency) {
+  CampaignSimulator sim(tiny_config());
+  sim.run([](const TimedFrame&) {});
+  const GroundTruth& t = sim.truth();
+
+  EXPECT_GT(t.client_messages, 0u);
+  EXPECT_GT(t.server_messages, 0u);
+  // Every message becomes at least one frame; fragments add more.
+  EXPECT_GE(t.frames, t.total_messages());
+  std::uint64_t family_total = 0;
+  for (auto c : t.family_counts) family_total += c;
+  EXPECT_EQ(family_total, t.total_messages());
+  // Each query family had traffic.
+  EXPECT_GT(t.publishes, 0u);
+  EXPECT_GT(t.searches, 0u);
+  EXPECT_GT(t.source_requests, 0u);
+  EXPECT_GT(t.stat_pings, 0u);
+  // Fault calibration: well under 1 % of client datagrams.
+  EXPECT_LT(t.faulted_datagrams, t.client_messages / 50);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  CampaignSimulator a(tiny_config(7)), b(tiny_config(7));
+  std::vector<std::pair<SimTime, std::size_t>> fa, fb;
+  a.run([&](const TimedFrame& f) { fa.emplace_back(f.time, f.bytes.size()); });
+  b.run([&](const TimedFrame& f) { fb.emplace_back(f.time, f.bytes.size()); });
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(a.truth().total_messages(), b.truth().total_messages());
+  EXPECT_EQ(a.truth().faulted_datagrams, b.truth().faulted_datagrams);
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  CampaignSimulator a(tiny_config(1)), b(tiny_config(2));
+  std::uint64_t na = 0, nb = 0;
+  a.run([&](const TimedFrame&) { ++na; });
+  b.run([&](const TimedFrame&) { ++nb; });
+  EXPECT_NE(na, nb);
+}
+
+TEST(Campaign, LargeAnnouncesAreFragmented) {
+  CampaignConfig cfg = tiny_config();
+  cfg.mtu = 600;  // force fragmentation of large publish batches
+  CampaignSimulator sim(cfg);
+  sim.run([](const TimedFrame&) {});
+  EXPECT_GT(sim.truth().ip_fragments, 0u);
+}
+
+TEST(Campaign, ServerSawTheTraffic) {
+  CampaignSimulator sim(tiny_config());
+  sim.run([](const TimedFrame&) {});
+  const auto& stats = sim.server().stats();
+  EXPECT_EQ(stats.searches, sim.truth().searches);
+  EXPECT_EQ(stats.source_requests, sim.truth().source_requests);
+  EXPECT_EQ(stats.publishes, sim.truth().publishes);
+}
+
+TEST(Campaign, RespectsPopulationAndCatalogConfig) {
+  CampaignConfig cfg = tiny_config();
+  CampaignSimulator sim(cfg);
+  EXPECT_EQ(sim.population().size(), cfg.population.client_count);
+  EXPECT_EQ(sim.catalog().size(), cfg.catalog.file_count);
+}
+
+// ---------------------------------------------------------------------------
+// Background traffic
+// ---------------------------------------------------------------------------
+
+TEST(Background, GeneratesOrderedTcpFrames) {
+  BackgroundConfig cfg;
+  cfg.duration = 2 * kMinute;
+  cfg.syn_per_minute = 600;
+  cfg.data_rate_quiet = 50;
+  cfg.data_rate_burst = 500;
+  BackgroundTraffic bg(cfg);
+  SimTime last = 0;
+  std::uint64_t frames = 0, tcp = 0;
+  bg.run([&](const TimedFrame& f) {
+    EXPECT_GE(f.time, last);
+    EXPECT_LT(f.time, cfg.duration);
+    last = f.time;
+    ++frames;
+    auto eth = net::decode_ethernet(f.bytes);
+    ASSERT_TRUE(eth);
+    auto ip = net::decode_ipv4(eth->payload);
+    ASSERT_TRUE(ip);
+    tcp += (ip->protocol == 6);
+  });
+  EXPECT_EQ(tcp, frames);
+  EXPECT_EQ(frames, bg.frames_emitted());
+  // ~600 SYN/min * 2min + ~50/s * 120s = ~7200 frames, very roughly.
+  EXPECT_GT(frames, 2000u);
+  EXPECT_LT(frames, 40000u);
+}
+
+TEST(Background, SynRateApproximatelyRespected) {
+  BackgroundConfig cfg;
+  cfg.duration = 10 * kMinute;
+  cfg.syn_per_minute = 5000;  // the paper's figure
+  cfg.data_rate_quiet = 0.001;
+  cfg.data_rate_burst = 0.001;
+  BackgroundTraffic bg(cfg);
+  std::uint64_t frames = 0;
+  bg.run([&](const TimedFrame&) { ++frames; });
+  EXPECT_NEAR(static_cast<double>(frames), 50000.0, 2500.0);
+}
+
+TEST(Merger, MergesStreamsInTimeOrder) {
+  FrameMerger merger;
+  merger.add(TimedFrame{5, {1}});
+  merger.add(TimedFrame{1, {2}});
+  merger.add(TimedFrame{3, {3}});
+  merger.add(TimedFrame{1, {4}});  // equal times keep insertion order
+  std::vector<SimTime> times;
+  std::vector<std::uint8_t> tags;
+  merger.replay([&](const TimedFrame& f) {
+    times.push_back(f.time);
+    tags.push_back(f.bytes[0]);
+  });
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 1, 3, 5}));
+  EXPECT_EQ(tags, (std::vector<std::uint8_t>{2, 4, 3, 1}));
+}
+
+}  // namespace
+}  // namespace dtr::sim

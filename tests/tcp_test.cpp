@@ -1,0 +1,510 @@
+// TCP extension tests: segment codec, stream reassembly (in-order,
+// out-of-order, duplicates, overlap, gaps, expiry), eDonkey TCP framing,
+// the incremental message extractor, and the simulated-campaign end-to-end
+// path (the paper's §4 future work).
+#include <gtest/gtest.h>
+
+#include "decode/tcp_decoder.hpp"
+#include "net/tcp.hpp"
+#include "proto/tcp_codec.hpp"
+#include "sim/tcp_session.hpp"
+
+namespace dtr {
+namespace {
+
+using net::FlowKey;
+using net::TcpSegment;
+using net::TcpStreamReassembler;
+
+// ---------------------------------------------------------------------------
+// Segment codec
+// ---------------------------------------------------------------------------
+
+TEST(TcpCodec, Roundtrip) {
+  TcpSegment s;
+  s.src_port = 4662;
+  s.dst_port = 4661;
+  s.seq = 0xDEADBEEF;
+  s.ack = 0x12345678;
+  s.flags = {.syn = false, .ack = true, .fin = false, .rst = false, .psh = true};
+  s.window = 8192;
+  s.payload = Bytes{1, 2, 3, 4, 5};
+  Bytes wire = net::encode_tcp(s, 0x0A000001, 0xC0A80001);
+  auto out = net::decode_tcp(wire, 0x0A000001, 0xC0A80001);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->src_port, s.src_port);
+  EXPECT_EQ(out->dst_port, s.dst_port);
+  EXPECT_EQ(out->seq, s.seq);
+  EXPECT_EQ(out->ack, s.ack);
+  EXPECT_EQ(out->flags, s.flags);
+  EXPECT_EQ(out->payload, s.payload);
+}
+
+TEST(TcpCodec, ChecksumDetectsCorruption) {
+  TcpSegment s;
+  s.payload = Bytes(64, 0x42);
+  Bytes wire = net::encode_tcp(s, 1, 2);
+  wire[25] ^= 0x01;  // flip a payload byte
+  EXPECT_FALSE(net::decode_tcp(wire, 1, 2));
+  // And the pseudo-header is covered too.
+  Bytes wire2 = net::encode_tcp(s, 1, 2);
+  EXPECT_FALSE(net::decode_tcp(wire2, 1, 3));
+}
+
+TEST(TcpCodec, SynFinRstFlags) {
+  for (auto make : {net::TcpFlags{.syn = true}, net::TcpFlags{.fin = true},
+                    net::TcpFlags{.rst = true}}) {
+    TcpSegment s;
+    s.flags = make;
+    Bytes wire = net::encode_tcp(s, 1, 2);
+    auto out = net::decode_tcp(wire, 1, 2);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->flags, make);
+  }
+}
+
+TEST(TcpCodec, ShortInputRejected) {
+  EXPECT_FALSE(net::decode_tcp(Bytes(10, 0), 1, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Stream reassembly
+// ---------------------------------------------------------------------------
+
+struct StreamCollector {
+  std::map<FlowKey, Bytes> streams;
+  int gaps = 0;
+
+  net::StreamSink sink() {
+    return [this](const FlowKey& key, BytesView data, bool gap) {
+      gaps += gap;
+      auto& s = streams[key];
+      s.insert(s.end(), data.begin(), data.end());
+    };
+  }
+};
+
+TcpSegment data_segment(std::uint32_t seq, Bytes payload) {
+  TcpSegment s;
+  s.src_port = 1000;
+  s.dst_port = 2000;
+  s.seq = seq;
+  s.flags.ack = true;
+  s.payload = std::move(payload);
+  return s;
+}
+
+TcpSegment syn_segment(std::uint32_t isn) {
+  TcpSegment s;
+  s.src_port = 1000;
+  s.dst_port = 2000;
+  s.seq = isn;
+  s.flags.syn = true;
+  return s;
+}
+
+TEST(Reassembly, InOrderStream) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(100), 0);
+  r.push(1, 2, data_segment(101, {1, 2, 3}), 1);
+  r.push(1, 2, data_segment(104, {4, 5}), 2);
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{1, 2, 3, 4, 5}));
+  EXPECT_EQ(collector.gaps, 0);
+  EXPECT_EQ(r.stats().bytes_delivered, 5u);
+}
+
+TEST(Reassembly, OutOfOrderIsBufferedAndDelivered) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0), 0);
+  r.push(1, 2, data_segment(4, {4, 5, 6}), 1);  // future
+  EXPECT_EQ(r.stats().out_of_order, 1u);
+  r.push(1, 2, data_segment(1, {1, 2, 3}), 2);  // fills the hole
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Reassembly, DuplicateSegmentsDropped) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0), 0);
+  r.push(1, 2, data_segment(1, {1, 2, 3}), 1);
+  r.push(1, 2, data_segment(1, {1, 2, 3}), 2);  // retransmission
+  EXPECT_EQ(r.stats().duplicates, 1u);
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{1, 2, 3}));
+}
+
+TEST(Reassembly, PartialOverlapDeliversOnlyNewBytes) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0), 0);
+  r.push(1, 2, data_segment(1, {1, 2, 3}), 1);
+  // Retransmission with extra data appended.
+  r.push(1, 2, data_segment(1, {1, 2, 3, 4, 5}), 2);
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Reassembly, GapSkippedAfterThreshold) {
+  StreamCollector collector;
+  TcpStreamReassembler::Config cfg;
+  cfg.gap_skip_threshold = 8;  // tiny, to trigger quickly
+  TcpStreamReassembler r(collector.sink(), cfg);
+  r.push(1, 2, syn_segment(0), 0);
+  // Segment at seq=1 lost at capture; later data keeps arriving.
+  r.push(1, 2, data_segment(100, {9, 9, 9, 9, 9}), 1);
+  r.push(1, 2, data_segment(105, {8, 8, 8, 8, 8}), 2);
+  EXPECT_EQ(r.stats().gaps_skipped, 1u);
+  EXPECT_EQ(collector.gaps, 1);
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{9, 9, 9, 9, 9, 8, 8, 8, 8, 8}));
+}
+
+TEST(Reassembly, MidFlowCaptureAdoptsOrphan) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  // No SYN seen (capture started later).
+  r.push(1, 2, data_segment(5000, {1, 2}), 0);
+  EXPECT_EQ(r.stats().orphan_segments, 1u);
+  r.push(1, 2, data_segment(5002, {3}), 1);
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{1, 2, 3}));
+}
+
+TEST(Reassembly, SequenceNumberWraparound) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0xFFFFFFFE), 0);  // next_seq = 0xFFFFFFFF
+  r.push(1, 2, data_segment(0xFFFFFFFF, {1, 2}), 1);  // wraps to 1
+  r.push(1, 2, data_segment(1, {3}), 2);
+  FlowKey key{1, 2, 1000, 2000};
+  EXPECT_EQ(collector.streams[key], (Bytes{1, 2, 3}));
+}
+
+TEST(Reassembly, FinFlushesAndForgets) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0), 0);
+  r.push(1, 2, data_segment(1, {1}), 1);
+  TcpSegment fin = data_segment(2, {});
+  fin.flags.fin = true;
+  r.push(1, 2, fin, 2);
+  EXPECT_EQ(r.active_flows(), 0u);
+}
+
+TEST(Reassembly, RstAbortsFlow) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0), 0);
+  TcpSegment rst;
+  rst.src_port = 1000;
+  rst.dst_port = 2000;
+  rst.flags.rst = true;
+  r.push(1, 2, rst, 1);
+  EXPECT_EQ(r.active_flows(), 0u);
+}
+
+TEST(Reassembly, IdleFlowsExpire) {
+  StreamCollector collector;
+  TcpStreamReassembler::Config cfg;
+  cfg.idle_timeout = kMinute;
+  TcpStreamReassembler r(collector.sink(), cfg);
+  r.push(1, 2, syn_segment(0), 0);
+  EXPECT_EQ(r.active_flows(), 1u);
+  r.expire(2 * kMinute);
+  EXPECT_EQ(r.active_flows(), 0u);
+  EXPECT_EQ(r.stats().flows_expired, 1u);
+}
+
+TEST(Reassembly, ConcurrentFlowsStaySeparate) {
+  StreamCollector collector;
+  TcpStreamReassembler r(collector.sink());
+  r.push(1, 2, syn_segment(0), 0);
+  TcpSegment other = syn_segment(0);
+  other.src_port = 1001;
+  r.push(1, 2, other, 0);
+  TcpSegment d1 = data_segment(1, {1});
+  TcpSegment d2 = data_segment(1, {2});
+  d2.src_port = 1001;
+  r.push(1, 2, d1, 1);
+  r.push(1, 2, d2, 1);
+  FlowKey flow_a{1, 2, 1000, 2000};
+  FlowKey flow_b{1, 2, 1001, 2000};
+  EXPECT_EQ(collector.streams[flow_a], (Bytes{1}));
+  EXPECT_EQ(collector.streams[flow_b], (Bytes{2}));
+}
+
+// ---------------------------------------------------------------------------
+// eDonkey TCP message codec
+// ---------------------------------------------------------------------------
+
+FileId fid(int i) {
+  FileId id;
+  id.bytes[0] = static_cast<std::uint8_t>(i);
+  id.bytes[5] = static_cast<std::uint8_t>(i >> 8);
+  return id;
+}
+
+std::vector<proto::TcpMessage> tcp_samples() {
+  std::vector<proto::TcpMessage> out;
+  proto::LoginRequest login;
+  login.user_hash = fid(77);
+  login.client_id = 0;
+  login.port = 4662;
+  login.name = "tester";
+  login.version = 60;
+  out.emplace_back(std::move(login));
+  out.emplace_back(proto::IdChange{12345});
+  out.emplace_back(proto::ServerMessage{"hello <world> & donkeys"});
+  {
+    proto::OfferFiles offer;
+    proto::FileEntry e;
+    e.file_id = fid(1);
+    e.client_id = 99;
+    e.port = 4662;
+    e.tags = {proto::Tag::str(proto::TagName::kFileName, "a song.mp3"),
+              proto::Tag::u32(proto::TagName::kFileSize, 4'000'000)};
+    offer.files.push_back(std::move(e));
+    out.emplace_back(std::move(offer));
+  }
+  out.emplace_back(proto::ServerStatus{1234, 56789});
+  {
+    proto::FileSearchReq req;
+    req.expr = proto::SearchExpr::keywords({"abc", "def"});
+    out.emplace_back(std::move(req));
+  }
+  out.emplace_back(proto::GetSourcesReq{{fid(3), fid(4)}});
+  out.emplace_back(proto::FoundSourcesRes{fid(3), {{7, 4662}}});
+  return out;
+}
+
+struct TcpMessageEq {
+  const proto::TcpMessage& other;
+  bool operator()(const proto::FileSearchReq& v) const {
+    return *v.expr == *std::get<proto::FileSearchReq>(other).expr;
+  }
+  template <typename T>
+  bool operator()(const T& v) const {
+    return v == std::get<T>(other);
+  }
+};
+
+bool tcp_equal(const proto::TcpMessage& a, const proto::TcpMessage& b) {
+  if (a.index() != b.index()) return false;
+  return std::visit(TcpMessageEq{b}, a);
+}
+
+class TcpMessageRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcpMessageRoundtrip, FramedEncodeDecode) {
+  auto msgs = tcp_samples();
+  const proto::TcpMessage& m = msgs[GetParam()];
+  Bytes wire = proto::encode_tcp_message(m);
+  // Frame: marker + u32 length + content.
+  ASSERT_GE(wire.size(), 6u);
+  EXPECT_EQ(wire[0], proto::kProtoEdonkey);
+  auto result = proto::decode_tcp_frame_content(
+      BytesView(wire.data() + 5, wire.size() - 5));
+  ASSERT_TRUE(result.ok()) << proto::tcp_decode_error_name(result.error);
+  EXPECT_TRUE(tcp_equal(m, *result.message));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTcpTypes, TcpMessageRoundtrip,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(TcpFrameContent, Malformations) {
+  EXPECT_EQ(proto::decode_tcp_frame_content({}).error,
+            proto::TcpDecodeError::kMalformedBody);
+  Bytes unknown_op = {0x77};
+  EXPECT_EQ(proto::decode_tcp_frame_content(unknown_op).error,
+            proto::TcpDecodeError::kUnknownOpcode);
+  Bytes wire = proto::encode_tcp_message(proto::TcpMessage(proto::IdChange{7}));
+  Bytes content(wire.begin() + 5, wire.end());
+  content.push_back(0xAA);
+  EXPECT_EQ(proto::decode_tcp_frame_content(content).error,
+            proto::TcpDecodeError::kTrailingGarbage);
+  content.resize(content.size() - 3);
+  EXPECT_EQ(proto::decode_tcp_frame_content(content).error,
+            proto::TcpDecodeError::kMalformedBody);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental extractor
+// ---------------------------------------------------------------------------
+
+class ExtractorChunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExtractorChunking, AnyChunkingYieldsAllMessages) {
+  const std::size_t chunk = GetParam();
+  Bytes stream;
+  auto msgs = tcp_samples();
+  for (const auto& m : msgs) {
+    Bytes wire = proto::encode_tcp_message(m);
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+
+  std::vector<proto::TcpMessage> got;
+  proto::TcpMessageExtractor extractor(
+      [&](proto::TcpMessage&& m) { got.push_back(std::move(m)); });
+  for (std::size_t off = 0; off < stream.size(); off += chunk) {
+    std::size_t n = std::min(chunk, stream.size() - off);
+    extractor.feed(BytesView(stream.data() + off, n));
+  }
+  ASSERT_EQ(got.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_TRUE(tcp_equal(msgs[i], got[i])) << "message " << i;
+  }
+  EXPECT_EQ(extractor.buffered(), 0u);
+  EXPECT_EQ(extractor.stats().undecoded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ExtractorChunking,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000, 100000));
+
+TEST(Extractor, ResyncFindsNextFrameAfterGarbage) {
+  std::vector<proto::TcpMessage> got;
+  proto::TcpMessageExtractor extractor(
+      [&](proto::TcpMessage&& m) { got.push_back(std::move(m)); });
+
+  // Half a message, then a gap, then two clean messages.
+  Bytes first = proto::encode_tcp_message(
+      proto::TcpMessage(proto::ServerMessage{"will be cut"}));
+  extractor.feed(BytesView(first.data(), first.size() / 2));
+  extractor.resync();  // stream gap
+
+  Bytes garbage = {0x12, 0x34, 0xE3 /* fake marker */, 0x00};
+  extractor.feed(garbage);
+  Bytes a = proto::encode_tcp_message(proto::TcpMessage(proto::IdChange{1}));
+  Bytes b = proto::encode_tcp_message(proto::TcpMessage(proto::IdChange{2}));
+  extractor.feed(a);
+  extractor.feed(b);
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(std::get<proto::IdChange>(got[0]).client_id, 1u);
+  EXPECT_EQ(std::get<proto::IdChange>(got[1]).client_id, 2u);
+  EXPECT_GE(extractor.stats().resyncs, 1u);
+}
+
+TEST(Extractor, BogusLengthDoesNotStallStream) {
+  std::vector<proto::TcpMessage> got;
+  proto::TcpMessageExtractor extractor(
+      [&](proto::TcpMessage&& m) { got.push_back(std::move(m)); });
+  // A "frame" claiming 100 MB.
+  ByteWriter w;
+  w.u8(proto::kProtoEdonkey);
+  w.u32le(100'000'000);
+  w.u8(proto::kOpIdChange);
+  extractor.feed(w.view());
+  Bytes good = proto::encode_tcp_message(proto::TcpMessage(proto::IdChange{9}));
+  extractor.feed(good);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(std::get<proto::IdChange>(got[0]).client_id, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: TCP campaign -> decoder
+// ---------------------------------------------------------------------------
+
+sim::TcpCampaignConfig tiny_tcp_config(std::uint64_t seed = 5) {
+  sim::TcpCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = 2 * kHour;
+  cfg.population.client_count = 40;
+  cfg.catalog.file_count = 300;
+  cfg.catalog.vocabulary = 100;
+  // Bias toward collectors with big share lists so offers span several MSS
+  // segments, and reorder aggressively: the run must exercise out-of-order
+  // reassembly, not just the happy path.
+  cfg.population.casual_fraction = 0.35;
+  cfg.population.collector_fraction = 0.50;
+  cfg.population.collector_share_alpha = 1.2;
+  cfg.population.collector_share_max = 800;
+  cfg.reorder_p = 0.15;
+  return cfg;
+}
+
+TEST(TcpEndToEnd, AllMessagesRecovered) {
+  sim::TcpCampaignConfig cfg = tiny_tcp_config();
+  sim::TcpCampaignSimulator simulator(cfg);
+
+  std::uint64_t logins = 0, idchanges = 0, offers = 0, offer_entries = 0;
+  decode::TcpFrameDecoder decoder(
+      cfg.server_ip, cfg.server_port, [&](decode::DecodedTcpMessage&& m) {
+        if (std::holds_alternative<proto::LoginRequest>(m.message)) {
+          ++logins;
+          EXPECT_TRUE(m.from_client);
+        } else if (std::holds_alternative<proto::IdChange>(m.message)) {
+          ++idchanges;
+          EXPECT_FALSE(m.from_client);
+        } else if (const auto* o = std::get_if<proto::OfferFiles>(&m.message)) {
+          ++offers;
+          offer_entries += o->files.size();
+        }
+      });
+  simulator.run([&](const sim::TimedFrame& f) { decoder.push(f); });
+  decoder.finish(cfg.duration);
+
+  const sim::TcpGroundTruth& truth = simulator.truth();
+  EXPECT_EQ(decoder.stats().messages, truth.total_messages());
+  EXPECT_EQ(logins, truth.sessions);
+  EXPECT_EQ(idchanges, truth.sessions);
+  EXPECT_EQ(offer_entries, truth.offer_entries);
+  EXPECT_EQ(decoder.stats().undecoded, 0u);
+  EXPECT_EQ(decoder.stats().stream_gaps, 0u);
+  EXPECT_GT(truth.reordered, 0u) << "the run should exercise out-of-order";
+  EXPECT_GT(offers, 0u);
+}
+
+TEST(TcpEndToEnd, FramesAreTimeOrdered) {
+  sim::TcpCampaignSimulator simulator(tiny_tcp_config(6));
+  SimTime last = 0;
+  simulator.run([&](const sim::TimedFrame& f) {
+    EXPECT_GE(f.time, last);
+    last = f.time;
+  });
+}
+
+TEST(TcpEndToEnd, DeterministicAcrossRuns) {
+  sim::TcpCampaignSimulator a(tiny_tcp_config(7));
+  sim::TcpCampaignSimulator b(tiny_tcp_config(7));
+  std::vector<std::size_t> sizes_a, sizes_b;
+  a.run([&](const sim::TimedFrame& f) { sizes_a.push_back(f.bytes.size()); });
+  b.run([&](const sim::TimedFrame& f) { sizes_b.push_back(f.bytes.size()); });
+  EXPECT_EQ(sizes_a, sizes_b);
+}
+
+TEST(TcpEndToEnd, CaptureLossProducesGapsNotGarbage) {
+  // Drop a slice of frames (as a stressed kernel buffer would) and verify
+  // the decoder recovers: some messages lost, zero corrupt messages, gaps
+  // reported.  This is the §2.2 difficulty, handled.
+  sim::TcpCampaignConfig cfg = tiny_tcp_config(8);
+  sim::TcpCampaignSimulator simulator(cfg);
+
+  std::vector<sim::TimedFrame> frames;
+  simulator.run([&](const sim::TimedFrame& f) { frames.push_back(f); });
+
+  std::uint64_t recovered = 0;
+  decode::TcpFrameDecoder decoder(
+      cfg.server_ip, cfg.server_port,
+      [&](decode::DecodedTcpMessage&&) { ++recovered; });
+  Rng rng(99);
+  std::uint64_t dropped = 0;
+  for (const auto& f : frames) {
+    if (rng.chance(0.01)) {  // 1% capture loss, far above the paper's rate
+      ++dropped;
+      continue;
+    }
+    decoder.push(f);
+  }
+  decoder.finish(cfg.duration);
+
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(recovered, simulator.truth().total_messages());
+  EXPECT_GT(recovered, simulator.truth().total_messages() / 2);
+}
+
+}  // namespace
+}  // namespace dtr

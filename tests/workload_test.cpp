@@ -1,0 +1,320 @@
+// Workload-model tests: the file-size mixture (Figure 8 shape), the
+// catalog, the client population (Figures 6/7 behaviours), and the
+// identifier streams used by the anonymisation benches.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "workload/behavior.hpp"
+#include "workload/catalog.hpp"
+#include "workload/filesize_model.hpp"
+#include "workload/idstream.hpp"
+
+namespace dtr::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FileSizeModel
+// ---------------------------------------------------------------------------
+
+TEST(FileSizeModel, SamplesWithinBounds) {
+  FileSizeModel model;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t size = model.sample(rng);
+    EXPECT_GE(size, FileSizeModel::kMinBytes);
+    EXPECT_LE(size, FileSizeModel::kMaxBytes);
+  }
+}
+
+TEST(FileSizeModel, SmallFilesDominate) {
+  FileSizeModel model;
+  Rng rng(2);
+  int small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) small += (model.sample(rng) < 20ull * 1000 * 1000);
+  // The small-audio bulk is ~62 % of the mixture.
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(FileSizeModel, CdPeakPresent) {
+  FileSizeModel model;
+  Rng rng(3);
+  const std::uint64_t peak = 700ull * 1000 * 1000;
+  int near_peak = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t size = model.sample(rng);
+    if (size > peak * 98 / 100 && size < peak * 102 / 100) ++near_peak;
+  }
+  // The 700 MB spike carries ~5.5 % of the mass; a 2 %-wide window around it
+  // should hold far more than the surrounding lognormal tail would.
+  EXPECT_GT(near_peak, n * 3 / 100);
+}
+
+TEST(FileSizeModel, AllConfiguredPeaksAppear) {
+  FileSizeModel model;
+  Rng rng(4);
+  std::vector<int> hits(model.config().peaks.size(), 0);
+  for (int i = 0; i < 200000; ++i) {
+    std::uint64_t size = model.sample(rng);
+    for (std::size_t p = 0; p < model.config().peaks.size(); ++p) {
+      std::uint64_t c = model.config().peaks[p].center_bytes;
+      if (size > c * 98 / 100 && size < c * 102 / 100) ++hits[p];
+    }
+  }
+  for (std::size_t p = 0; p < hits.size(); ++p) {
+    EXPECT_GT(hits[p], 100) << "peak at "
+                            << model.config().peaks[p].center_bytes;
+  }
+}
+
+TEST(FileSizeModel, DeterministicGivenRng) {
+  FileSizeModel model;
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(a), model.sample(b));
+}
+
+// ---------------------------------------------------------------------------
+// FileCatalog
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, DeterministicFromSeed) {
+  CatalogConfig cfg;
+  cfg.file_count = 500;
+  FileCatalog a(cfg, 7), b(cfg, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.file(i).id, b.file(i).id);
+    EXPECT_EQ(a.file(i).name, b.file(i).name);
+    EXPECT_EQ(a.file(i).size, b.file(i).size);
+  }
+  FileCatalog c(cfg, 8);
+  EXPECT_NE(a.file(0).name, c.file(0).name);
+}
+
+TEST(Catalog, FileIdsAreUniqueAndHonest) {
+  CatalogConfig cfg;
+  cfg.file_count = 2000;
+  FileCatalog cat(cfg, 1);
+  std::set<FileId> ids;
+  for (std::size_t i = 0; i < cat.size(); ++i) ids.insert(cat.file(i).id);
+  EXPECT_EQ(ids.size(), cat.size());
+}
+
+TEST(Catalog, NamesYieldKeywords) {
+  CatalogConfig cfg;
+  cfg.file_count = 100;
+  FileCatalog cat(cfg, 2);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_FALSE(cat.file(i).name.empty());
+    EXPECT_NE(cat.file(i).name.find(' '), std::string::npos);
+  }
+}
+
+TEST(Catalog, PopularitySamplingIsSkewed) {
+  CatalogConfig cfg;
+  cfg.file_count = 1000;
+  FileCatalog cat(cfg, 3);
+  Rng rng(4);
+  std::vector<int> counts(cat.size(), 0);
+  for (int i = 0; i < 100000; ++i) ++counts[cat.sample_popular(rng)];
+  // Head must dominate the tail.
+  int head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) head += counts[static_cast<std::size_t>(i)];
+  for (std::size_t i = 900; i < 1000; ++i) tail += counts[i];
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(Catalog, UniformSamplingCoversRange) {
+  CatalogConfig cfg;
+  cfg.file_count = 50;
+  FileCatalog cat(cfg, 5);
+  Rng rng(6);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(cat.sample_uniform(rng));
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(Catalog, TypesCorrelateWithSize) {
+  CatalogConfig cfg;
+  cfg.file_count = 5000;
+  FileCatalog cat(cfg, 7);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto& f = cat.file(i);
+    if (f.size < 1'000'000) {
+      EXPECT_TRUE(f.type == "audio" || f.type == "doc") << f.size;
+    }
+    if (f.size > 500'000'000) {
+      EXPECT_TRUE(f.type == "video" || f.type == "image") << f.size;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ClientPopulation
+// ---------------------------------------------------------------------------
+
+PopulationConfig small_population() {
+  PopulationConfig cfg;
+  cfg.client_count = 5000;
+  return cfg;
+}
+
+TEST(Population, DeterministicFromSeed) {
+  auto cfg = small_population();
+  ClientPopulation a(cfg, 1), b(cfg, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.client(i).ip, b.client(i).ip);
+    EXPECT_EQ(a.client(i).kind, b.client(i).kind);
+    EXPECT_EQ(a.client(i).shares, b.client(i).shares);
+    EXPECT_EQ(a.client(i).asks, b.client(i).asks);
+  }
+}
+
+TEST(Population, IpsAreUnique) {
+  auto cfg = small_population();
+  ClientPopulation pop(cfg, 2);
+  std::set<proto::ClientId> ips;
+  for (std::size_t i = 0; i < pop.size(); ++i) ips.insert(pop.client(i).ip);
+  EXPECT_EQ(ips.size(), pop.size());
+}
+
+TEST(Population, KindFractionsRoughlyRespected) {
+  auto cfg = small_population();
+  ClientPopulation pop(cfg, 3);
+  auto counts = pop.kind_counts();
+  double n = static_cast<double>(pop.size());
+  EXPECT_NEAR(counts[0] / n, cfg.casual_fraction, 0.03);
+  EXPECT_NEAR(counts[1] / n, cfg.collector_fraction, 0.02);
+  EXPECT_NEAR(counts[2] / n, cfg.capped52_fraction, 0.02);
+  EXPECT_GT(counts[3], 0u);  // scanners exist
+  EXPECT_GT(counts[4], 0u);  // polluters exist
+}
+
+TEST(Population, Capped52ClientsAskExactly52) {
+  auto cfg = small_population();
+  ClientPopulation pop(cfg, 4);
+  int capped = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (pop.client(i).kind == ClientKind::kCapped52) {
+      EXPECT_EQ(pop.client(i).asks, cfg.capped_ask_value);
+      ++capped;
+    }
+  }
+  EXPECT_GT(capped, 0);
+}
+
+TEST(Population, CollectorsHitShareCaps) {
+  auto cfg = small_population();
+  cfg.client_count = 20000;
+  ClientPopulation pop(cfg, 5);
+  std::map<std::uint32_t, int> share_histogram;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (pop.client(i).kind == ClientKind::kCollector)
+      ++share_histogram[pop.client(i).shares];
+  }
+  // The cap values must show up as spikes: more clients exactly at a cap
+  // than just below it.
+  for (std::uint32_t cap : cfg.share_caps) {
+    int at_cap = share_histogram[cap];
+    int near_cap = share_histogram[cap - 7];
+    EXPECT_GT(at_cap, near_cap * 3 + 1) << "cap " << cap;
+  }
+}
+
+TEST(Population, PollutersShareNothingButForge) {
+  auto cfg = small_population();
+  ClientPopulation pop(cfg, 6);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const auto& c = pop.client(i);
+    if (c.kind == ClientKind::kPolluter) {
+      EXPECT_EQ(c.shares, 0u);
+      EXPECT_GE(c.forged_files, cfg.polluter_forged_files_min);
+      EXPECT_LE(c.forged_files, cfg.polluter_forged_files_max);
+    } else {
+      EXPECT_EQ(c.forged_files, 0u);
+    }
+  }
+}
+
+TEST(Population, ScannersAskALot) {
+  auto cfg = small_population();
+  ClientPopulation pop(cfg, 7);
+  std::uint64_t max_scanner_asks = 0;
+  std::uint64_t max_casual_asks = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const auto& c = pop.client(i);
+    if (c.kind == ClientKind::kScanner)
+      max_scanner_asks = std::max<std::uint64_t>(max_scanner_asks, c.asks);
+    if (c.kind == ClientKind::kCasual)
+      max_casual_asks = std::max<std::uint64_t>(max_casual_asks, c.asks);
+  }
+  EXPECT_GT(max_scanner_asks, max_casual_asks);
+}
+
+TEST(Population, SessionsArePositive) {
+  auto cfg = small_population();
+  ClientPopulation pop(cfg, 8);
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    EXPECT_GE(pop.client(i).sessions, 1u);
+}
+
+TEST(Population, KindNames) {
+  EXPECT_STREQ(client_kind_name(ClientKind::kCasual), "casual");
+  EXPECT_STREQ(client_kind_name(ClientKind::kPolluter), "polluter");
+}
+
+// ---------------------------------------------------------------------------
+// Identifier streams
+// ---------------------------------------------------------------------------
+
+TEST(FileIdStream, UniverseIsDeterministic) {
+  FileIdStreamConfig cfg{1000, 0.9, 0.3, 42};
+  FileIdStream a(cfg), b(cfg);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(a.universe_id(i), b.universe_id(i));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(FileIdStream, ForgedFractionRespected) {
+  FileIdStreamConfig cfg{10000, 0.9, 0.25, 1};
+  FileIdStream stream(cfg);
+  int forged = 0;
+  for (std::uint64_t i = 0; i < cfg.distinct_ids; ++i) {
+    FileId id = stream.universe_id(i);
+    std::uint16_t prefix =
+        static_cast<std::uint16_t>(id.byte(0) << 8 | id.byte(1));
+    forged += (prefix == 0 || prefix == 256);
+  }
+  EXPECT_NEAR(forged / double(cfg.distinct_ids), 0.25, 0.01);
+}
+
+TEST(FileIdStream, StreamRepeatsPopularIds) {
+  FileIdStreamConfig cfg{1000, 1.0, 0.0, 3};
+  FileIdStream stream(cfg);
+  std::map<FileId, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[stream.next()];
+  // Zipf repetition: far fewer distinct IDs than draws.
+  EXPECT_LT(counts.size(), 1000u);
+  int max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(ClientIdStream, DeterministicAndBounded) {
+  ClientIdStreamConfig cfg{500, 0.8, 9};
+  ClientIdStream a(cfg), b(cfg);
+  std::set<proto::ClientId> distinct;
+  for (int i = 0; i < 5000; ++i) {
+    proto::ClientId id = a.next();
+    EXPECT_EQ(id, b.next());
+    distinct.insert(id);
+  }
+  EXPECT_LE(distinct.size(), 500u);
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+}  // namespace
+}  // namespace dtr::workload

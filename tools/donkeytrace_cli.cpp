@@ -1,0 +1,350 @@
+// donkeytrace — the command-line face of the library.
+//
+//   donkeytrace campaign  --seed 1 --clients 2000 --files 20000 \
+//                         --hours 48 --xml out.xml.dtz --pcap out.pcap
+//   donkeytrace decode    --pcap out.pcap --xml replay.xml
+//   donkeytrace analyze   --xml out.xml.dtz
+//   donkeytrace compress  file.xml            (-> file.xml.dtz)
+//   donkeytrace decompress file.xml.dtz       (-> file.xml)
+//
+// `campaign` runs the full measurement (Figure 1) at the requested scale;
+// `decode` replays a pcap capture offline; `analyze` recomputes the §3
+// statistics from a released dataset.  Files ending in .dtz are LZSS-
+// compressed (footnote 3 of the paper).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/campaign_stats.hpp"
+#include "analysis/powerlaw.hpp"
+#include "analysis/report.hpp"
+#include "cli_args.hpp"
+#include "core/donkeytrace.hpp"
+#include "xmlio/compress.hpp"
+
+namespace {
+
+using namespace dtr;
+
+int usage() {
+  std::cerr <<
+      R"(usage: donkeytrace <command> [options]
+
+commands:
+  campaign    simulate a capture campaign end to end
+              --seed N --clients N --files N --hours H
+              --xml PATH[.dtz] --pcap PATH --background
+  decode      replay a pcap file through the offline decoder
+              --pcap PATH [--xml PATH[.dtz]]
+              [--server-ip A.B.C.D] [--server-port P]
+  analyze     recompute the paper's statistics from a dataset
+              --xml PATH[.dtz]  (or positional path)
+  compress    LZSS-compress a file   (positional path, adds .dtz)
+  decompress  expand a .dtz file     (positional path, strips .dtz)
+)";
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+/// Load a dataset file, transparently decompressing .dtz.
+std::optional<std::string> load_dataset(const std::string& path) {
+  auto raw = read_file(path);
+  if (!raw) return std::nullopt;
+  if (ends_with(path, ".dtz")) {
+    auto expanded = xmlio::lz_decompress(*raw);
+    if (!expanded) return std::nullopt;
+    return std::string(expanded->begin(), expanded->end());
+  }
+  return std::string(raw->begin(), raw->end());
+}
+
+/// Store XML text to `path`, compressing when it ends in .dtz.
+bool store_dataset(const std::string& path, const std::string& xml) {
+  if (ends_with(path, ".dtz")) {
+    Bytes data(xml.begin(), xml.end());
+    Bytes compressed = xmlio::lz_compress(data);
+    bool ok = write_file(path, compressed);
+    if (ok) {
+      std::cout << "wrote " << path << " (" << with_thousands(compressed.size())
+                << " bytes, " << static_cast<int>(
+                       100.0 * xmlio::lz_ratio(data, compressed))
+                << "% of the XML)\n";
+    }
+    return ok;
+  }
+  std::ofstream out(path);
+  out << xml;
+  if (out) {
+    std::cout << "wrote " << path << " (" << with_thousands(xml.size())
+              << " bytes)\n";
+  }
+  return static_cast<bool>(out);
+}
+
+void print_dataset_summary(const analysis::CampaignStats& stats) {
+  analysis::print_table(
+      std::cout, "dataset",
+      {
+          {"messages", with_thousands(stats.messages())},
+          {"queries / answers", with_thousands(stats.queries()) + " / " +
+                                    with_thousands(stats.answers())},
+          {"distinct clients", with_thousands(stats.distinct_clients())},
+          {"distinct fileIDs", with_thousands(stats.distinct_files())},
+          {"provider relations", with_thousands(stats.provider_relations())},
+          {"asker relations", with_thousands(stats.asker_relations())},
+      });
+}
+
+void print_figures(const analysis::CampaignStats& stats) {
+  struct Figure {
+    const char* name;
+    CountHistogram h;
+  };
+  Figure figures[] = {
+      {"Fig 4: clients providing each file", stats.providers_per_file()},
+      {"Fig 5: clients asking for each file", stats.askers_per_file()},
+      {"Fig 6: files provided per client", stats.files_per_provider()},
+      {"Fig 7: files asked per client", stats.files_per_asker()},
+      {"Fig 8: file sizes (KB)", stats.size_distribution()},
+  };
+  for (const Figure& fig : figures) {
+    if (fig.h.empty()) continue;
+    std::cout << "\n== " << fig.name << " ==\n";
+    analysis::print_loglog_plot(std::cout, fig.h, 64, 14);
+    std::cout << analysis::describe_fit(analysis::fit_power_law_auto(fig.h))
+              << "\n";
+  }
+}
+
+int cmd_campaign(const cli::Args& args) {
+  core::RunnerConfig cfg;
+  cfg.campaign.seed = args.get_u64("seed", 42);
+  cfg.campaign.population.client_count =
+      static_cast<std::uint32_t>(args.get_u64("clients", 2000));
+  cfg.campaign.catalog.file_count =
+      static_cast<std::uint32_t>(args.get_u64("files", 20000));
+  cfg.campaign.duration = args.get_u64("hours", 48) * kHour;
+  cfg.pcap_path = args.get("pcap");
+  if (args.has("background")) {
+    sim::BackgroundConfig bg;
+    bg.syn_per_minute = args.get_f64("syn-per-minute", 60.0);
+    bg.data_rate_quiet = args.get_f64("tcp-quiet", 1.3);
+    bg.data_rate_burst = args.get_f64("tcp-burst", 30.0);
+    cfg.background = bg;
+  }
+
+  std::ostringstream xml;
+  std::string xml_path = args.get("xml");
+  if (!xml_path.empty()) cfg.xml_out = &xml;
+
+  core::CampaignRunner runner(cfg);
+  core::CampaignReport report = runner.run();
+
+  analysis::print_table(
+      std::cout, "campaign",
+      {
+          {"frames mirrored",
+           with_thousands(report.frames_captured + report.frames_lost)},
+          {"frames lost", with_thousands(report.frames_lost)},
+          {"messages decoded", with_thousands(report.pipeline.decode.decoded)},
+          {"undecoded", with_thousands(report.pipeline.decode.undecoded())},
+          {"distinct clients", with_thousands(report.pipeline.distinct_clients)},
+          {"distinct fileIDs", with_thousands(report.pipeline.distinct_files)},
+      });
+  print_dataset_summary(runner.stats());
+
+  if (!xml_path.empty() && !store_dataset(xml_path, xml.str())) {
+    std::cerr << "cannot write " << xml_path << "\n";
+    return 1;
+  }
+  if (!cfg.pcap_path.empty()) {
+    std::cout << "wrote " << cfg.pcap_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_decode(const cli::Args& args) {
+  std::string pcap_path = args.get("pcap");
+  if (pcap_path.empty() && !args.positional().empty()) {
+    pcap_path = args.positional().front();
+  }
+  if (pcap_path.empty()) {
+    std::cerr << "decode: --pcap required\n";
+    return 2;
+  }
+  net::PcapReader reader(pcap_path);
+  if (!reader.ok()) {
+    std::cerr << "cannot read " << pcap_path << "\n";
+    return 1;
+  }
+  std::uint32_t server_ip =
+      cli::parse_ipv4(args.get("server-ip", "192.168.0.1")).value_or(0xC0A80001);
+  auto server_port =
+      static_cast<std::uint16_t>(args.get_u64("server-port", 4665));
+
+  anon::DirectClientTable clients;
+  anon::BucketedFileIdStore files;
+  anon::Anonymiser anonymiser(clients, files);
+  analysis::CampaignStats stats;
+  std::ostringstream xml;
+  std::unique_ptr<xmlio::DatasetWriter> writer;
+  std::string xml_path = args.get("xml");
+  if (!xml_path.empty()) writer = std::make_unique<xmlio::DatasetWriter>(xml);
+
+  decode::FrameDecoder decoder(
+      server_ip, server_port, [&](decode::DecodedMessage&& msg) {
+        bool from_client = msg.dst_ip == server_ip;
+        anon::AnonEvent ev = anonymiser.anonymise(
+            msg.time, from_client ? msg.src_ip : msg.dst_ip, msg.message);
+        stats.consume(ev);
+        if (writer) writer->write(ev);
+      });
+  std::uint64_t frames = 0;
+  SimTime last = 0;
+  while (auto rec = reader.next()) {
+    decoder.push(sim::TimedFrame{rec->timestamp, rec->data});
+    last = rec->timestamp;
+    ++frames;
+  }
+  decoder.finish(last);
+  if (writer) writer->finish();
+
+  const decode::DecodeStats& d = decoder.stats();
+  analysis::print_table(
+      std::cout, "decode",
+      {
+          {"frames", with_thousands(frames)},
+          {"UDP packets", with_thousands(d.udp_packets)},
+          {"TCP packets (skipped)", with_thousands(d.tcp_packets)},
+          {"eDonkey messages", with_thousands(d.edonkey_messages)},
+          {"decoded", with_thousands(d.decoded)},
+          {"undecoded", with_thousands(d.undecoded())},
+      });
+  print_dataset_summary(stats);
+  if (!xml_path.empty() && !store_dataset(xml_path, xml.str())) {
+    std::cerr << "cannot write " << xml_path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_analyze(const cli::Args& args) {
+  std::string path = args.get("xml");
+  if (path.empty() && !args.positional().empty()) {
+    path = args.positional().front();
+  }
+  if (path.empty()) {
+    std::cerr << "analyze: dataset path required\n";
+    return 2;
+  }
+  auto xml = load_dataset(path);
+  if (!xml) {
+    std::cerr << "cannot load " << path << "\n";
+    return 1;
+  }
+  // Validate against the formal spec (docs/DATASET_SPEC.md) first; a
+  // dataset that violates its invariants yields meaningless statistics.
+  {
+    std::istringstream in(*xml);
+    auto violations = xmlio::DatasetValidator::validate_document(in);
+    if (!violations.empty()) {
+      std::cerr << "dataset violates the specification ("
+                << violations.size() << " finding(s)); first: ["
+                << violations.front().rule << "] "
+                << violations.front().message << " at event "
+                << violations.front().event_index << "\n";
+      if (!args.has("force")) return 1;
+      std::cerr << "--force given: analyzing anyway\n";
+    }
+  }
+
+  std::istringstream in(*xml);
+  xmlio::DatasetReader reader(in);
+  analysis::CampaignStats stats;
+  while (auto ev = reader.next()) stats.consume(*ev);
+  if (!reader.ok()) {
+    std::cerr << "malformed dataset: " << reader.error() << "\n";
+    return 1;
+  }
+  print_dataset_summary(stats);
+  print_figures(stats);
+  return 0;
+}
+
+int cmd_compress(const cli::Args& args, bool compress) {
+  if (args.positional().empty()) {
+    std::cerr << (compress ? "compress" : "decompress") << ": path required\n";
+    return 2;
+  }
+  const std::string& path = args.positional().front();
+  auto data = read_file(path);
+  if (!data) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  if (compress) {
+    Bytes out = xmlio::lz_compress(*data);
+    std::string out_path = path + ".dtz";
+    if (!write_file(out_path, out)) return 1;
+    std::printf("%s -> %s (%.1f%%)\n", path.c_str(), out_path.c_str(),
+                100.0 * xmlio::lz_ratio(*data, out));
+  } else {
+    auto out = xmlio::lz_decompress(*data);
+    if (!out) {
+      std::cerr << path << " is not a valid .dtz file\n";
+      return 1;
+    }
+    std::string out_path =
+        ends_with(path, ".dtz") ? path.substr(0, path.size() - 4)
+                                : path + ".out";
+    if (!write_file(out_path, *out)) return 1;
+    std::printf("%s -> %s (%s bytes)\n", path.c_str(), out_path.c_str(),
+                with_thousands(out->size()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtr::cli::Args args(argc, argv);
+
+  int rc;
+  if (args.command() == "campaign") {
+    rc = cmd_campaign(args);
+  } else if (args.command() == "decode") {
+    rc = cmd_decode(args);
+  } else if (args.command() == "analyze") {
+    rc = cmd_analyze(args);
+  } else if (args.command() == "compress") {
+    rc = cmd_compress(args, true);
+  } else if (args.command() == "decompress") {
+    rc = cmd_compress(args, false);
+  } else {
+    return usage();
+  }
+
+  for (const std::string& name : args.unused()) {
+    std::cerr << "warning: unknown option --" << name << "\n";
+  }
+  return rc;
+}
