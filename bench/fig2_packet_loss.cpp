@@ -91,6 +91,8 @@ int main(int argc, char** argv) {
   std::cout << "  loss seconds         " << report.loss_series.size()
             << " distinct seconds with loss out of "
             << to_seconds(cfg.campaign.duration) << " simulated\n";
+  std::cout << "  peak buffer pressure " << report.buffer_high_water << " / "
+            << cfg.buffer.capacity << " packets (occupancy high-water)\n";
   bool rare = measured_rate < 1e-3;
   bool bursty = !report.loss_series.empty() &&
                 report.loss_series.size() <

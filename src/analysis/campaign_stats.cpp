@@ -14,7 +14,11 @@ void CampaignStats::observe_file_meta(anon::AnonFileId file,
 
 void CampaignStats::consume(const anon::AnonEvent& event) {
   ++messages_;
-  if (event.is_query) ++queries_;
+  obs::inc(metrics_.messages);
+  if (event.is_query) {
+    ++queries_;
+    obs::inc(metrics_.queries);
+  }
   distinct_clients_.observe(event.peer);
 
   struct Visitor {
@@ -63,6 +67,25 @@ void CampaignStats::consume(const anon::AnonEvent& event) {
   };
 
   std::visit(Visitor{*this, event}, event.message);
+
+  // pairs()/distinct() are O(1) accessors, so refreshing the gauges on
+  // every message is cheap and keeps snapshots exact at any point in time.
+  obs::set(metrics_.provider_relations,
+           static_cast<std::int64_t>(provides_.pairs()));
+  obs::set(metrics_.asker_relations, static_cast<std::int64_t>(asks_.pairs()));
+  obs::set(metrics_.clients_distinct,
+           static_cast<std::int64_t>(distinct_clients_.distinct()));
+  obs::set(metrics_.files_distinct,
+           static_cast<std::int64_t>(seen_files_.size()));
+}
+
+void CampaignStats::bind_metrics(obs::Registry& registry) {
+  metrics_.messages = &registry.counter("analysis.messages");
+  metrics_.queries = &registry.counter("analysis.queries");
+  metrics_.provider_relations = &registry.gauge("analysis.relations.provider");
+  metrics_.asker_relations = &registry.gauge("analysis.relations.asker");
+  metrics_.clients_distinct = &registry.gauge("analysis.clients.distinct");
+  metrics_.files_distinct = &registry.gauge("analysis.files.distinct");
 }
 
 }  // namespace dtr::analysis

@@ -18,6 +18,7 @@
 #include "analysis/distinct.hpp"
 #include "anon/anonymiser.hpp"
 #include "common/binning.hpp"
+#include "obs/metrics.hpp"
 
 namespace dtr::analysis {
 
@@ -25,6 +26,10 @@ class CampaignStats {
  public:
   /// Feed one anonymised message.
   void consume(const anon::AnonEvent& event);
+
+  /// Register `analysis.*` instruments in `registry` and record into them
+  /// from now on (message/query counters, relation and population gauges).
+  void bind_metrics(obs::Registry& registry);
 
   // --- dataset-summary numbers (the paper's headline table) --------------
   [[nodiscard]] std::uint64_t messages() const { return messages_; }
@@ -67,6 +72,16 @@ class CampaignStats {
  private:
   void observe_file_meta(anon::AnonFileId file, const anon::AnonFileMeta& meta);
 
+  struct Metrics {
+    obs::Counter* messages = nullptr;
+    obs::Counter* queries = nullptr;
+    obs::Gauge* provider_relations = nullptr;
+    obs::Gauge* asker_relations = nullptr;
+    obs::Gauge* clients_distinct = nullptr;
+    obs::Gauge* files_distinct = nullptr;
+  };
+
+  Metrics metrics_;
   std::uint64_t messages_ = 0;
   std::uint64_t queries_ = 0;
   BitsetDistinctCounter distinct_clients_;

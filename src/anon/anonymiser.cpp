@@ -41,8 +41,8 @@ AnonFileMeta Anonymiser::anonymise_meta(const proto::TagList& tags) {
 
 AnonFileEntry Anonymiser::anonymise_entry(const proto::FileEntry& e) {
   AnonFileEntry out;
-  out.file = files_.anonymise(e.file_id);
-  out.provider = clients_.anonymise(e.client_id);
+  out.file = anon_file(e.file_id);
+  out.provider = anon_client(e.client_id);
   out.port = e.port;
   out.meta = anonymise_meta(e.tags);
   return out;
@@ -82,7 +82,7 @@ AnonEvent Anonymiser::anonymise(SimTime time, proto::ClientId peer_ip,
                                 const proto::Message& msg) {
   AnonEvent ev;
   ev.time = time;  // already relative to capture start by construction
-  ev.peer = clients_.anonymise(peer_ip);
+  ev.peer = anon_client(peer_ip);
   ev.is_query = proto::is_query(msg);
 
   struct Visitor {
@@ -120,15 +120,15 @@ AnonEvent Anonymiser::anonymise(SimTime time, proto::ClientId peer_ip,
     AnonMessage operator()(const proto::GetSourcesReq& m) {
       AGetSourcesReq out;
       out.files.reserve(m.file_ids.size());
-      for (const auto& id : m.file_ids) out.files.push_back(a.files_.anonymise(id));
+      for (const auto& id : m.file_ids) out.files.push_back(a.anon_file(id));
       return out;
     }
     AnonMessage operator()(const proto::FoundSourcesRes& m) {
       AFoundSourcesRes out;
-      out.file = a.files_.anonymise(m.file_id);
+      out.file = a.anon_file(m.file_id);
       out.sources.reserve(m.sources.size());
       for (const auto& s : m.sources) {
-        out.sources.push_back(AnonEndpoint{a.clients_.anonymise(s.ip), s.port});
+        out.sources.push_back(AnonEndpoint{a.anon_client(s.ip), s.port});
       }
       return out;
     }
@@ -144,7 +144,20 @@ AnonEvent Anonymiser::anonymise(SimTime time, proto::ClientId peer_ip,
   };
 
   ev.message = std::visit(Visitor{*this}, msg);
+  obs::inc(metrics_.events);
+  obs::set(metrics_.clients_distinct,
+           static_cast<std::int64_t>(clients_.distinct()));
+  obs::set(metrics_.files_distinct,
+           static_cast<std::int64_t>(files_.distinct()));
   return ev;
+}
+
+void Anonymiser::bind_metrics(obs::Registry& registry) {
+  metrics_.events = &registry.counter("anon.events");
+  metrics_.client_lookups = &registry.counter("anon.client_lookups");
+  metrics_.file_lookups = &registry.counter("anon.file_lookups");
+  metrics_.clients_distinct = &registry.gauge("anon.clients.distinct");
+  metrics_.files_distinct = &registry.gauge("anon.files.distinct");
 }
 
 }  // namespace dtr::anon

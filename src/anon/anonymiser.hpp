@@ -22,6 +22,7 @@
 #include "anon/fileid_store.hpp"
 #include "common/clock.hpp"
 #include "hash/digest.hpp"
+#include "obs/metrics.hpp"
 #include "proto/messages.hpp"
 
 namespace dtr::anon {
@@ -146,6 +147,11 @@ class Anonymiser {
 
   static StringToken hash_string(std::string_view s);
 
+  /// Register `anon.*` instruments in `registry` and record into them from
+  /// now on: events anonymised, clientID/fileID table lookups, and the
+  /// distinct-entry gauges behind Table 1's population counts.
+  void bind_metrics(obs::Registry& registry);
+
   [[nodiscard]] std::uint64_t distinct_clients() const {
     return clients_.distinct();
   }
@@ -158,8 +164,26 @@ class Anonymiser {
   AnonFileEntry anonymise_entry(const proto::FileEntry& e);
   AnonSearchExprPtr anonymise_expr(const proto::SearchExpr& e);
 
+  AnonClientId anon_client(proto::ClientId id) {
+    obs::inc(metrics_.client_lookups);
+    return clients_.anonymise(id);
+  }
+  AnonFileId anon_file(const FileId& id) {
+    obs::inc(metrics_.file_lookups);
+    return files_.anonymise(id);
+  }
+
+  struct Metrics {
+    obs::Counter* events = nullptr;
+    obs::Counter* client_lookups = nullptr;
+    obs::Counter* file_lookups = nullptr;
+    obs::Gauge* clients_distinct = nullptr;
+    obs::Gauge* files_distinct = nullptr;
+  };
+
   ClientAnonymiser& clients_;
   FileIdAnonymiser& files_;
+  Metrics metrics_;
 };
 
 }  // namespace dtr::anon

@@ -38,6 +38,12 @@ class CaptureEngine {
 
   [[nodiscard]] std::uint64_t captured() const { return buffer_.accepted(); }
   [[nodiscard]] std::uint64_t lost() const { return buffer_.dropped(); }
+  [[nodiscard]] std::size_t buffer_high_water() const {
+    return buffer_.occupancy_high_water();
+  }
+
+  /// Register the kernel buffer's `capture.*` instruments in `registry`.
+  void bind_metrics(obs::Registry& registry) { buffer_.bind_metrics(registry); }
 
   /// Non-zero per-second loss samples, in time order (Figure 2 main plot).
   [[nodiscard]] const std::vector<LossPoint>& loss_series() const {

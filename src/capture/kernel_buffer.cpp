@@ -65,11 +65,25 @@ bool KernelBuffer::offer(SimTime now) {
   drain_until(now);
   if (occupancy_ >= config_.capacity) {
     ++dropped_;
+    obs::inc(metrics_.dropped);
     return false;
   }
   ++occupancy_;
   ++accepted_;
+  if (occupancy_ > occupancy_high_water_) occupancy_high_water_ = occupancy_;
+  obs::inc(metrics_.accepted);
+  obs::set(metrics_.occupancy, static_cast<std::int64_t>(occupancy_));
+  obs::record_max(metrics_.occupancy_high_water,
+                  static_cast<std::int64_t>(occupancy_));
   return true;
+}
+
+void KernelBuffer::bind_metrics(obs::Registry& registry) {
+  metrics_.accepted = &registry.counter("capture.accepted");
+  metrics_.dropped = &registry.counter("capture.dropped");
+  metrics_.occupancy = &registry.gauge("capture.occupancy");
+  metrics_.occupancy_high_water =
+      &registry.gauge("capture.occupancy_high_water");
 }
 
 }  // namespace dtr::capture

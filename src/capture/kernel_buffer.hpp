@@ -18,6 +18,7 @@
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace dtr::capture {
 
@@ -41,8 +42,25 @@ class KernelBuffer {
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::size_t occupancy() const { return occupancy_; }
 
+  /// Highest occupancy ever reached — the peak buffer pressure behind the
+  /// Figure 2 loss spikes.  Unlike occupancy(), never decreases.
+  [[nodiscard]] std::size_t occupancy_high_water() const {
+    return occupancy_high_water_;
+  }
+
+  /// Register `capture.*` instruments in `registry` and record into them
+  /// from now on (accepted/dropped counters, occupancy gauges).
+  void bind_metrics(obs::Registry& registry);
+
  private:
   void drain_until(SimTime now);
+
+  struct Metrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Gauge* occupancy = nullptr;
+    obs::Gauge* occupancy_high_water = nullptr;
+  };
 
   KernelBufferConfig config_;
   Rng rng_;
@@ -55,6 +73,8 @@ class KernelBuffer {
   SimTime stall_until_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t dropped_ = 0;
+  std::size_t occupancy_high_water_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace dtr::capture

@@ -36,16 +36,34 @@ CampaignReport CampaignRunner::run() {
     engine.set_pcap(pcap_.get());
   }
 
-  PipelineConfig pipeline_config;
-  pipeline_config.server_ip = config_.campaign.server_ip;
-  pipeline_config.server_port = config_.campaign.server_port;
-  pipeline_config.xml_out = config_.xml_out;
-  pipeline_config.keep_events = config_.keep_events;
-  pipeline_config.extra_sink = config_.extra_sink;
-  pipeline_ = std::make_unique<CapturePipeline>(pipeline_config);
+  if (config_.metrics != nullptr) {
+    engine.bind_metrics(*config_.metrics);
+    simulator_.bind_metrics(*config_.metrics);
+  }
 
-  engine.set_sink(
-      [this](const sim::TimedFrame& frame) { pipeline_->push(frame); });
+  if (config_.workers > 1) {
+    ParallelPipelineConfig parallel_config;
+    parallel_config.server_ip = config_.campaign.server_ip;
+    parallel_config.server_port = config_.campaign.server_port;
+    parallel_config.workers = config_.workers;
+    parallel_config.xml_out = config_.xml_out;
+    parallel_config.extra_sink = config_.extra_sink;
+    parallel_config.metrics = config_.metrics;
+    parallel_ = std::make_unique<ParallelCapturePipeline>(parallel_config);
+    engine.set_sink(
+        [this](const sim::TimedFrame& frame) { parallel_->push(frame); });
+  } else {
+    PipelineConfig pipeline_config;
+    pipeline_config.server_ip = config_.campaign.server_ip;
+    pipeline_config.server_port = config_.campaign.server_port;
+    pipeline_config.xml_out = config_.xml_out;
+    pipeline_config.keep_events = config_.keep_events;
+    pipeline_config.extra_sink = config_.extra_sink;
+    pipeline_config.metrics = config_.metrics;
+    pipeline_ = std::make_unique<CapturePipeline>(pipeline_config);
+    engine.set_sink(
+        [this](const sim::TimedFrame& frame) { pipeline_->push(frame); });
+  }
 
   if (config_.background) {
     // Mirror carries campaign + background traffic.  Both streams are
@@ -72,10 +90,11 @@ CampaignReport CampaignRunner::run() {
   }
 
   CampaignReport report;
-  report.pipeline = pipeline_->finish();
+  report.pipeline = parallel_ ? parallel_->finish() : pipeline_->finish();
   report.truth = simulator_.truth();
   report.frames_captured = engine.captured();
   report.frames_lost = engine.lost();
+  report.buffer_high_water = engine.buffer_high_water();
   report.loss_series = engine.loss_series();
   if (pcap_) pcap_->flush();
   return report;

@@ -12,6 +12,7 @@
 
 #include "analysis/campaign_stats.hpp"
 #include "capture/engine.hpp"
+#include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
 #include "sim/background.hpp"
 #include "sim/campaign.hpp"
@@ -28,6 +29,12 @@ struct RunnerConfig {
   bool keep_events = false;
   /// Extra streaming consumer of the anonymised events (see PipelineConfig).
   std::function<void(const anon::AnonEvent&)> extra_sink;
+  /// Decode worker threads: 0 or 1 = serial CapturePipeline, >1 = the
+  /// order-preserving ParallelCapturePipeline (same output, more cores).
+  std::size_t workers = 0;
+  /// Optional metrics registry: when set, the capture buffer, the server
+  /// index, and every pipeline stage register their instruments there.
+  obs::Registry* metrics = nullptr;
 
   /// Convenience: a small config that runs in well under a second.
   static RunnerConfig tiny(std::uint64_t seed = 42);
@@ -39,6 +46,7 @@ struct CampaignReport {
   sim::GroundTruth truth;
   std::uint64_t frames_captured = 0;
   std::uint64_t frames_lost = 0;
+  std::uint64_t buffer_high_water = 0;  // peak kernel-buffer occupancy
   std::vector<capture::LossPoint> loss_series;
   PipelineResult pipeline;
 };
@@ -52,8 +60,10 @@ class CampaignRunner {
 
   /// Valid after run().
   [[nodiscard]] const analysis::CampaignStats& stats() const {
-    return pipeline_->stats();
+    return parallel_ ? parallel_->stats() : pipeline_->stats();
   }
+  /// The serial pipeline (valid after run() with workers <= 1 only; the
+  /// parallel pipeline does not expose retained events or tables).
   [[nodiscard]] const CapturePipeline& pipeline() const { return *pipeline_; }
   [[nodiscard]] const sim::CampaignSimulator& simulator() const {
     return simulator_;
@@ -64,6 +74,7 @@ class CampaignRunner {
   sim::CampaignSimulator simulator_;
   std::unique_ptr<net::PcapWriter> pcap_;
   std::unique_ptr<CapturePipeline> pipeline_;
+  std::unique_ptr<ParallelCapturePipeline> parallel_;
 };
 
 }  // namespace dtr::core

@@ -49,6 +49,9 @@ ParallelCapturePipeline::ParallelCapturePipeline(
         });
     workers_.push_back(std::move(worker));
   }
+  // Bind before any thread starts: instrument pointers must be visible to
+  // the workers without extra synchronisation.
+  if (config_.metrics != nullptr) bind_metrics(*config_.metrics);
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   }
@@ -74,18 +77,24 @@ std::size_t ParallelCapturePipeline::route(const sim::TimedFrame& frame) const {
 }
 
 void ParallelCapturePipeline::push(const sim::TimedFrame& frame) {
+  obs::inc(metrics_.frames);
   std::size_t target = route(frame);
   workers_[target]->in->push(SequencedFrame{next_seq_++, frame});
 }
 
 void ParallelCapturePipeline::worker_loop(Worker& worker) {
   while (auto item = worker.in->pop()) {
-    worker.decoder->push(item->frame);
+    {
+      obs::SpanTimer span(metrics_.decode_span);
+      worker.decoder->push(item->frame);
+    }
     worker.last_time = item->frame.time;
     WorkerResult result;
     result.seq = item->seq;
     result.messages = std::move(worker.scratch);
     worker.scratch.clear();
+    obs::observe(metrics_.batch_messages,
+                 static_cast<double>(result.messages.size()));
     merge_queue_.push(std::move(result));
   }
   worker.decoder->finish(worker.last_time);
@@ -97,6 +106,8 @@ void ParallelCapturePipeline::merge_loop() {
 
   auto process = [&](WorkerResult& result) {
     for (decode::DecodedMessage& msg : result.messages) {
+      obs::SpanTimer span(metrics_.anonymise_span);
+      obs::inc(metrics_.messages);
       const bool from_client = msg.dst_ip == config_.server_ip &&
                                msg.dst_port == config_.server_port;
       const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
@@ -110,6 +121,8 @@ void ParallelCapturePipeline::merge_loop() {
   };
 
   while (auto result = merge_queue_.pop()) {
+    obs::set(metrics_.merge_queue_depth,
+             static_cast<std::int64_t>(merge_queue_.size()));
     if (result->seq == next_expected) {
       process(*result);
       ++next_expected;
@@ -123,9 +136,25 @@ void ParallelCapturePipeline::merge_loop() {
     } else {
       pending.emplace(result->seq, std::move(*result));
     }
+    obs::set(metrics_.merge_pending, static_cast<std::int64_t>(pending.size()));
   }
   // Queue closed and drained: everything is contiguous by construction.
   for (auto& [seq, result] : pending) process(result);
+  obs::set(metrics_.merge_pending, 0);
+}
+
+void ParallelCapturePipeline::bind_metrics(obs::Registry& registry) {
+  metrics_.frames = &registry.counter("pipeline.frames");
+  metrics_.messages = &registry.counter("pipeline.messages");
+  metrics_.merge_queue_depth = &registry.gauge("pipeline.queue.merge");
+  metrics_.merge_pending = &registry.gauge("pipeline.merge.pending");
+  metrics_.batch_messages =
+      &registry.histogram("pipeline.batch.messages", obs::size_buckets());
+  metrics_.decode_span = &registry.histogram("span.decode.seconds");
+  metrics_.anonymise_span = &registry.histogram("span.anonymise.seconds");
+  for (auto& worker : workers_) worker->decoder->bind_metrics(registry);
+  anonymiser_.bind_metrics(registry);
+  stats_.bind_metrics(registry);
 }
 
 PipelineResult ParallelCapturePipeline::finish() {

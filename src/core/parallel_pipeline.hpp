@@ -43,6 +43,10 @@ struct ParallelPipelineConfig {
   unsigned fileid_index_byte_1 = 11;
   std::ostream* xml_out = nullptr;
   std::function<void(const anon::AnonEvent&)> extra_sink;
+  /// Optional metrics registry (see PipelineConfig::metrics).  All workers
+  /// bind their decoders to the same registry: the striped counters merge
+  /// concurrent increments, so `decode.*` still totals across workers.
+  obs::Registry* metrics = nullptr;
 };
 
 class ParallelCapturePipeline {
@@ -81,6 +85,17 @@ class ParallelCapturePipeline {
 
   void worker_loop(Worker& worker);
   void merge_loop();
+  void bind_metrics(obs::Registry& registry);
+
+  struct Metrics {
+    obs::Counter* frames = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Gauge* merge_queue_depth = nullptr;
+    obs::Gauge* merge_pending = nullptr;
+    obs::Histogram* batch_messages = nullptr;
+    obs::Histogram* decode_span = nullptr;
+    obs::Histogram* anonymise_span = nullptr;
+  };
 
   ParallelPipelineConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -91,6 +106,7 @@ class ParallelCapturePipeline {
   anon::Anonymiser anonymiser_;
   analysis::CampaignStats stats_;
   std::unique_ptr<xmlio::DatasetWriter> xml_;
+  Metrics metrics_;
   std::uint64_t anonymised_events_ = 0;
 
   std::thread merge_thread_;

@@ -17,6 +17,9 @@ CapturePipeline::CapturePipeline(const PipelineConfig& config)
       [this](decode::DecodedMessage&& msg) {
         message_queue_.push(std::move(msg));
       });
+  // Bind before the worker threads exist so instrument pointers are
+  // published by the thread constructors' synchronisation.
+  if (config_.metrics != nullptr) bind_metrics(*config_.metrics);
   decode_thread_ = std::thread([this] { decode_loop(); });
   anonymise_thread_ = std::thread([this] { anonymise_loop(); });
 }
@@ -26,11 +29,15 @@ CapturePipeline::~CapturePipeline() {
 }
 
 void CapturePipeline::push(const sim::TimedFrame& frame) {
+  obs::inc(metrics_.frames);
   frame_queue_.push(frame);
+  obs::set(metrics_.frame_queue_depth,
+           static_cast<std::int64_t>(frame_queue_.size()));
 }
 
 void CapturePipeline::decode_loop() {
   while (auto frame = frame_queue_.pop()) {
+    obs::SpanTimer span(metrics_.decode_span);
     decoder_->push(*frame);
     last_time_ = frame->time;
   }
@@ -40,6 +47,10 @@ void CapturePipeline::decode_loop() {
 
 void CapturePipeline::anonymise_loop() {
   while (auto msg = message_queue_.pop()) {
+    obs::SpanTimer span(metrics_.anonymise_span);
+    obs::inc(metrics_.messages);
+    obs::set(metrics_.message_queue_depth,
+             static_cast<std::int64_t>(message_queue_.size()));
     // The dialog's client side: whoever is not the server.
     const bool from_client = msg->dst_ip == config_.server_ip &&
                              msg->dst_port == config_.server_port;
@@ -53,6 +64,18 @@ void CapturePipeline::anonymise_loop() {
     if (xml_) xml_->write(event);
     if (config_.keep_events) events_.push_back(std::move(event));
   }
+}
+
+void CapturePipeline::bind_metrics(obs::Registry& registry) {
+  metrics_.frames = &registry.counter("pipeline.frames");
+  metrics_.messages = &registry.counter("pipeline.messages");
+  metrics_.frame_queue_depth = &registry.gauge("pipeline.queue.frames");
+  metrics_.message_queue_depth = &registry.gauge("pipeline.queue.messages");
+  metrics_.decode_span = &registry.histogram("span.decode.seconds");
+  metrics_.anonymise_span = &registry.histogram("span.anonymise.seconds");
+  decoder_->bind_metrics(registry);
+  anonymiser_.bind_metrics(registry);
+  stats_.bind_metrics(registry);
 }
 
 PipelineResult CapturePipeline::finish() {

@@ -20,6 +20,8 @@
 #include "anon/fileid_store.hpp"
 #include "core/queue.hpp"
 #include "decode/decoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/frames.hpp"
 #include "xmlio/schema.hpp"
 
@@ -40,6 +42,10 @@ struct PipelineConfig {
   /// anonymisation thread, in event order) — e.g. an ActivityTracker or
   /// FileSpreadTracker.
   std::function<void(const anon::AnonEvent&)> extra_sink;
+  /// Optional metrics registry.  When set, every stage registers its
+  /// instruments there (decode.*, anon.*, analysis.*, pipeline.*, span.*)
+  /// and records during the run.  Must outlive the pipeline.
+  obs::Registry* metrics = nullptr;
 };
 
 /// End-of-run snapshot of everything the pipeline accumulated.
@@ -86,6 +92,16 @@ class CapturePipeline {
  private:
   void decode_loop();
   void anonymise_loop();
+  void bind_metrics(obs::Registry& registry);
+
+  struct Metrics {
+    obs::Counter* frames = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Gauge* frame_queue_depth = nullptr;
+    obs::Gauge* message_queue_depth = nullptr;
+    obs::Histogram* decode_span = nullptr;
+    obs::Histogram* anonymise_span = nullptr;
+  };
 
   PipelineConfig config_;
   BoundedQueue<sim::TimedFrame> frame_queue_;
@@ -99,6 +115,7 @@ class CapturePipeline {
   std::vector<anon::AnonEvent> events_;
 
   std::unique_ptr<decode::FrameDecoder> decoder_;
+  Metrics metrics_;
   std::uint64_t anonymised_events_ = 0;
   SimTime last_time_ = 0;
 

@@ -10,27 +10,36 @@ FrameDecoder::FrameDecoder(std::uint32_t server_ip, std::uint16_t server_port,
 
 void FrameDecoder::push(const sim::TimedFrame& frame) {
   ++stats_.frames;
+  obs::inc(metrics_.frames);
 
   auto eth = net::decode_ethernet(frame.bytes);
   if (!eth || eth->ether_type != net::kEtherTypeIpv4) {
     ++stats_.non_ipv4_frames;
+    obs::inc(metrics_.non_ipv4);
     return;
   }
 
   auto ip = net::decode_ipv4(eth->payload);
   if (!ip) {
     ++stats_.bad_ip_packets;
+    obs::inc(metrics_.bad_ip);
     return;
   }
 
   if (ip->protocol == net::kProtocolUdp) {
     ++stats_.udp_packets;
-    if (ip->is_fragment()) ++stats_.udp_fragments;
+    obs::inc(metrics_.udp_packets);
+    if (ip->is_fragment()) {
+      ++stats_.udp_fragments;
+      obs::inc(metrics_.udp_fragments);
+    }
   } else if (ip->protocol == 6) {
     ++stats_.tcp_packets;  // captured, not decoded (paper §2.2)
+    obs::inc(metrics_.tcp);
     return;
   } else {
     ++stats_.other_ip_packets;
+    obs::inc(metrics_.other_ip);
     return;
   }
 
@@ -43,6 +52,7 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
   auto udp = net::decode_udp(packet.payload, packet.src, packet.dst);
   if (!udp) {
     ++stats_.udp_malformed;
+    obs::inc(metrics_.udp_malformed);
     return;
   }
 
@@ -54,6 +64,7 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
   if (!to_server && !from_server) return;
 
   ++stats_.edonkey_messages;
+  obs::inc(metrics_.edonkey);
   proto::DecodeResult result = proto::decode_datagram(udp->payload);
   if (!result.ok()) {
     if (proto::is_structural(result.error)) {
@@ -61,10 +72,14 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
     } else {
       ++stats_.undecoded_effective;
     }
+    obs::inc(metrics_.by_error[static_cast<std::size_t>(result.error)]);
     return;
   }
 
   ++stats_.decoded;
+  obs::inc(metrics_.messages);
+  obs::inc(metrics_.by_family[static_cast<std::size_t>(
+      proto::family_of(*result.message))]);
   if (sink_) {
     DecodedMessage out;
     out.time = time;
@@ -78,5 +93,30 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
 }
 
 void FrameDecoder::finish(SimTime now) { reassembler_.expire(now); }
+
+void FrameDecoder::bind_metrics(obs::Registry& registry) {
+  metrics_.frames = &registry.counter("decode.frames");
+  metrics_.non_ipv4 = &registry.counter("decode.non_ipv4");
+  metrics_.bad_ip = &registry.counter("decode.bad_ip");
+  metrics_.tcp = &registry.counter("decode.tcp");
+  metrics_.other_ip = &registry.counter("decode.other_ip");
+  metrics_.udp_packets = &registry.counter("decode.udp.packets");
+  metrics_.udp_fragments = &registry.counter("decode.udp.fragments");
+  metrics_.udp_malformed = &registry.counter("decode.udp.malformed");
+  metrics_.edonkey = &registry.counter("decode.edonkey");
+  metrics_.messages = &registry.counter("decode.messages");
+  for (std::size_t i = 0; i < metrics_.by_family.size(); ++i) {
+    metrics_.by_family[i] = &registry.counter(
+        std::string("decode.messages.") +
+        proto::family_name(static_cast<proto::Family>(i)));
+  }
+  // Slot 0 is DecodeError::kNone — successes never land in by_error.
+  for (std::size_t i = 1; i < metrics_.by_error.size(); ++i) {
+    metrics_.by_error[i] = &registry.counter(
+        std::string("decode.malformed.") +
+        proto::decode_error_name(static_cast<proto::DecodeError>(i)));
+  }
+  reassembler_.bind_metrics(registry);
+}
 
 }  // namespace dtr::decode

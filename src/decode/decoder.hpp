@@ -8,6 +8,7 @@
 // the paper reports 0.68 % undecoded, 78 % of those structural).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -15,6 +16,7 @@
 #include "net/ethernet.hpp"
 #include "net/ipv4.hpp"
 #include "net/udp.hpp"
+#include "obs/metrics.hpp"
 #include "proto/codec.hpp"
 #include "sim/frames.hpp"
 
@@ -76,6 +78,15 @@ class FrameDecoder {
   /// Flush reassembly timeouts (call at end of stream).
   void finish(SimTime now);
 
+  /// Register `decode.*` instruments in `registry` and record into them
+  /// from now on: the DecodeStats fields as counters, decoded messages
+  /// broken down by family (`decode.messages.<family>`), and every
+  /// rejection broken down by cause (`decode.malformed.<error>`).  Also
+  /// binds the embedded reassembler's `net.reassembly.*` instruments.
+  /// Several decoders may bind to the same registry (the parallel
+  /// pipeline's workers do): the striped counters merge their increments.
+  void bind_metrics(obs::Registry& registry);
+
   [[nodiscard]] const DecodeStats& stats() const { return stats_; }
   [[nodiscard]] const net::Ipv4Reassembler::Stats& reassembly_stats() const {
     return reassembler_.stats();
@@ -84,11 +95,29 @@ class FrameDecoder {
  private:
   void handle_ip(const net::Ipv4Packet& packet, SimTime time);
 
+  struct Metrics {
+    obs::Counter* frames = nullptr;
+    obs::Counter* non_ipv4 = nullptr;
+    obs::Counter* bad_ip = nullptr;
+    obs::Counter* tcp = nullptr;
+    obs::Counter* other_ip = nullptr;
+    obs::Counter* udp_packets = nullptr;
+    obs::Counter* udp_fragments = nullptr;
+    obs::Counter* udp_malformed = nullptr;
+    obs::Counter* edonkey = nullptr;
+    obs::Counter* messages = nullptr;
+    // Indexed by proto::Family (4 entries).
+    std::array<obs::Counter*, 4> by_family{};
+    // Indexed by proto::DecodeError (kNone slot unused).
+    std::array<obs::Counter*, 8> by_error{};
+  };
+
   std::uint32_t server_ip_;
   std::uint16_t server_port_;
   MessageSink sink_;
   net::Ipv4Reassembler reassembler_;
   DecodeStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace dtr::decode

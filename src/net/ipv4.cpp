@@ -92,6 +92,7 @@ std::optional<Ipv4Packet> Ipv4Reassembler::push(const Ipv4Packet& p,
                                                 SimTime now) {
   if (!p.is_fragment()) return p;
   ++stats_.fragments_seen;
+  obs::inc(metrics_.fragments);
 
   Key key{p.src, p.dst, p.identification, p.protocol};
   Partial& partial = pending_[key];
@@ -107,12 +108,15 @@ std::optional<Ipv4Packet> Ipv4Reassembler::push(const Ipv4Packet& p,
   auto [it, inserted] = partial.pieces.emplace(offset, p.payload);
   if (!inserted) {
     ++stats_.overlapping;
+    obs::inc(metrics_.overlapping);
     return std::nullopt;
   }
   if (!p.more_fragments) {
     partial.total_size = offset + static_cast<std::uint32_t>(p.payload.size());
   }
-  return try_complete(key, partial);
+  auto whole = try_complete(key, partial);
+  obs::set(metrics_.pending, static_cast<std::int64_t>(pending_.size()));
+  return whole;
 }
 
 std::optional<Ipv4Packet> Ipv4Reassembler::try_complete(const Key& key,
@@ -132,6 +136,7 @@ std::optional<Ipv4Packet> Ipv4Reassembler::try_complete(const Key& key,
   }
   pending_.erase(key);
   ++stats_.reassembled;
+  obs::inc(metrics_.reassembled);
   return whole;
 }
 
@@ -140,10 +145,20 @@ void Ipv4Reassembler::expire(SimTime now) {
     if (now - it->second.first_seen > timeout_) {
       it = pending_.erase(it);
       ++stats_.expired;
+      obs::inc(metrics_.expired);
     } else {
       ++it;
     }
   }
+  obs::set(metrics_.pending, static_cast<std::int64_t>(pending_.size()));
+}
+
+void Ipv4Reassembler::bind_metrics(obs::Registry& registry) {
+  metrics_.fragments = &registry.counter("net.reassembly.fragments");
+  metrics_.reassembled = &registry.counter("net.reassembly.reassembled");
+  metrics_.expired = &registry.counter("net.reassembly.expired");
+  metrics_.overlapping = &registry.counter("net.reassembly.overlapping");
+  metrics_.pending = &registry.gauge("net.reassembly.pending");
 }
 
 }  // namespace dtr::net

@@ -13,6 +13,7 @@
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "obs/metrics.hpp"
 
 namespace dtr::net {
 
@@ -72,6 +73,10 @@ class Ipv4Reassembler {
   /// Drop partially-reassembled packets older than the timeout.
   void expire(SimTime now);
 
+  /// Register `net.reassembly.*` instruments in `registry` and record into
+  /// them from now on (fragments, completions, expiries, overlaps, pending).
+  void bind_metrics(obs::Registry& registry);
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
@@ -93,9 +98,18 @@ class Ipv4Reassembler {
 
   std::optional<Ipv4Packet> try_complete(const Key& key, Partial& partial);
 
+  struct Metrics {
+    obs::Counter* fragments = nullptr;
+    obs::Counter* reassembled = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* overlapping = nullptr;
+    obs::Gauge* pending = nullptr;
+  };
+
   SimTime timeout_;
   std::map<Key, Partial> pending_;
   Stats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace dtr::net

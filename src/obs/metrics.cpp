@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace dtr::obs {
+
+namespace {
+
+void add_double(std::atomic<double>& target, double d) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  const std::size_t n = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) shard.buckets[i] = 0;
+  }
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v; past-the-end = overflow.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[this_thread_shard()];
+  shard.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  add_double(shard.sum, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> total(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < total.size(); ++i) {
+      total[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t c : bucket_counts()) n += c;
+  return n;
+}
+
+double Histogram::sum() const {
+  double s = 0.0;
+  for (const Shard& shard : shards_) {
+    s += shard.sum.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets = bucket_counts();
+  snap.sum = sum();
+  for (std::uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+std::vector<double> latency_buckets_s() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 10.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> size_buckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 65536.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+}  // namespace dtr::obs

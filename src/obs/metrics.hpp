@@ -1,0 +1,165 @@
+// Pipeline-wide metrics: named Counter / Gauge / Histogram instruments in a
+// Registry, built for the measurement chain the paper depends on (§2.2
+// quantifies kernel-buffer loss before trusting a single number downstream).
+//
+// Concurrency model: instruments are striped into per-thread shards — each
+// thread gets a stable shard slot and increments its own cache line with a
+// relaxed atomic, so the parallel pipeline's workers record without
+// contending on a shared counter.  Reads (snapshots) sum the shards; the
+// total is exact because every increment is an atomic RMW on *some* shard.
+//
+// Registration (Registry::counter/gauge/histogram) takes a mutex and is
+// meant for construction time; call sites cache the returned pointer and
+// record through it on the hot path.  All record operations are wait-free
+// apart from the histogram sum (a CAS loop on an uncontended shard).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace dtr::obs {
+
+/// Number of shard slots per instrument.  Threads beyond this many share
+/// slots (still exact — the slot is an atomic — just with some contention).
+constexpr std::size_t kShardCount = 16;
+
+/// Stable shard slot of the calling thread, assigned on first use.
+inline std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+  return slot;
+}
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    shards_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Exact sum over all per-thread shards.
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// One shard's contribution (exposed so tests can verify the merge).
+  [[nodiscard]] std::uint64_t shard_value(std::size_t shard) const {
+    return shards_[shard].v.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Last-write-wins instantaneous value (occupancy, table sizes, depths).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+
+  /// Raise the gauge to `v` if larger — high-water marks.
+  void record_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket catches the rest.  Bounds are fixed at
+/// registration so merging shards and snapshots is trivial.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket totals, bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;  // sorted ascending
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Common bucket layouts.
+/// Latencies in seconds: 1 us .. ~8.4 s in powers of two.
+std::vector<double> latency_buckets_s();
+/// Sizes/counts: 1 .. 65536 in powers of two.
+std::vector<double> size_buckets();
+
+/// Named instruments.  Thread-safe; instruments live as long as the
+/// Registry and keep stable addresses, so callers cache the references.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Bounds are fixed on first registration; later calls with the same name
+  /// return the existing histogram regardless of `upper_bounds`.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = latency_buckets_s());
+
+  /// Point-in-time copy of every instrument.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Null-tolerant helpers: instrumented components keep instrument pointers
+// that stay nullptr until bind_metrics() is called, so the uninstrumented
+// hot path costs one predictable branch.
+inline void inc(Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+inline void set(Gauge* g, std::int64_t v) {
+  if (g != nullptr) g->set(v);
+}
+inline void record_max(Gauge* g, std::int64_t v) {
+  if (g != nullptr) g->record_max(v);
+}
+inline void observe(Histogram* h, double v) {
+  if (h != nullptr) h->observe(v);
+}
+
+}  // namespace dtr::obs

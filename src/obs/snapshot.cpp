@@ -1,0 +1,117 @@
+#include "obs/snapshot.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace dtr::obs {
+
+namespace {
+
+/// Shortest decimal that round-trips the double — JSON-safe (no inf/nan
+/// enters a snapshot: bounds and sums come from finite observations).
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips.
+  char shorter[32];
+  for (int prec = 1; prec < 17; ++prec) {
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t Snapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+void Snapshot::render_table(std::ostream& out) const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, value] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms) width = std::max(width, name.size());
+
+  out << "-- metrics --\n";
+  for (const auto& [name, value] : counters) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+        << "  " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+        << "  " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+        << "  count=" << h.count << " sum=" << json_double(h.sum);
+    // The non-empty buckets, compactly: le<bound>:<count>.
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      out << " le";
+      if (i < h.bounds.size()) {
+        out << json_double(h.bounds[i]);
+      } else {
+        out << "+inf";
+      }
+      out << ":" << h.buckets[i];
+    }
+    out << "\n";
+  }
+}
+
+void Snapshot::render_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(out, name);
+    out << ": " << value;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(out, name);
+    out << ": " << value;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(out, name);
+    out << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      out << (i ? ", " : "") << json_double(h.bounds[i]);
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      out << (i ? ", " : "") << h.buckets[i];
+    }
+    out << "], \"sum\": " << json_double(h.sum) << ", \"count\": " << h.count
+        << "}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace dtr::obs

@@ -1,0 +1,50 @@
+// Point-in-time view of a metrics Registry, renderable as a text table or
+// a JSON document.  Snapshots are plain values: comparing two of them is a
+// deterministic operation, which the test harness relies on (snapshot
+// idempotence, serial-vs-parallel reconciliation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dtr::obs {
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;           // upper bounds, ascending
+  std::vector<std::uint64_t> buckets;   // bounds.size() + 1 (last = overflow)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+
+  /// Value lookups; absent names read as zero (instruments appear on first
+  /// registration, so "never instrumented" and "never incremented" agree).
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] std::int64_t gauge(const std::string& name) const;
+  [[nodiscard]] bool has_counter(const std::string& name) const {
+    return counters.count(name) != 0;
+  }
+
+  /// Human-oriented aligned table (one instrument per line).
+  void render_table(std::ostream& out) const;
+
+  /// Machine-oriented JSON document:
+  ///   {"counters": {...}, "gauges": {...}, "histograms":
+  ///     {"name": {"bounds": [...], "buckets": [...], "sum": s, "count": n}}}
+  /// Keys are sorted, doubles use shortest round-trip formatting, and the
+  /// document ends with a newline.
+  void render_json(std::ostream& out) const;
+};
+
+}  // namespace dtr::obs

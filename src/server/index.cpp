@@ -7,6 +7,7 @@
 namespace dtr::server {
 
 bool FileIndex::publish(const proto::FileEntry& entry) {
+  obs::inc(metrics_.publishes);
   auto [it, is_new_file] = files_.try_emplace(entry.file_id);
   FileRecord& record = it->second;
   if (is_new_file) {
@@ -25,15 +26,18 @@ bool FileIndex::publish(const proto::FileEntry& entry) {
       [&](const Source& s) { return s.client == src.client; });
   if (found != record.sources.end()) {
     found->port = src.port;  // refresh
+    update_size_gauges();
     return false;
   }
   record.sources.push_back(src);
   by_client_[entry.client_id].push_back(entry.file_id);
   ++total_sources_;
+  update_size_gauges();
   return true;
 }
 
 void FileIndex::retract_client(proto::ClientId client) {
+  obs::inc(metrics_.retracts);
   auto it = by_client_.find(client);
   if (it == by_client_.end()) return;
   for (const FileId& id : it->second) {
@@ -53,6 +57,7 @@ void FileIndex::retract_client(proto::ClientId client) {
     }
   }
   by_client_.erase(it);
+  update_size_gauges();
 }
 
 const FileRecord* FileIndex::find(const FileId& id) const {
@@ -131,6 +136,7 @@ bool FileIndex::matches(const proto::SearchExpr& expr,
 
 std::vector<FileId> FileIndex::search(const proto::SearchExpr& expr,
                                       std::size_t limit) const {
+  obs::inc(metrics_.searches);
   std::vector<FileId> out;
 
   // Use the keyword index to produce a candidate list: like real servers,
@@ -170,6 +176,20 @@ std::vector<FileId> FileIndex::search(const proto::SearchExpr& expr,
     }
   }
   return out;
+}
+
+void FileIndex::update_size_gauges() {
+  obs::set(metrics_.files, static_cast<std::int64_t>(files_.size()));
+  obs::set(metrics_.sources, static_cast<std::int64_t>(total_sources_));
+}
+
+void FileIndex::bind_metrics(obs::Registry& registry) {
+  metrics_.publishes = &registry.counter("server.index.publishes");
+  metrics_.searches = &registry.counter("server.index.searches");
+  metrics_.retracts = &registry.counter("server.index.retracts");
+  metrics_.files = &registry.gauge("server.index.files");
+  metrics_.sources = &registry.gauge("server.index.sources");
+  update_size_gauges();
 }
 
 }  // namespace dtr::server

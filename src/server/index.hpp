@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hash/digest.hpp"
+#include "obs/metrics.hpp"
 #include "proto/messages.hpp"
 #include "proto/search_expr.hpp"
 
@@ -61,9 +62,22 @@ class FileIndex {
   [[nodiscard]] static bool matches(const proto::SearchExpr& expr,
                                     const FileRecord& record);
 
+  /// Register `server.index.*` instruments in `registry` and record into
+  /// them from now on (publish/search/retract counters, size gauges).
+  void bind_metrics(obs::Registry& registry);
+
  private:
   void index_keywords(const FileId& id, const std::string& name);
   void unindex_file(const FileId& id, const FileRecord& record);
+  void update_size_gauges();
+
+  struct Metrics {
+    obs::Counter* publishes = nullptr;
+    obs::Counter* searches = nullptr;
+    obs::Counter* retracts = nullptr;
+    obs::Gauge* files = nullptr;
+    obs::Gauge* sources = nullptr;
+  };
 
   std::unordered_map<FileId, FileRecord, DigestHasher> files_;
   // keyword -> fileIDs containing it (posting lists kept unsorted; order is
@@ -72,6 +86,7 @@ class FileIndex {
   // client -> files it provides (for retract_client).
   std::unordered_map<proto::ClientId, std::vector<FileId>> by_client_;
   std::uint64_t total_sources_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace dtr::server

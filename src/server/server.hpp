@@ -61,6 +61,9 @@ class EdonkeyServer {
   /// directly reachable, else a stable per-client low ID.
   proto::ClientId client_id_for(proto::ClientId client_ip, bool reachable);
 
+  /// Register the file index's `server.index.*` instruments in `registry`.
+  void bind_metrics(obs::Registry& registry) { index_.bind_metrics(registry); }
+
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const FileIndex& index() const { return index_; }
   [[nodiscard]] std::uint32_t user_count() const {

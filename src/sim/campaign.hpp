@@ -90,6 +90,10 @@ class CampaignSimulator {
   /// non-decreasing time order.
   void run(const FrameSink& sink);
 
+  /// Register the embedded server's `server.index.*` instruments in
+  /// `registry` (the simulator owns the server the campaign talks to).
+  void bind_metrics(obs::Registry& registry) { server_.bind_metrics(registry); }
+
   [[nodiscard]] const GroundTruth& truth() const { return truth_; }
   [[nodiscard]] const server::EdonkeyServer& server() const { return server_; }
   [[nodiscard]] const workload::FileCatalog& catalog() const {

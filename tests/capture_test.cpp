@@ -5,6 +5,8 @@
 #include "capture/engine.hpp"
 #include "capture/kernel_buffer.hpp"
 #include "net/pcap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 
 namespace dtr::capture {
 namespace {
@@ -92,6 +94,41 @@ TEST(KernelBuffer, DeterministicForSeed) {
   }
 }
 
+TEST(KernelBuffer, OccupancyHighWaterTracksThePeakOnly) {
+  KernelBuffer buf(no_stall_config());  // capacity 100, drain 1000/s
+  EXPECT_EQ(buf.occupancy_high_water(), 0u);
+
+  // Fill to 60 at one instant: peak is 60.
+  for (int i = 0; i < 60; ++i) buf.offer(kSecond);
+  EXPECT_EQ(buf.occupancy(), 60u);
+  EXPECT_EQ(buf.occupancy_high_water(), 60u);
+
+  // Let the reader drain everything; the high-water mark must not move.
+  buf.offer(kSecond + 500 * kMillisecond);  // 500 ms at 1000/s drains all 60
+  EXPECT_LT(buf.occupancy(), 60u);
+  EXPECT_EQ(buf.occupancy_high_water(), 60u);
+
+  // A later, higher burst raises it — to capacity at most.
+  for (int i = 0; i < 300; ++i) buf.offer(2 * kSecond);
+  EXPECT_EQ(buf.occupancy_high_water(), 100u);
+  EXPECT_GT(buf.dropped(), 0u);
+}
+
+TEST(KernelBuffer, HighWaterGaugeMirrorsTheAccessor) {
+  obs::Registry registry;
+  KernelBuffer buf(no_stall_config());
+  buf.bind_metrics(registry);
+  for (int i = 0; i < 40; ++i) buf.offer(kSecond);
+  buf.offer(kSecond + 500 * kMillisecond);  // drain back down
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.gauge("capture.occupancy_high_water"),
+            static_cast<std::int64_t>(buf.occupancy_high_water()));
+  EXPECT_EQ(snap.gauge("capture.occupancy"),
+            static_cast<std::int64_t>(buf.occupancy()));
+  EXPECT_EQ(snap.counter("capture.accepted"), buf.accepted());
+  EXPECT_EQ(snap.counter("capture.dropped"), buf.dropped());
+}
+
 // ---------------------------------------------------------------------------
 // CaptureEngine
 // ---------------------------------------------------------------------------
@@ -146,6 +183,15 @@ TEST(Engine, SurvivorsReachSinkAndPcap) {
   EXPECT_EQ(pcap.records_written(), 3u);
   EXPECT_EQ(engine.captured(), 3u);
   EXPECT_EQ(engine.lost(), 7u);
+}
+
+TEST(Engine, ExposesTheBufferHighWaterMark) {
+  KernelBufferConfig cfg = no_stall_config();
+  cfg.capacity = 3;
+  cfg.drain_rate = 0.001;
+  CaptureEngine engine(cfg);
+  for (int i = 0; i < 10; ++i) engine.offer(frame_at(kSecond));
+  EXPECT_EQ(engine.buffer_high_water(), 3u);  // filled to capacity, then lost
 }
 
 TEST(Engine, NoSinksIsFine) {

@@ -1,12 +1,24 @@
-# CLI smoke test: run a tiny campaign, write a compressed dataset, then
-# analyze it (which validates it against the formal spec first).
+# CLI smoke test: run a tiny campaign (on the parallel pipeline, with a
+# metrics snapshot), write a compressed dataset, then analyze it (which
+# validates it against the formal spec first).
 execute_process(
   COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
-          --hours 3 --xml smoke.xml.dtz
+          --hours 3 --workers 2 --xml smoke.xml.dtz
+          --metrics-out smoke_metrics.json
   WORKING_DIRECTORY ${WORKDIR}
   RESULT_VARIABLE rc_campaign)
 if(NOT rc_campaign EQUAL 0)
   message(FATAL_ERROR "donkeytrace campaign failed: ${rc_campaign}")
+endif()
+if(NOT EXISTS ${WORKDIR}/smoke_metrics.json)
+  message(FATAL_ERROR "campaign did not write smoke_metrics.json")
+endif()
+file(READ ${WORKDIR}/smoke_metrics.json metrics_json)
+if(NOT metrics_json MATCHES "decode\\.messages")
+  message(FATAL_ERROR "metrics JSON missing decode.messages counter")
+endif()
+if(NOT metrics_json MATCHES "capture\\.dropped")
+  message(FATAL_ERROR "metrics JSON missing capture.dropped counter")
 endif()
 
 execute_process(

@@ -1,0 +1,251 @@
+// Unit tests for the obs metrics subsystem: counter/gauge/histogram
+// semantics, per-thread shard merging, snapshot idempotence and rendering,
+// and the span trace hooks.  The multi-threaded hammer tests are the lock
+// on the "no lost increments" claim the reconciliation tests depend on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+
+namespace dtr::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndCounts) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ValueSumsAllShards) {
+  Counter c;
+  c.inc(7);
+  // Whatever shard this thread landed on, the total must see it...
+  EXPECT_EQ(c.value(), 7u);
+  // ...and exactly one shard holds it.
+  std::uint64_t across = 0;
+  for (std::size_t s = 0; s < kShardCount; ++s) across += c.shard_value(s);
+  EXPECT_EQ(across, 7u);
+}
+
+TEST(Counter, HammerNoLostIncrements) {
+  // More threads than shard slots, all incrementing concurrently: the total
+  // must be exact regardless of slot sharing.
+  constexpr int kThreads = 24;
+  constexpr std::uint64_t kPerThread = 20'000;
+  Counter c;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddAndRecordMax) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.record_max(5);  // smaller: no effect
+  EXPECT_EQ(g.value(), 7);
+  g.record_max(19);
+  EXPECT_EQ(g.value(), 19);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive)
+  h.observe(1.0001); // <= 10
+  h.observe(10.0);   // <= 10
+  h.observe(99.0);   // <= 100
+  h.observe(1000.0); // overflow
+  auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 1000.0);
+}
+
+TEST(Histogram, BoundsAreSortedAndDeduplicated) {
+  Histogram h({10.0, 1.0, 10.0, 5.0});
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1.0, 5.0, 10.0}));
+}
+
+TEST(Histogram, HammerCountsAndSumExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  Histogram h(size_buckets());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Every observation was exactly 1.0, so the sum is exact in doubles.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_counts().front(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_NE(&r.counter("y"), &a);
+  // A counter and a gauge may share a name without clashing (different maps).
+  Gauge& g1 = r.gauge("x");
+  EXPECT_EQ(&r.gauge("x"), &g1);
+  Histogram& h1 = r.histogram("h", {1.0, 2.0});
+  // Later bounds are ignored for an existing name.
+  Histogram& h2 = r.histogram("h", {42.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, SnapshotIsIdempotentAndComparable) {
+  Registry r;
+  r.counter("decode.messages").inc(5);
+  r.gauge("capture.occupancy").set(17);
+  r.histogram("span.decode.seconds").observe(0.001);
+
+  Snapshot a = r.snapshot();
+  Snapshot b = r.snapshot();
+  EXPECT_EQ(a, b);  // no mutation between snapshots -> identical values
+
+  r.counter("decode.messages").inc();
+  Snapshot c = r.snapshot();
+  EXPECT_NE(a, c);
+  EXPECT_EQ(c.counter("decode.messages"), 6u);
+  EXPECT_EQ(c.gauge("capture.occupancy"), 17);
+  // Absent names read as zero.
+  EXPECT_EQ(c.counter("no.such.counter"), 0u);
+  EXPECT_FALSE(c.has_counter("no.such.counter"));
+  EXPECT_TRUE(c.has_counter("decode.messages"));
+}
+
+TEST(Snapshot, RenderTableListsEveryInstrument) {
+  Registry r;
+  r.counter("a.count").inc(3);
+  r.gauge("b.depth").set(-2);
+  r.histogram("c.seconds", {1.0}).observe(0.5);
+  std::ostringstream out;
+  r.snapshot().render_table(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_NE(text.find("b.depth"), std::string::npos);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+  EXPECT_NE(text.find("c.seconds"), std::string::npos);
+}
+
+TEST(Snapshot, RenderJsonIsWellFormedAndSorted) {
+  Registry r;
+  r.counter("z.last").inc(1);
+  r.counter("a.first").inc(2);
+  r.gauge("g").set(7);
+  r.histogram("h", {0.5, 1.5}).observe(1.0);
+  std::ostringstream out;
+  r.snapshot().render_json(out);
+  const std::string json = out.str();
+  // Sorted keys: "a.first" appears before "z.last".
+  EXPECT_LT(json.find("\"a.first\""), json.find("\"z.last\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.first\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  // Balanced braces/brackets (crude well-formedness check; no strings in
+  // our metric names contain braces).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SpanTimer, FeedsHistogramOncePerScope) {
+  Registry r;
+  Histogram& h = r.histogram("span.work.seconds");
+  {
+    SpanTimer span(&h);
+  }
+  { DTR_SPAN(&h); }
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(SpanTimer, ByNameAndNullSafe) {
+  Registry r;
+  { DTR_SPAN(&r, "flush"); }
+  EXPECT_EQ(r.snapshot().histograms.at("span.flush.seconds").count, 1u);
+  // Unbound spans must be inert.
+  { SpanTimer span(static_cast<Histogram*>(nullptr)); }
+  { DTR_SPAN(static_cast<Registry*>(nullptr), "nothing"); }
+  EXPECT_EQ(r.snapshot().histograms.size(), 1u);
+}
+
+TEST(NullHelpers, TolerateUnboundInstruments) {
+  inc(static_cast<Counter*>(nullptr));
+  set(static_cast<Gauge*>(nullptr), 3);
+  record_max(static_cast<Gauge*>(nullptr), 3);
+  observe(static_cast<Histogram*>(nullptr), 1.0);
+  Counter c;
+  inc(&c, 2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Registry, ConcurrentRegistrationAndRecording) {
+  // Threads race to register the same names while recording; the registry
+  // must hand out one instrument per name and lose nothing.
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < kIters; ++i) {
+        r.counter("shared.counter").inc();
+        r.histogram("shared.hist", {1.0}).observe(0.5);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counter("shared.counter"),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.histograms.at("shared.hist").count,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace dtr::obs

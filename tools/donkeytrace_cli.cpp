@@ -20,6 +20,8 @@
 #include "analysis/report.hpp"
 #include "cli_args.hpp"
 #include "core/donkeytrace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "xmlio/compress.hpp"
 
 namespace {
@@ -34,6 +36,7 @@ commands:
   campaign    simulate a capture campaign end to end
               --seed N --clients N --files N --hours H
               --xml PATH[.dtz] --pcap PATH --background
+              [--workers N] (N>1: parallel decode pipeline)
   decode      replay a pcap file through the offline decoder
               --pcap PATH [--xml PATH[.dtz]]
               [--server-ip A.B.C.D] [--server-port P]
@@ -41,6 +44,12 @@ commands:
               --xml PATH[.dtz]  (or positional path)
   compress    LZSS-compress a file   (positional path, adds .dtz)
   decompress  expand a .dtz file     (positional path, strips .dtz)
+
+metrics (campaign and decode):
+  --metrics-out PATH      write a JSON metrics snapshot after the run
+  --metrics-interval S    every S simulated seconds, print a metrics
+                          table to stderr (deterministic: driven by
+                          event/frame timestamps, not wall clock)
 )";
   return 2;
 }
@@ -100,6 +109,47 @@ bool store_dataset(const std::string& path, const std::string& xml) {
   return static_cast<bool>(out);
 }
 
+/// Periodic metrics emitter driven by *simulated* time: call tick() with
+/// each event/frame timestamp and a snapshot table goes to stderr whenever
+/// another interval has elapsed.  Deterministic — wall clock never read.
+class MetricsTicker {
+ public:
+  MetricsTicker(const obs::Registry& registry, double interval_s)
+      : registry_(registry),
+        interval_(static_cast<SimTime>(interval_s * kSecond)) {
+    if (interval_ == 0) interval_ = kSecond;
+    next_ = interval_;
+  }
+
+  void tick(SimTime now) {
+    while (now >= next_) {
+      std::cerr << "[metrics @ " << to_seconds(next_) << "s]\n";
+      registry_.snapshot().render_table(std::cerr);
+      next_ += interval_;
+    }
+  }
+
+ private:
+  const obs::Registry& registry_;
+  SimTime interval_;
+  SimTime next_ = 0;
+};
+
+/// Write the registry's JSON snapshot to `path` ("-" = stdout).
+bool write_metrics_json(const obs::Registry& registry,
+                        const std::string& path) {
+  obs::Snapshot snap = registry.snapshot();
+  if (path == "-") {
+    snap.render_json(std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  snap.render_json(out);
+  if (out) std::cout << "wrote " << path << " (metrics snapshot)\n";
+  return static_cast<bool>(out);
+}
+
 void print_dataset_summary(const analysis::CampaignStats& stats) {
   analysis::print_table(
       std::cout, "dataset",
@@ -143,6 +193,7 @@ int cmd_campaign(const cli::Args& args) {
   cfg.campaign.catalog.file_count =
       static_cast<std::uint32_t>(args.get_u64("files", 20000));
   cfg.campaign.duration = args.get_u64("hours", 48) * kHour;
+  cfg.workers = args.get_u64("workers", 0);
   cfg.pcap_path = args.get("pcap");
   if (args.has("background")) {
     sim::BackgroundConfig bg;
@@ -155,6 +206,22 @@ int cmd_campaign(const cli::Args& args) {
   std::ostringstream xml;
   std::string xml_path = args.get("xml");
   if (!xml_path.empty()) cfg.xml_out = &xml;
+
+  obs::Registry registry;
+  std::string metrics_path = args.get("metrics-out");
+  double metrics_interval = args.get_f64("metrics-interval", 0.0);
+  std::unique_ptr<MetricsTicker> ticker;
+  if (!metrics_path.empty() || metrics_interval > 0.0) {
+    cfg.metrics = &registry;
+  }
+  if (metrics_interval > 0.0) {
+    ticker = std::make_unique<MetricsTicker>(registry, metrics_interval);
+    // Chain onto the anonymised-event stream: event times are simulated
+    // capture times, which keeps periodic emission deterministic.
+    cfg.extra_sink = [&ticker](const anon::AnonEvent& ev) {
+      ticker->tick(ev.time);
+    };
+  }
 
   core::CampaignRunner runner(cfg);
   core::CampaignReport report = runner.run();
@@ -178,6 +245,10 @@ int cmd_campaign(const cli::Args& args) {
   }
   if (!cfg.pcap_path.empty()) {
     std::cout << "wrote " << cfg.pcap_path << "\n";
+  }
+  if (!metrics_path.empty() && !write_metrics_json(registry, metrics_path)) {
+    std::cerr << "cannot write " << metrics_path << "\n";
+    return 1;
   }
   return 0;
 }
@@ -218,12 +289,27 @@ int cmd_decode(const cli::Args& args) {
         stats.consume(ev);
         if (writer) writer->write(ev);
       });
+
+  obs::Registry registry;
+  std::string metrics_path = args.get("metrics-out");
+  double metrics_interval = args.get_f64("metrics-interval", 0.0);
+  std::unique_ptr<MetricsTicker> ticker;
+  if (!metrics_path.empty() || metrics_interval > 0.0) {
+    decoder.bind_metrics(registry);
+    anonymiser.bind_metrics(registry);
+    stats.bind_metrics(registry);
+  }
+  if (metrics_interval > 0.0) {
+    ticker = std::make_unique<MetricsTicker>(registry, metrics_interval);
+  }
+
   std::uint64_t frames = 0;
   SimTime last = 0;
   while (auto rec = reader.next()) {
     decoder.push(sim::TimedFrame{rec->timestamp, rec->data});
     last = rec->timestamp;
     ++frames;
+    if (ticker) ticker->tick(rec->timestamp);
   }
   decoder.finish(last);
   if (writer) writer->finish();
@@ -242,6 +328,10 @@ int cmd_decode(const cli::Args& args) {
   print_dataset_summary(stats);
   if (!xml_path.empty() && !store_dataset(xml_path, xml.str())) {
     std::cerr << "cannot write " << xml_path << "\n";
+    return 1;
+  }
+  if (!metrics_path.empty() && !write_metrics_json(registry, metrics_path)) {
+    std::cerr << "cannot write " << metrics_path << "\n";
     return 1;
   }
   return 0;
