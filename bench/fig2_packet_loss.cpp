@@ -10,7 +10,10 @@
 // mirror feeds a finite kernel buffer drained by a reader with occasional
 // stalls.  The bench prints the per-second loss series (main plot), the
 // cumulative series (inset), and the paper-vs-measured loss rate.
+#include <vector>
+
 #include "fig_common.hpp"
+#include "obs/timeseries.hpp"
 
 int main(int argc, char** argv) {
   using namespace dtr;
@@ -48,19 +51,61 @@ int main(int argc, char** argv) {
   bg.mean_burst_s = 10;
   cfg.background = bg;
 
+  // The loss curve now comes from the telemetry subsystem, not the
+  // engine's private accumulator: a per-second TimeSeriesRecorder over the
+  // `capture.dropped` counter, in sparse (store-only-on-change) mode so two
+  // days of mostly-zero seconds stay a handful of samples.  The capture
+  // counters are recorded synchronously on the feed thread, so no pipeline
+  // flush is needed at the one-second boundaries.
+  obs::Registry registry;
+  obs::TimeSeriesOptions series_options;
+  series_options.interval = kSecond;
+  series_options.include_prefixes = {"capture.dropped"};
+  series_options.store_only_on_change = true;
+  obs::TimeSeriesRecorder series(registry, series_options);
+  cfg.metrics = &registry;
+  cfg.series = &series;
+  cfg.series_flush = false;
+
   core::CampaignRunner runner(cfg);
   core::CampaignReport report = runner.run();
 
   const std::uint64_t captured = report.frames_captured;
   const std::uint64_t lost = report.frames_lost;
 
-  std::cout << "# per-second losses (only non-zero seconds; main plot)\n";
+  // Regenerate Figure 2's per-second loss series from the recorded
+  // telemetry.  A sample at boundary t covers frames in [t-1s, t), so the
+  // engine's "loss second s" is the recorder's boundary s+1; sparse mode
+  // attributes each delta to exactly the second the drops happened in.
+  struct LossSample {
+    std::uint64_t second;
+    std::uint64_t lost;
+  };
+  std::vector<LossSample> losses;
+  for (const auto& [time, delta] : series.counter_deltas("capture.dropped")) {
+    if (delta == 0) continue;  // the first stored sample can be all-zero
+    losses.push_back(LossSample{to_seconds(time) - 1, delta});
+  }
+
+  // Cross-check telemetry against the engine's own accumulator — the
+  // series is only a valid Figure 2 source if the two agree exactly.
+  bool series_matches = losses.size() == report.loss_series.size();
+  if (series_matches) {
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      series_matches = series_matches &&
+                       losses[i].second == report.loss_series[i].second &&
+                       losses[i].lost == report.loss_series[i].lost;
+    }
+  }
+
+  std::cout << "# per-second losses from telemetry (non-zero seconds; main "
+               "plot)\n";
   std::cout << "# second\tlost\n";
   std::size_t printed = 0;
-  for (const auto& p : report.loss_series) {
+  for (const auto& p : losses) {
     std::cout << p.second << "\t" << p.lost << "\n";
     if (++printed >= 60) {
-      std::cout << "# ... (" << report.loss_series.size() - printed
+      std::cout << "# ... (" << losses.size() - printed
                 << " more loss seconds)\n";
       break;
     }
@@ -69,9 +114,9 @@ int main(int argc, char** argv) {
   std::cout << "\n# cumulative losses (inset)\n# second\tcumulative\n";
   std::uint64_t running = 0;
   printed = 0;
-  for (const auto& p : report.loss_series) {
+  for (const auto& p : losses) {
     running += p.lost;
-    if (printed % std::max<std::size_t>(1, report.loss_series.size() / 20) == 0) {
+    if (printed % std::max<std::size_t>(1, losses.size() / 20) == 0) {
       std::cout << p.second << "\t" << running << "\n";
     }
     ++printed;
@@ -94,11 +139,12 @@ int main(int argc, char** argv) {
   std::cout << "  peak buffer pressure " << report.buffer_high_water << " / "
             << cfg.buffer.capacity << " packets (occupancy high-water)\n";
   bool rare = measured_rate < 1e-3;
-  bool bursty = !report.loss_series.empty() &&
-                report.loss_series.size() <
-                    to_seconds(cfg.campaign.duration) / 100;
+  bool bursty = !losses.empty() &&
+                losses.size() < to_seconds(cfg.campaign.duration) / 100;
   std::cout << "  shape check          losses "
             << (rare ? "rare" : "NOT RARE (mismatch)") << ", "
-            << (bursty ? "bursty/isolated" : "NOT bursty (mismatch)") << "\n";
-  return rare && bursty ? 0 : 1;
+            << (bursty ? "bursty/isolated" : "NOT bursty (mismatch)")
+            << ", telemetry series "
+            << (series_matches ? "matches engine" : "MISMATCH") << "\n";
+  return rare && bursty && series_matches ? 0 : 1;
 }

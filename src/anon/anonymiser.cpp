@@ -149,6 +149,18 @@ AnonEvent Anonymiser::anonymise(SimTime time, proto::ClientId peer_ip,
            static_cast<std::int64_t>(clients_.distinct()));
   obs::set(metrics_.files_distinct,
            static_cast<std::int64_t>(files_.distinct()));
+  if (log_ != nullptr && log_->enabled(obs::LogLevel::kDebug)) {
+    while (clients_.distinct() >= next_client_milestone_) {
+      DTR_LOG_DEBUG(log_, "anon", time,
+                    "distinct clients reached " << next_client_milestone_);
+      next_client_milestone_ *= 2;
+    }
+    while (files_.distinct() >= next_file_milestone_) {
+      DTR_LOG_DEBUG(log_, "anon", time,
+                    "distinct files reached " << next_file_milestone_);
+      next_file_milestone_ *= 2;
+    }
+  }
   return ev;
 }
 

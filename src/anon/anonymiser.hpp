@@ -22,6 +22,7 @@
 #include "anon/fileid_store.hpp"
 #include "common/clock.hpp"
 #include "hash/digest.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "proto/messages.hpp"
 
@@ -152,6 +153,11 @@ class Anonymiser {
   /// distinct-entry gauges behind Table 1's population counts.
   void bind_metrics(obs::Registry& registry);
 
+  /// Attach a logger (may be null): population milestones — the distinct
+  /// client/file tables doubling past each power of two — log at debug, a
+  /// cheap way to watch Table 1's populations grow during a long campaign.
+  void bind_telemetry(obs::Logger* log) { log_ = log; }
+
   [[nodiscard]] std::uint64_t distinct_clients() const {
     return clients_.distinct();
   }
@@ -184,6 +190,9 @@ class Anonymiser {
   ClientAnonymiser& clients_;
   FileIdAnonymiser& files_;
   Metrics metrics_;
+  obs::Logger* log_ = nullptr;
+  std::uint64_t next_client_milestone_ = 1;
+  std::uint64_t next_file_milestone_ = 1;
 };
 
 }  // namespace dtr::anon

@@ -45,6 +45,12 @@ class CaptureEngine {
   /// Register the kernel buffer's `capture.*` instruments in `registry`.
   void bind_metrics(obs::Registry& registry) { buffer_.bind_metrics(registry); }
 
+  /// Attach logging / flight-recorder channels to the kernel buffer
+  /// (either may be null).
+  void bind_telemetry(obs::Logger* log, obs::FlightRecorder* flight) {
+    buffer_.bind_telemetry(log, flight);
+  }
+
   /// Non-zero per-second loss samples, in time order (Figure 2 main plot).
   [[nodiscard]] const std::vector<LossPoint>& loss_series() const {
     return loss_series_;

@@ -66,15 +66,36 @@ bool KernelBuffer::offer(SimTime now) {
   if (occupancy_ >= config_.capacity) {
     ++dropped_;
     obs::inc(metrics_.dropped);
+    obs::record(flight_, obs::FlightEvent::kFrameDropped, now, occupancy_,
+                dropped_);
+    DTR_LOG_WARN(log_, "capture", now,
+                 "kernel buffer overflow: packet dropped (occupancy "
+                     << occupancy_ << "/" << config_.capacity << ", "
+                     << dropped_ << " lost so far)");
     return false;
   }
   ++occupancy_;
   ++accepted_;
-  if (occupancy_ > occupancy_high_water_) occupancy_high_water_ = occupancy_;
+  if (occupancy_ > occupancy_high_water_) {
+    occupancy_high_water_ = occupancy_;
+    // Telemetry on each new decile of capacity the high-water crosses —
+    // the buffer-pressure breadcrumb trail behind Figure 2's loss spikes.
+    const std::size_t decile =
+        config_.capacity == 0 ? 0 : occupancy_ * 10 / config_.capacity;
+    if (decile > high_water_decile_) {
+      high_water_decile_ = decile;
+      obs::record(flight_, obs::FlightEvent::kBufferHighWater, now, occupancy_,
+                  config_.capacity);
+      DTR_LOG_INFO(log_, "capture", now,
+                   "buffer high-water " << occupancy_ << "/"
+                                        << config_.capacity << " packets");
+    }
+  }
   obs::inc(metrics_.accepted);
   obs::set(metrics_.occupancy, static_cast<std::int64_t>(occupancy_));
   obs::record_max(metrics_.occupancy_high_water,
                   static_cast<std::int64_t>(occupancy_));
+  obs::record(flight_, obs::FlightEvent::kFrameAccepted, now, occupancy_);
   return true;
 }
 

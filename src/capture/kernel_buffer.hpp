@@ -18,6 +18,8 @@
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace dtr::capture {
@@ -52,6 +54,15 @@ class KernelBuffer {
   /// from now on (accepted/dropped counters, occupancy gauges).
   void bind_metrics(obs::Registry& registry);
 
+  /// Attach the operational telemetry channels (either may be null):
+  /// drops log a rate-limited warning and land in the flight recorder,
+  /// and every new high-water decile of capacity is recorded as a
+  /// buffer-high-water crossing.
+  void bind_telemetry(obs::Logger* log, obs::FlightRecorder* flight) {
+    log_ = log;
+    flight_ = flight;
+  }
+
  private:
   void drain_until(SimTime now);
 
@@ -74,7 +85,10 @@ class KernelBuffer {
   std::uint64_t accepted_ = 0;
   std::uint64_t dropped_ = 0;
   std::size_t occupancy_high_water_ = 0;
+  std::size_t high_water_decile_ = 0;  // last decile reported to telemetry
   Metrics metrics_;
+  obs::Logger* log_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dtr::capture

@@ -1,5 +1,7 @@
 #include "core/campaign_runner.hpp"
 
+#include <algorithm>
+
 namespace dtr::core {
 
 RunnerConfig RunnerConfig::tiny(std::uint64_t seed) {
@@ -40,6 +42,8 @@ CampaignReport CampaignRunner::run() {
     engine.bind_metrics(*config_.metrics);
     simulator_.bind_metrics(*config_.metrics);
   }
+  engine.bind_telemetry(config_.log, config_.flight);
+  simulator_.bind_telemetry(config_.log);
 
   if (config_.workers > 1) {
     ParallelPipelineConfig parallel_config;
@@ -49,6 +53,8 @@ CampaignReport CampaignRunner::run() {
     parallel_config.xml_out = config_.xml_out;
     parallel_config.extra_sink = config_.extra_sink;
     parallel_config.metrics = config_.metrics;
+    parallel_config.log = config_.log;
+    parallel_config.flight = config_.flight;
     parallel_ = std::make_unique<ParallelCapturePipeline>(parallel_config);
     engine.set_sink(
         [this](const sim::TimedFrame& frame) { parallel_->push(frame); });
@@ -60,10 +66,34 @@ CampaignReport CampaignRunner::run() {
     pipeline_config.keep_events = config_.keep_events;
     pipeline_config.extra_sink = config_.extra_sink;
     pipeline_config.metrics = config_.metrics;
+    pipeline_config.log = config_.log;
+    pipeline_config.flight = config_.flight;
     pipeline_ = std::make_unique<CapturePipeline>(pipeline_config);
     engine.set_sink(
         [this](const sim::TimedFrame& frame) { pipeline_->push(frame); });
   }
+
+  // Every frame funnels through here in time order, which makes it the
+  // natural clock edge for the time-series recorder: when a frame's
+  // timestamp crosses a sample boundary, quiesce the pipeline (so interval
+  // counters are exact and scheduling-independent) and sample before the
+  // frame is offered.  The frame at exactly the boundary lands in the next
+  // interval.
+  auto feed = [&](const sim::TimedFrame& f) {
+    if (config_.series != nullptr && config_.series->due(f.time)) {
+      if (config_.series_flush) {
+        if (parallel_) {
+          parallel_->flush();
+        } else {
+          pipeline_->flush();
+        }
+      }
+      do {
+        config_.series->sample();
+      } while (config_.series->due(f.time));
+    }
+    engine.offer(f);
+  };
 
   if (config_.background) {
     // Mirror carries campaign + background traffic.  Both streams are
@@ -76,21 +106,34 @@ CampaignReport CampaignRunner::run() {
     std::optional<sim::TimedFrame> pending = background.next();
     simulator_.run([&](const sim::TimedFrame& f) {
       while (pending && pending->time <= f.time) {
-        engine.offer(*pending);
+        feed(*pending);
         pending = background.next();
       }
-      engine.offer(f);
+      feed(f);
     });
     while (pending) {
-      engine.offer(*pending);
+      feed(*pending);
       pending = background.next();
     }
   } else {
-    simulator_.run([&](const sim::TimedFrame& f) { engine.offer(f); });
+    simulator_.run(feed);
   }
 
   CampaignReport report;
   report.pipeline = parallel_ ? parallel_->finish() : pipeline_->finish();
+  if (config_.series != nullptr) {
+    // The pipeline has fully drained: record the tail boundaries against
+    // final counters.  Sessions started near the campaign end emit frames
+    // past the nominal duration, so pad to whichever is later — the
+    // campaign end or the next unsampled boundary — to guarantee the last
+    // partial interval is captured (sum of deltas == end-of-run totals).
+    config_.series->finish(std::max(config_.campaign.duration,
+                                    config_.series->next_sample_time()));
+  }
+  if (!report.pipeline.ok()) {
+    DTR_LOG_ERROR(config_.log, "runner", config_.campaign.duration,
+                  "campaign pipeline failed: " << report.pipeline.error);
+  }
   report.truth = simulator_.truth();
   report.frames_captured = engine.captured();
   report.frames_lost = engine.lost();

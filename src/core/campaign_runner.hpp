@@ -14,6 +14,7 @@
 #include "capture/engine.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/background.hpp"
 #include "sim/campaign.hpp"
 
@@ -35,6 +36,21 @@ struct RunnerConfig {
   /// Optional metrics registry: when set, the capture buffer, the server
   /// index, and every pipeline stage register their instruments there.
   obs::Registry* metrics = nullptr;
+  /// Optional structured logger, handed to the capture buffer, the server
+  /// and every pipeline stage (must outlive run(); may be null).
+  obs::Logger* log = nullptr;
+  /// Optional flight recorder for post-mortem event dumps (must outlive
+  /// run(); may be null).
+  obs::FlightRecorder* flight = nullptr;
+  /// Optional time-series recorder sampling `metrics` at its interval
+  /// boundaries (simulated time).  Must be built over the same registry as
+  /// `metrics`; the runner calls finish() on it after the pipeline drains.
+  obs::TimeSeriesRecorder* series = nullptr;
+  /// Quiesce the pipeline before every series sample so interval counters
+  /// are exact and independent of thread scheduling (byte-reproducible
+  /// output, serial == parallel).  Disable only for coarse "roughly now"
+  /// sampling where stalling the intake is not worth it.
+  bool series_flush = true;
 
   /// Convenience: a small config that runs in well under a second.
   static RunnerConfig tiny(std::uint64_t seed = 42);

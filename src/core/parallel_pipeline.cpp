@@ -1,5 +1,7 @@
 #include "core/parallel_pipeline.hpp"
 
+#include <chrono>
+
 #include "common/rng.hpp"
 
 namespace dtr::core {
@@ -53,6 +55,14 @@ ParallelCapturePipeline::ParallelCapturePipeline(
   // the workers without extra synchronisation.
   if (config_.metrics != nullptr) bind_metrics(*config_.metrics);
   for (auto& worker : workers_) {
+    worker->decoder->bind_telemetry(config_.log, config_.flight);
+  }
+  anonymiser_.bind_telemetry(config_.log);
+  DTR_LOG_INFO(config_.log, "pipeline", 0,
+               "parallel pipeline up (" << n << " workers, queue "
+                                        << config_.queue_capacity
+                                        << " per worker)");
+  for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   }
   merge_thread_ = std::thread([this] { merge_loop(); });
@@ -79,16 +89,49 @@ std::size_t ParallelCapturePipeline::route(const sim::TimedFrame& frame) const {
 void ParallelCapturePipeline::push(const sim::TimedFrame& frame) {
   obs::inc(metrics_.frames);
   std::size_t target = route(frame);
+  if (config_.flight != nullptr &&
+      workers_[target]->in->size() >= config_.queue_capacity) {
+    // The routed worker is not keeping up: this push is about to block.
+    obs::record(config_.flight, obs::FlightEvent::kStageStall, frame.time,
+                workers_[target]->in->size(), target);
+  }
   workers_[target]->in->push(SequencedFrame{next_seq_++, frame});
 }
 
+void ParallelCapturePipeline::flush() {
+  // next_seq_ is only written by the pushing thread — which is the only
+  // thread allowed to call flush(), so reading it unsynchronised is fine.
+  while (results_merged_.load(std::memory_order_acquire) < next_seq_) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+void ParallelCapturePipeline::fail(const char* stage, SimTime time,
+                                   const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (error_.empty()) error_ = std::string(stage) + ": " + what;
+  }
+  obs::record(config_.flight, obs::FlightEvent::kPipelineError, time);
+  DTR_LOG_ERROR(config_.log, stage, time, "stage failed: " << what);
+}
+
 void ParallelCapturePipeline::worker_loop(Worker& worker) {
+  bool failed = false;
   while (auto item = worker.in->pop()) {
-    {
-      obs::SpanTimer span(metrics_.decode_span);
-      worker.decoder->push(item->frame);
+    if (!failed) {
+      try {
+        obs::SpanTimer span(metrics_.decode_span);
+        worker.decoder->push(item->frame);
+        worker.last_time = item->frame.time;
+      } catch (const std::exception& e) {
+        failed = true;
+        fail("decode", item->frame.time, e.what());
+        worker.scratch.clear();
+      }
     }
-    worker.last_time = item->frame.time;
+    // One result per frame even after a failure — the merger needs a
+    // contiguous sequence to stay live (and flush() counts on it).
     WorkerResult result;
     result.seq = item->seq;
     result.messages = std::move(worker.scratch);
@@ -97,27 +140,38 @@ void ParallelCapturePipeline::worker_loop(Worker& worker) {
                  static_cast<double>(result.messages.size()));
     merge_queue_.push(std::move(result));
   }
-  worker.decoder->finish(worker.last_time);
+  if (!failed) worker.decoder->finish(worker.last_time);
 }
 
 void ParallelCapturePipeline::merge_loop() {
   std::map<std::uint64_t, WorkerResult> pending;
   std::uint64_t next_expected = 0;
+  bool failed = false;
 
   auto process = [&](WorkerResult& result) {
-    for (decode::DecodedMessage& msg : result.messages) {
-      obs::SpanTimer span(metrics_.anonymise_span);
-      obs::inc(metrics_.messages);
-      const bool from_client = msg.dst_ip == config_.server_ip &&
-                               msg.dst_port == config_.server_port;
-      const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
-      anon::AnonEvent event =
-          anonymiser_.anonymise(msg.time, peer_ip, msg.message);
-      ++anonymised_events_;
-      stats_.consume(event);
-      if (config_.extra_sink) config_.extra_sink(event);
-      if (xml_) xml_->write(event);
+    if (!failed) {
+      try {
+        for (decode::DecodedMessage& msg : result.messages) {
+          obs::SpanTimer span(metrics_.anonymise_span);
+          obs::inc(metrics_.messages);
+          const bool from_client = msg.dst_ip == config_.server_ip &&
+                                   msg.dst_port == config_.server_port;
+          const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
+          anon::AnonEvent event =
+              anonymiser_.anonymise(msg.time, peer_ip, msg.message);
+          ++anonymised_events_;
+          stats_.consume(event);
+          if (config_.extra_sink) config_.extra_sink(event);
+          if (xml_) xml_->write(event);
+        }
+      } catch (const std::exception& e) {
+        failed = true;  // keep consuming results so flush() never hangs
+        const SimTime when =
+            result.messages.empty() ? 0 : result.messages.front().time;
+        fail("anonymise", when, e.what());
+      }
     }
+    results_merged_.fetch_add(1, std::memory_order_release);
   };
 
   while (auto result = merge_queue_.pop()) {
@@ -168,6 +222,9 @@ PipelineResult ParallelCapturePipeline::finish() {
     for (auto& worker : workers_) {
       accumulate(total_decode_, worker->decoder->stats());
     }
+    DTR_LOG_INFO(config_.log, "pipeline", 0,
+                 "parallel pipeline drained (" << anonymised_events_
+                                               << " events anonymised)");
   }
   PipelineResult result;
   result.decode = total_decode_;
@@ -175,6 +232,10 @@ PipelineResult ParallelCapturePipeline::finish() {
   result.distinct_files = anonymiser_.distinct_files();
   result.anonymised_events = anonymised_events_;
   result.xml_events = xml_ ? xml_->events_written() : 0;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    result.error = error_;
+  }
   return result;
 }
 

@@ -17,9 +17,12 @@
 // and any thread interleaving — asserted by tests, not just claimed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -47,6 +50,11 @@ struct ParallelPipelineConfig {
   /// bind their decoders to the same registry: the striped counters merge
   /// concurrent increments, so `decode.*` still totals across workers.
   obs::Registry* metrics = nullptr;
+  /// Optional structured logger shared by every stage (may be null).
+  obs::Logger* log = nullptr;
+  /// Optional flight recorder; each worker records into its own
+  /// per-thread ring (may be null).
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class ParallelCapturePipeline {
@@ -59,6 +67,14 @@ class ParallelCapturePipeline {
 
   void push(const sim::TimedFrame& frame);
   PipelineResult finish();
+
+  /// Quiesce to the current intake boundary: block the pushing thread
+  /// until every frame pushed so far has been decoded, merged back into
+  /// sequence order and anonymised.  Workers emit exactly one result per
+  /// frame and the merger anonymises inside its in-order processing, so
+  /// results_merged == frames_pushed means full quiescence.  Call only
+  /// between pushes (same contract as CapturePipeline::flush()).
+  void flush();
 
   [[nodiscard]] const analysis::CampaignStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t workers() const { return workers_.size(); }
@@ -86,6 +102,7 @@ class ParallelCapturePipeline {
   void worker_loop(Worker& worker);
   void merge_loop();
   void bind_metrics(obs::Registry& registry);
+  void fail(const char* stage, SimTime time, const std::string& what);
 
   struct Metrics {
     obs::Counter* frames = nullptr;
@@ -112,6 +129,11 @@ class ParallelCapturePipeline {
   std::thread merge_thread_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t workers_done_ = 0;  // guarded by merge queue close protocol
+  /// Results fully processed by the merger (one per pushed frame); with
+  /// next_seq_ it forms the flush() quiescence test.
+  std::atomic<std::uint64_t> results_merged_{0};
+  std::mutex error_mutex_;
+  std::string error_;  // first failure wins; guarded by error_mutex_
   bool finished_ = false;
   decode::DecodeStats total_decode_;
 };

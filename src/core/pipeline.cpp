@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
+
 namespace dtr::core {
 
 CapturePipeline::CapturePipeline(const PipelineConfig& config)
@@ -15,11 +17,18 @@ CapturePipeline::CapturePipeline(const PipelineConfig& config)
   decoder_ = std::make_unique<decode::FrameDecoder>(
       config_.server_ip, config_.server_port,
       [this](decode::DecodedMessage&& msg) {
+        messages_enqueued_.fetch_add(1, std::memory_order_relaxed);
         message_queue_.push(std::move(msg));
       });
   // Bind before the worker threads exist so instrument pointers are
   // published by the thread constructors' synchronisation.
   if (config_.metrics != nullptr) bind_metrics(*config_.metrics);
+  decoder_->bind_telemetry(config_.log, config_.flight);
+  anonymiser_.bind_telemetry(config_.log);
+  DTR_LOG_INFO(config_.log, "pipeline", 0,
+               "serial pipeline up (frame queue "
+                   << config_.frame_queue_capacity << ", message queue "
+                   << config_.message_queue_capacity << ")");
   decode_thread_ = std::thread([this] { decode_loop(); });
   anonymise_thread_ = std::thread([this] { anonymise_loop(); });
 }
@@ -30,39 +39,87 @@ CapturePipeline::~CapturePipeline() {
 
 void CapturePipeline::push(const sim::TimedFrame& frame) {
   obs::inc(metrics_.frames);
+  if (config_.flight != nullptr &&
+      frame_queue_.size() >= config_.frame_queue_capacity) {
+    // The decode stage is not keeping up: this push is about to block.
+    obs::record(config_.flight, obs::FlightEvent::kStageStall, frame.time,
+                frame_queue_.size());
+  }
+  frames_pushed_.fetch_add(1, std::memory_order_relaxed);
   frame_queue_.push(frame);
   obs::set(metrics_.frame_queue_depth,
            static_cast<std::int64_t>(frame_queue_.size()));
 }
 
-void CapturePipeline::decode_loop() {
-  while (auto frame = frame_queue_.pop()) {
-    obs::SpanTimer span(metrics_.decode_span);
-    decoder_->push(*frame);
-    last_time_ = frame->time;
+void CapturePipeline::flush() {
+  const std::uint64_t frames = frames_pushed_.load(std::memory_order_relaxed);
+  while (frames_decoded_.load(std::memory_order_acquire) < frames) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
   }
-  decoder_->finish(last_time_);
+  // Only now is the message count for this prefix final.
+  const std::uint64_t messages =
+      messages_enqueued_.load(std::memory_order_acquire);
+  while (messages_done_.load(std::memory_order_acquire) < messages) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+void CapturePipeline::fail(const char* stage, SimTime time,
+                           const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (error_.empty()) error_ = std::string(stage) + ": " + what;
+  }
+  obs::record(config_.flight, obs::FlightEvent::kPipelineError, time);
+  DTR_LOG_ERROR(config_.log, stage, time, "stage failed: " << what);
+}
+
+void CapturePipeline::decode_loop() {
+  bool failed = false;
+  while (auto frame = frame_queue_.pop()) {
+    if (!failed) {
+      try {
+        obs::SpanTimer span(metrics_.decode_span);
+        decoder_->push(*frame);
+        last_time_ = frame->time;
+      } catch (const std::exception& e) {
+        failed = true;  // keep draining so upstream push()/flush() never hang
+        fail("decode", frame->time, e.what());
+      }
+    }
+    frames_decoded_.fetch_add(1, std::memory_order_release);
+  }
+  if (!failed) decoder_->finish(last_time_);
   message_queue_.close();
 }
 
 void CapturePipeline::anonymise_loop() {
+  bool failed = false;
   while (auto msg = message_queue_.pop()) {
-    obs::SpanTimer span(metrics_.anonymise_span);
-    obs::inc(metrics_.messages);
-    obs::set(metrics_.message_queue_depth,
-             static_cast<std::int64_t>(message_queue_.size()));
-    // The dialog's client side: whoever is not the server.
-    const bool from_client = msg->dst_ip == config_.server_ip &&
-                             msg->dst_port == config_.server_port;
-    const std::uint32_t peer_ip = from_client ? msg->src_ip : msg->dst_ip;
+    if (!failed) {
+      try {
+        obs::SpanTimer span(metrics_.anonymise_span);
+        obs::inc(metrics_.messages);
+        obs::set(metrics_.message_queue_depth,
+                 static_cast<std::int64_t>(message_queue_.size()));
+        // The dialog's client side: whoever is not the server.
+        const bool from_client = msg->dst_ip == config_.server_ip &&
+                                 msg->dst_port == config_.server_port;
+        const std::uint32_t peer_ip = from_client ? msg->src_ip : msg->dst_ip;
 
-    anon::AnonEvent event =
-        anonymiser_.anonymise(msg->time, peer_ip, msg->message);
-    ++anonymised_events_;
-    stats_.consume(event);
-    if (config_.extra_sink) config_.extra_sink(event);
-    if (xml_) xml_->write(event);
-    if (config_.keep_events) events_.push_back(std::move(event));
+        anon::AnonEvent event =
+            anonymiser_.anonymise(msg->time, peer_ip, msg->message);
+        ++anonymised_events_;
+        stats_.consume(event);
+        if (config_.extra_sink) config_.extra_sink(event);
+        if (xml_) xml_->write(event);
+        if (config_.keep_events) events_.push_back(std::move(event));
+      } catch (const std::exception& e) {
+        failed = true;  // keep draining so flush() never hangs
+        fail("anonymise", msg->time, e.what());
+      }
+    }
+    messages_done_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -85,6 +142,9 @@ PipelineResult CapturePipeline::finish() {
     decode_thread_.join();
     anonymise_thread_.join();
     if (xml_) xml_->finish();
+    DTR_LOG_INFO(config_.log, "pipeline", last_time_,
+                 "serial pipeline drained (" << anonymised_events_
+                                             << " events anonymised)");
   }
   PipelineResult result;
   result.decode = decoder_->stats();
@@ -92,6 +152,10 @@ PipelineResult CapturePipeline::finish() {
   result.distinct_files = anonymiser_.distinct_files();
   result.anonymised_events = anonymised_events_;
   result.xml_events = xml_ ? xml_->events_written() : 0;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    result.error = error_;
+  }
   return result;
 }
 

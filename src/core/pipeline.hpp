@@ -10,8 +10,11 @@
 // order through the queue.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <ostream>
+#include <string>
 #include <thread>
 
 #include "analysis/campaign_stats.hpp"
@@ -20,6 +23,8 @@
 #include "anon/fileid_store.hpp"
 #include "core/queue.hpp"
 #include "decode/decoder.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/frames.hpp"
@@ -46,6 +51,13 @@ struct PipelineConfig {
   /// instruments there (decode.*, anon.*, analysis.*, pipeline.*, span.*)
   /// and records during the run.  Must outlive the pipeline.
   obs::Registry* metrics = nullptr;
+  /// Optional structured logger, shared by every stage (must outlive the
+  /// pipeline; may be null).
+  obs::Logger* log = nullptr;
+  /// Optional flight recorder: stages record drop/reject/stall/error
+  /// events into per-thread rings for post-mortem dumps (must outlive the
+  /// pipeline; may be null — recording is a no-op then).
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// End-of-run snapshot of everything the pipeline accumulated.
@@ -55,6 +67,12 @@ struct PipelineResult {
   std::uint64_t distinct_files = 0;
   std::uint64_t anonymised_events = 0;
   std::uint64_t xml_events = 0;
+  /// First stage failure ("stage: what"), empty on a clean run.  A failed
+  /// stage stops processing but keeps draining its queue, so finish()
+  /// still returns — with partial results and this set.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
 class CapturePipeline {
@@ -71,6 +89,15 @@ class CapturePipeline {
 
   /// Close the intake, drain both stages, join the threads.
   PipelineResult finish();
+
+  /// Quiesce to the current intake boundary: block the calling (pushing)
+  /// thread until every frame pushed so far has been decoded AND every
+  /// message those frames produced has been anonymised.  At return the
+  /// metrics registry reflects exactly the pushed prefix — the hook the
+  /// TimeSeriesRecorder needs for deterministic interval samples.  Cheap
+  /// when already drained (two counter comparisons); call only between
+  /// pushes.
+  void flush();
 
   /// Statistics accumulator (valid after finish()).
   [[nodiscard]] const analysis::CampaignStats& stats() const { return stats_; }
@@ -93,6 +120,7 @@ class CapturePipeline {
   void decode_loop();
   void anonymise_loop();
   void bind_metrics(obs::Registry& registry);
+  void fail(const char* stage, SimTime time, const std::string& what);
 
   struct Metrics {
     obs::Counter* frames = nullptr;
@@ -118,6 +146,17 @@ class CapturePipeline {
   Metrics metrics_;
   std::uint64_t anonymised_events_ = 0;
   SimTime last_time_ = 0;
+
+  // Stage progress counters for flush(): "done" trails "offered" on each
+  // edge; equality on both edges means the pipeline is drained to the
+  // intake boundary.
+  std::atomic<std::uint64_t> frames_pushed_{0};
+  std::atomic<std::uint64_t> frames_decoded_{0};
+  std::atomic<std::uint64_t> messages_enqueued_{0};
+  std::atomic<std::uint64_t> messages_done_{0};
+
+  std::mutex error_mutex_;
+  std::string error_;  // first failure wins; guarded by error_mutex_
 
   std::thread decode_thread_;
   std::thread anonymise_thread_;

@@ -2,6 +2,15 @@
 
 namespace dtr::decode {
 
+namespace {
+// Layer tags carried in the flight event's `b` field, so a post-mortem dump
+// distinguishes where in the stack the rejection happened.  `a` holds the
+// proto::DecodeError code (0 for rejects below the eDonkey layer).
+constexpr std::uint64_t kRejectEdonkey = 0;
+constexpr std::uint64_t kRejectIp = 2;
+constexpr std::uint64_t kRejectUdp = 3;
+}  // namespace
+
 FrameDecoder::FrameDecoder(std::uint32_t server_ip, std::uint16_t server_port,
                            MessageSink sink)
     : server_ip_(server_ip),
@@ -23,6 +32,10 @@ void FrameDecoder::push(const sim::TimedFrame& frame) {
   if (!ip) {
     ++stats_.bad_ip_packets;
     obs::inc(metrics_.bad_ip);
+    obs::record(flight_, obs::FlightEvent::kDecodeReject, frame.time, 0,
+                kRejectIp);
+    DTR_LOG_WARN(log_, "decode", frame.time,
+                 "bad IPv4 packet rejected (truncated or bad checksum)");
     return;
   }
 
@@ -53,6 +66,9 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
   if (!udp) {
     ++stats_.udp_malformed;
     obs::inc(metrics_.udp_malformed);
+    obs::record(flight_, obs::FlightEvent::kDecodeReject, time, 0, kRejectUdp);
+    DTR_LOG_WARN(log_, "decode", time,
+                 "malformed UDP datagram rejected (length or checksum)");
     return;
   }
 
@@ -73,6 +89,11 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
       ++stats_.undecoded_effective;
     }
     obs::inc(metrics_.by_error[static_cast<std::size_t>(result.error)]);
+    obs::record(flight_, obs::FlightEvent::kDecodeReject, time,
+                static_cast<std::uint64_t>(result.error), kRejectEdonkey);
+    DTR_LOG_WARN(log_, "decode", time,
+                 "undecoded eDonkey datagram: "
+                     << proto::decode_error_name(result.error));
     return;
   }
 
@@ -93,6 +114,13 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
 }
 
 void FrameDecoder::finish(SimTime now) { reassembler_.expire(now); }
+
+void FrameDecoder::bind_telemetry(obs::Logger* log,
+                                  obs::FlightRecorder* flight) {
+  log_ = log;
+  flight_ = flight;
+  reassembler_.bind_telemetry(log, flight);
+}
 
 void FrameDecoder::bind_metrics(obs::Registry& registry) {
   metrics_.frames = &registry.counter("decode.frames");

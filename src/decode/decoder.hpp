@@ -16,6 +16,8 @@
 #include "net/ethernet.hpp"
 #include "net/ipv4.hpp"
 #include "net/udp.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "proto/codec.hpp"
 #include "sim/frames.hpp"
@@ -87,6 +89,14 @@ class FrameDecoder {
   /// pipeline's workers do): the striped counters merge their increments.
   void bind_metrics(obs::Registry& registry);
 
+  /// Attach logging / flight-recorder channels (either may be null):
+  /// every rejection path records a decode-reject flight event (a = the
+  /// DecodeError code, 0 for transport-level rejects) and logs a
+  /// rate-limited warning, so a malformed-datagram storm shows up in the
+  /// post-mortem dump without flooding stderr.  Forwarded to the embedded
+  /// reassembler too.
+  void bind_telemetry(obs::Logger* log, obs::FlightRecorder* flight);
+
   [[nodiscard]] const DecodeStats& stats() const { return stats_; }
   [[nodiscard]] const net::Ipv4Reassembler::Stats& reassembly_stats() const {
     return reassembler_.stats();
@@ -118,6 +128,8 @@ class FrameDecoder {
   net::Ipv4Reassembler reassembler_;
   DecodeStats stats_;
   Metrics metrics_;
+  obs::Logger* log_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dtr::decode

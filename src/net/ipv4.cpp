@@ -109,6 +109,10 @@ std::optional<Ipv4Packet> Ipv4Reassembler::push(const Ipv4Packet& p,
   if (!inserted) {
     ++stats_.overlapping;
     obs::inc(metrics_.overlapping);
+    DTR_LOG_WARN(log_, "reassembly", now,
+                 "overlapping fragment dropped (id " << p.identification
+                                                     << ", offset " << offset
+                                                     << ")");
     return std::nullopt;
   }
   if (!p.more_fragments) {
@@ -143,6 +147,12 @@ std::optional<Ipv4Packet> Ipv4Reassembler::try_complete(const Key& key,
 void Ipv4Reassembler::expire(SimTime now) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (now - it->second.first_seen > timeout_) {
+      obs::record(flight_, obs::FlightEvent::kReassemblyExpired, now,
+                  it->first.id, it->second.pieces.size());
+      DTR_LOG_WARN(log_, "reassembly", now,
+                   "expired partial datagram (id "
+                       << it->first.id << ", " << it->second.pieces.size()
+                       << " fragments held)");
       it = pending_.erase(it);
       ++stats_.expired;
       obs::inc(metrics_.expired);

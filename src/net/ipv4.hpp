@@ -13,6 +13,8 @@
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace dtr::net {
@@ -77,6 +79,14 @@ class Ipv4Reassembler {
   /// them from now on (fragments, completions, expiries, overlaps, pending).
   void bind_metrics(obs::Registry& registry);
 
+  /// Attach logging / flight-recorder channels (either may be null):
+  /// expiries and overlapping fragments log rate-limited warnings, and
+  /// expiries land in the flight recorder.
+  void bind_telemetry(obs::Logger* log, obs::FlightRecorder* flight) {
+    log_ = log;
+    flight_ = flight;
+  }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
@@ -110,6 +120,8 @@ class Ipv4Reassembler {
   std::map<Key, Partial> pending_;
   Stats stats_;
   Metrics metrics_;
+  obs::Logger* log_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dtr::net

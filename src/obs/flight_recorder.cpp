@@ -1,0 +1,136 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "obs/json.hpp"
+
+namespace dtr::obs {
+
+const char* flight_event_name(FlightEvent kind) {
+  switch (kind) {
+    case FlightEvent::kFrameAccepted: return "frame-accepted";
+    case FlightEvent::kFrameDropped: return "frame-dropped";
+    case FlightEvent::kDecodeReject: return "decode-reject";
+    case FlightEvent::kBufferHighWater: return "buffer-high-water";
+    case FlightEvent::kReassemblyExpired: return "reassembly-expired";
+    case FlightEvent::kStageStall: return "stage-stall";
+    case FlightEvent::kPipelineError: return "pipeline-error";
+    case FlightEvent::kMark: return "mark";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t per_thread_capacity)
+    : capacity_(round_up_pow2(per_thread_capacity)),
+      instance_(next_instance_id()) {}
+
+FlightRecorder::Ring& FlightRecorder::this_thread_ring() {
+  // One cache entry per (thread, recorder); a handful of recorders at most,
+  // so a linear scan beats any map.
+  struct CacheEntry {
+    std::uint64_t instance;
+    Ring* ring;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.instance == instance_) return *entry.ring;
+  }
+  std::lock_guard lock(mutex_);
+  rings_.push_back(std::make_unique<Ring>(capacity_));
+  Ring* ring = rings_.back().get();
+  ring->id = static_cast<std::uint32_t>(rings_.size() - 1);
+  cache.push_back(CacheEntry{instance_, ring});
+  return *ring;
+}
+
+void FlightRecorder::record(FlightEvent kind, SimTime time, std::uint64_t a,
+                            std::uint64_t b) {
+  Ring& ring = this_thread_ring();
+  Slot& slot = ring.slots[ring.head & (capacity_ - 1)];
+  ++ring.head;
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  // Seqlock-style publish: invalidate, fill, release the new seq.
+  slot.seq.store(0, std::memory_order_release);
+  slot.time.store(time, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::merged(
+    std::size_t last_n) const {
+  std::vector<Event> events;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& ring : rings_) {
+      for (const Slot& slot : ring->slots) {
+        Event ev;
+        ev.seq = slot.seq.load(std::memory_order_acquire);
+        if (ev.seq == 0) continue;  // empty or mid-write
+        ev.time = slot.time.load(std::memory_order_relaxed);
+        ev.a = slot.a.load(std::memory_order_relaxed);
+        ev.b = slot.b.load(std::memory_order_relaxed);
+        ev.kind =
+            static_cast<FlightEvent>(slot.kind.load(std::memory_order_relaxed));
+        if (slot.seq.load(std::memory_order_acquire) != ev.seq) continue;
+        ev.thread = ring->id;
+        events.push_back(ev);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  if (events.size() > last_n) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(last_n));
+  }
+  return events;
+}
+
+void FlightRecorder::dump_text(std::ostream& out, std::size_t last_n) const {
+  const std::vector<Event> events = merged(last_n);
+  out << "== flight recorder: last " << events.size() << " of " << recorded()
+      << " events ==\n";
+  for (const Event& ev : events) {
+    out << "  #" << std::setw(8) << std::left << ev.seq << " t="
+        << std::setw(12) << std::left << json_double(to_seconds_f(ev.time))
+        << " thread=" << ev.thread << "  " << std::setw(18) << std::left
+        << flight_event_name(ev.kind) << " a=" << ev.a << " b=" << ev.b
+        << "\n";
+  }
+}
+
+void FlightRecorder::dump_json(std::ostream& out, std::size_t last_n) const {
+  const std::vector<Event> events = merged(last_n);
+  out << "{\"recorded\": " << recorded() << ", \"events\": [";
+  bool first = true;
+  for (const Event& ev : events) {
+    out << (first ? "\n  " : ",\n  ");
+    first = false;
+    out << "{\"seq\": " << ev.seq
+        << ", \"t\": " << json_double(to_seconds_f(ev.time))
+        << ", \"thread\": " << ev.thread << ", \"kind\": ";
+    json_string(out, flight_event_name(ev.kind));
+    out << ", \"a\": " << ev.a << ", \"b\": " << ev.b << "}";
+  }
+  out << (first ? "" : "\n") << "]}\n";
+}
+
+}  // namespace dtr::obs

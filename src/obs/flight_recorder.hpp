@@ -1,0 +1,120 @@
+// Flight recorder: a lock-free, per-thread bounded ring of the last N
+// pipeline events, for post-mortems.
+//
+// When a ten-week capture misbehaves — a loss burst, a malformed-frame
+// storm, a stage stall — the counters say *that* it happened but not what
+// led up to it.  The flight recorder keeps the most recent events (frame
+// accepted/dropped, decode reject with reason, buffer high-water crossing,
+// stage stall, pipeline error) in per-thread rings and can dump a merged,
+// time-ordered post-mortem as text or JSON.
+//
+// Cost model:
+//   * Disabled (the component's `FlightRecorder*` is nullptr): one
+//     predictable branch per event — the same contract as the metrics and
+//     logging layers.
+//   * Enabled: one relaxed fetch_add on a global sequence counter plus a
+//     handful of relaxed stores into the calling thread's own ring — a few
+//     nanoseconds, no locks, no allocation after the ring exists.
+//
+// Rings are registered per (thread, recorder) on first use behind a mutex
+// and found through a thread-local cache afterwards.  Slots are seqlock-
+// style: the writer invalidates, fills, then publishes with a release
+// store, so a dump taken while threads are still recording skips events
+// caught mid-write instead of reading torn values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace dtr::obs {
+
+enum class FlightEvent : std::uint8_t {
+  kFrameAccepted = 0,   ///< a=buffer occupancy after accept
+  kFrameDropped,        ///< a=buffer occupancy, b=total dropped so far
+  kDecodeReject,        ///< a=proto::DecodeError code (0 below the eDonkey
+                        ///< layer), b=layer tag (decoder-defined)
+  kBufferHighWater,     ///< a=new high-water occupancy, b=capacity
+  kReassemblyExpired,   ///< a=IP identification, b=fragments dropped
+  kStageStall,          ///< a=queue depth, b=worker index (parallel only)
+  kPipelineError,       ///< stage identified by the paired error log
+  kMark,                ///< free-form caller marker
+};
+
+/// Stable dash-case name ("frame-dropped", "decode-reject", ...).
+const char* flight_event_name(FlightEvent kind);
+
+class FlightRecorder {
+ public:
+  /// `per_thread_capacity` is rounded up to a power of two, min 16.
+  explicit FlightRecorder(std::size_t per_thread_capacity = 1024);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightEvent kind, SimTime time, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  /// Total events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return seq_.load(std::memory_order_relaxed) - 1;
+  }
+
+  struct Event {
+    std::uint64_t seq = 0;  ///< global order of recording (1-based)
+    SimTime time = 0;
+    FlightEvent kind = FlightEvent::kMark;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t thread = 0;  ///< ring id of the recording thread
+    bool operator==(const Event&) const = default;
+  };
+
+  /// The surviving events from every thread's ring, merged into recording
+  /// order (ascending seq), truncated to the most recent `last_n`.
+  [[nodiscard]] std::vector<Event> merged(
+      std::size_t last_n = static_cast<std::size_t>(-1)) const;
+
+  /// Human-readable post-mortem ("== flight recorder ==" table).
+  void dump_text(std::ostream& out, std::size_t last_n = 64) const;
+  /// Machine-readable post-mortem: {"recorded": N, "events": [...]}\n —
+  /// valid JSON (checked by `donkeytrace jsoncheck` in the smoke test).
+  void dump_json(std::ostream& out, std::size_t last_n = 64) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = empty / being written
+    std::atomic<std::uint64_t> time{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint8_t> kind{0};
+  };
+  struct Ring {
+    explicit Ring(std::size_t n) : slots(n) {}
+    std::vector<Slot> slots;
+    std::uint64_t head = 0;  // owner-thread-only write index
+    std::uint32_t id = 0;
+  };
+
+  Ring& this_thread_ring();
+
+  const std::size_t capacity_;     // power of two
+  const std::uint64_t instance_;   // distinguishes recorders in TLS cache
+  std::atomic<std::uint64_t> seq_{1};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Null-tolerant helper, mirroring obs::inc: disabled recording is one
+/// branch, nothing more.
+inline void record(FlightRecorder* recorder, FlightEvent kind, SimTime time,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+  if (recorder != nullptr) recorder->record(kind, time, a, b);
+}
+
+}  // namespace dtr::obs

@@ -1,0 +1,212 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dtr::obs {
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips.
+  char shorter[32];
+  for (int prec = 1; prec < 17; ++prec) {
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON reader: validates, never builds a tree.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool check() {
+    skip_ws();
+    if (!value(0)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth || eof()) return false;
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    take();  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') { take(); return true; }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"' || !string()) return false;
+      skip_ws();
+      if (eof() || take() != ':') return false;
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return false;
+      char c = take();
+      if (c == '}') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  bool array(int depth) {
+    take();  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') { take(); return true; }
+    while (true) {
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return false;
+      char c = take();
+      if (c == ']') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  bool string() {
+    take();  // '"'
+    while (!eof()) {
+      unsigned char c = static_cast<unsigned char>(take());
+      if (c == '"') return true;
+      if (c < 0x20) return false;  // raw control character: invalid JSON
+      if (c == '\\') {
+        if (eof()) return false;
+        char e = take();
+        switch (e) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (eof() || !std::isxdigit(static_cast<unsigned char>(take()))) {
+                return false;
+              }
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    std::size_t digits = 0;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    // No leading zeros: "0" is fine, "01" is not.
+    if (digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      digits = 0;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      digits = 0;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return JsonChecker(text).check(); }
+
+bool jsonl_valid(std::string_view text) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && !json_valid(line)) return false;
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace dtr::obs

@@ -1,0 +1,31 @@
+// Shared JSON primitives for the telemetry outputs (metrics snapshots,
+// time-series files, flight-recorder dumps) plus a minimal validating
+// parser used by tests and the `donkeytrace jsoncheck` command to catch
+// escaping regressions end to end.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace dtr::obs {
+
+/// Shortest decimal that round-trips the double — JSON-safe for the finite
+/// values telemetry produces (no inf/nan enters a snapshot).
+std::string json_double(double v);
+
+/// Write `s` as a JSON string literal: quotes and backslashes escaped,
+/// control characters (< 0x20) as \n/\t/\r/\b/\f or \u00XX.
+void json_string(std::ostream& out, std::string_view s);
+
+/// True iff `text` is exactly one valid JSON value (object, array, string,
+/// number, true/false/null) with nothing but whitespace around it.
+/// Deliberately strict about the things our emitters can get wrong:
+/// raw control characters inside strings, bad escapes, trailing garbage.
+bool json_valid(std::string_view text);
+
+/// True iff every non-empty line of `text` is a valid JSON value — the
+/// JSONL contract of the time-series files.
+bool jsonl_valid(std::string_view text);
+
+}  // namespace dtr::obs

@@ -1,38 +1,35 @@
 #include "obs/snapshot.hpp"
 
-#include <cstdio>
+#include <algorithm>
 #include <iomanip>
+
+#include "obs/json.hpp"
 
 namespace dtr::obs {
 
-namespace {
-
-/// Shortest decimal that round-trips the double — JSON-safe (no inf/nan
-/// enters a snapshot: bounds and sums come from finite observations).
-std::string json_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer the shorter %g form when it round-trips.
-  char shorter[32];
-  for (int prec = 1; prec < 17; ++prec) {
-    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-    double back = 0.0;
-    std::sscanf(shorter, "%lf", &back);
-    if (back == v) return shorter;
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Rank lands in the overflow bucket: the best defensible answer is
+      // the largest finite edge (matches histogram_quantile semantics).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (buckets[i] == 0) return upper;
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * within;
   }
-  return buf;
+  return bounds.empty() ? 0.0 : bounds.back();
 }
-
-void json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') out << '\\';
-    out << c;
-  }
-  out << '"';
-}
-
-}  // namespace
 
 std::uint64_t Snapshot::counter(const std::string& name) const {
   auto it = counters.find(name);
@@ -62,6 +59,11 @@ void Snapshot::render_table(std::ostream& out) const {
   for (const auto& [name, h] : histograms) {
     out << "  " << std::left << std::setw(static_cast<int>(width)) << name
         << "  count=" << h.count << " sum=" << json_double(h.sum);
+    if (h.count > 0) {
+      out << " p50=" << json_double(h.quantile(0.5))
+          << " p95=" << json_double(h.quantile(0.95))
+          << " p99=" << json_double(h.quantile(0.99));
+    }
     // The non-empty buckets, compactly: le<bound>:<count>.
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (h.buckets[i] == 0) continue;

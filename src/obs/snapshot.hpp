@@ -19,6 +19,13 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
 
   bool operator==(const HistogramSnapshot&) const = default;
+
+  /// Quantile estimate by linear interpolation within the bucket holding
+  /// rank q*count (Prometheus-style): the first bucket interpolates from 0,
+  /// a rank landing in the overflow bucket returns the largest finite
+  /// bound.  q is clamped to [0, 1]; an empty histogram returns 0.
+  /// Deterministic — it reads only the bucket counts, never the sum.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 struct Snapshot {

@@ -1,0 +1,199 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace dtr::obs {
+
+namespace {
+
+bool starts_with_any(const std::string& name,
+                     const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&name](const std::string& p) {
+                       return name.compare(0, p.size(), p) == 0;
+                     });
+}
+
+std::string quantile_label(double q) {
+  // 0.5 -> "p50", 0.95 -> "p95", 0.999 -> "p99.9".
+  double pct = q * 100.0;
+  auto rounded = static_cast<std::uint64_t>(pct);
+  if (static_cast<double>(rounded) == pct) {
+    return "p" + std::to_string(rounded);
+  }
+  std::string s = json_double(pct);
+  return "p" + s;
+}
+
+}  // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(const Registry& registry,
+                                       TimeSeriesOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.interval == 0) options_.interval = kSecond;
+  next_ = options_.interval;
+}
+
+bool TimeSeriesRecorder::included(const std::string& name) const {
+  if (!options_.include_prefixes.empty() &&
+      !starts_with_any(name, options_.include_prefixes)) {
+    return false;
+  }
+  return !starts_with_any(name, options_.exclude_prefixes);
+}
+
+Snapshot TimeSeriesRecorder::filtered_snapshot() const {
+  Snapshot full = registry_.snapshot();
+  Snapshot kept;
+  for (auto& [name, v] : full.counters) {
+    if (included(name)) kept.counters.emplace(name, v);
+  }
+  for (auto& [name, v] : full.gauges) {
+    if (included(name)) kept.gauges.emplace(name, v);
+  }
+  for (auto& [name, h] : full.histograms) {
+    if (included(name)) kept.histograms.emplace(name, std::move(h));
+  }
+  return kept;
+}
+
+void TimeSeriesRecorder::sample() {
+  Snapshot snap = filtered_snapshot();
+  const SimTime boundary = next_;
+  next_ += options_.interval;
+  if (options_.store_only_on_change && snap.counters == last_stored_.counters) {
+    return;
+  }
+  samples_.push_back(Sample{boundary, snap});
+  last_stored_ = std::move(snap);
+}
+
+void TimeSeriesRecorder::finish(SimTime end) {
+  while (next_ <= end) sample();
+}
+
+std::vector<std::pair<SimTime, std::uint64_t>>
+TimeSeriesRecorder::counter_deltas(const std::string& name) const {
+  std::vector<std::pair<SimTime, std::uint64_t>> out;
+  out.reserve(samples_.size());
+  std::uint64_t previous = 0;
+  for (const Sample& s : samples_) {
+    const std::uint64_t value = s.snapshot.counter(name);
+    out.emplace_back(s.time, value - previous);
+    previous = value;
+  }
+  return out;
+}
+
+void TimeSeriesRecorder::write_jsonl(std::ostream& out) const {
+  const Snapshot* previous = nullptr;
+  for (const Sample& s : samples_) {
+    out << "{\"t\": " << json_double(to_seconds_f(s.time))
+        << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : s.snapshot.counters) {
+      const std::uint64_t prev =
+          previous == nullptr ? 0 : previous->counter(name);
+      out << (first ? "" : ", ");
+      first = false;
+      json_string(out, name);
+      out << ": {\"v\": " << value << ", \"d\": " << value - prev << "}";
+    }
+    out << "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : s.snapshot.gauges) {
+      out << (first ? "" : ", ");
+      first = false;
+      json_string(out, name);
+      out << ": " << value;
+    }
+    out << "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : s.snapshot.histograms) {
+      std::uint64_t prev_count = 0;
+      if (previous != nullptr) {
+        auto it = previous->histograms.find(name);
+        if (it != previous->histograms.end()) prev_count = it->second.count;
+      }
+      out << (first ? "" : ", ");
+      first = false;
+      json_string(out, name);
+      out << ": {\"count\": " << h.count << ", \"d\": " << h.count - prev_count;
+      for (double q : options_.quantiles) {
+        out << ", \"" << quantile_label(q) << "\": "
+            << json_double(h.quantile(q));
+      }
+      out << "}";
+    }
+    out << "}}\n";
+    previous = &s.snapshot;
+  }
+}
+
+void TimeSeriesRecorder::write_csv(std::ostream& out) const {
+  // Column union across samples, in sorted name order per instrument class.
+  std::map<std::string, char> columns;  // name -> 'c' / 'g' / 'h'
+  for (const Sample& s : samples_) {
+    for (const auto& [name, v] : s.snapshot.counters) columns[name] = 'c';
+    for (const auto& [name, v] : s.snapshot.gauges) columns[name] = 'g';
+    for (const auto& [name, h] : s.snapshot.histograms) columns[name] = 'h';
+  }
+
+  out << "t";
+  for (const auto& [name, type] : columns) {
+    switch (type) {
+      case 'c': out << "," << name << "," << name << ".delta"; break;
+      case 'g': out << "," << name; break;
+      case 'h':
+        out << "," << name << ".count," << name << ".count.delta";
+        for (double q : options_.quantiles) {
+          out << "," << name << "." << quantile_label(q);
+        }
+        break;
+    }
+  }
+  out << "\n";
+
+  const Snapshot* previous = nullptr;
+  for (const Sample& s : samples_) {
+    out << json_double(to_seconds_f(s.time));
+    for (const auto& [name, type] : columns) {
+      switch (type) {
+        case 'c': {
+          const std::uint64_t value = s.snapshot.counter(name);
+          const std::uint64_t prev =
+              previous == nullptr ? 0 : previous->counter(name);
+          out << "," << value << "," << value - prev;
+          break;
+        }
+        case 'g':
+          out << "," << s.snapshot.gauge(name);
+          break;
+        case 'h': {
+          auto it = s.snapshot.histograms.find(name);
+          static const HistogramSnapshot kEmpty;
+          const HistogramSnapshot& h =
+              it == s.snapshot.histograms.end() ? kEmpty : it->second;
+          std::uint64_t prev_count = 0;
+          if (previous != nullptr) {
+            auto pit = previous->histograms.find(name);
+            if (pit != previous->histograms.end()) {
+              prev_count = pit->second.count;
+            }
+          }
+          out << "," << h.count << "," << h.count - prev_count;
+          for (double q : options_.quantiles) {
+            out << "," << json_double(h.quantile(q));
+          }
+          break;
+        }
+      }
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace dtr::obs

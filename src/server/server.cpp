@@ -45,10 +45,16 @@ proto::Message EdonkeyServer::answer_server_list() const {
   return res;
 }
 
-proto::Message EdonkeyServer::answer_search(const proto::FileSearchReq& q) {
+proto::Message EdonkeyServer::answer_search(const proto::FileSearchReq& q,
+                                            SimTime now) {
   ++stats_.searches;
   proto::FileSearchRes res;
   std::vector<FileId> ids = index_.search(*q.expr, config_.max_search_results);
+  if (ids.size() >= config_.max_search_results) {
+    DTR_LOG_DEBUG(log_, "server", now,
+                  "search answer capped at " << config_.max_search_results
+                                             << " results");
+  }
   res.results.reserve(ids.size());
   for (const FileId& id : ids) {
     const FileRecord* record = index_.find(id);
@@ -72,7 +78,7 @@ proto::Message EdonkeyServer::answer_search(const proto::FileSearchReq& q) {
 }
 
 std::vector<proto::Message> EdonkeyServer::answer_sources(
-    const proto::GetSourcesReq& q) {
+    const proto::GetSourcesReq& q, SimTime now) {
   ++stats_.source_requests;
   std::vector<proto::Message> answers;
   for (const FileId& id : q.file_ids) {
@@ -85,6 +91,12 @@ std::vector<proto::Message> EdonkeyServer::answer_sources(
     res.file_id = id;
     std::size_t n =
         std::min(record->sources.size(), config_.max_sources_per_answer);
+    if (n < record->sources.size()) {
+      DTR_LOG_DEBUG(log_, "server", now,
+                    "source answer truncated to "
+                        << n << " of " << record->sources.size()
+                        << " known sources");
+    }
     res.sources.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       res.sources.push_back(
@@ -133,9 +145,9 @@ std::vector<proto::Message> EdonkeyServer::handle(proto::ClientId client_ip,
   } else if (std::holds_alternative<proto::GetServerList>(query)) {
     answers.push_back(answer_server_list());
   } else if (const auto* q = std::get_if<proto::FileSearchReq>(&query)) {
-    answers.push_back(answer_search(*q));
+    answers.push_back(answer_search(*q, now));
   } else if (const auto* q = std::get_if<proto::GetSourcesReq>(&query)) {
-    answers = answer_sources(*q);
+    answers = answer_sources(*q, now);
   } else if (const auto* q = std::get_if<proto::PublishReq>(&query)) {
     answers.push_back(accept_publish(client_ip, client_port, *q));
   }

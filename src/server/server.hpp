@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "obs/log.hpp"
 #include "proto/messages.hpp"
 #include "server/index.hpp"
 
@@ -64,6 +65,10 @@ class EdonkeyServer {
   /// Register the file index's `server.index.*` instruments in `registry`.
   void bind_metrics(obs::Registry& registry) { index_.bind_metrics(registry); }
 
+  /// Attach a logger (may be null): answers truncated by protocol caps
+  /// (search-result and per-answer source limits) log at debug.
+  void bind_telemetry(obs::Logger* log) { log_ = log; }
+
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const FileIndex& index() const { return index_; }
   [[nodiscard]] std::uint32_t user_count() const {
@@ -74,8 +79,9 @@ class EdonkeyServer {
   proto::Message answer_stat(const proto::ServStatReq& q);
   proto::Message answer_desc() const;
   proto::Message answer_server_list() const;
-  proto::Message answer_search(const proto::FileSearchReq& q);
-  std::vector<proto::Message> answer_sources(const proto::GetSourcesReq& q);
+  proto::Message answer_search(const proto::FileSearchReq& q, SimTime now);
+  std::vector<proto::Message> answer_sources(const proto::GetSourcesReq& q,
+                                             SimTime now);
   proto::Message accept_publish(proto::ClientId client,
                                 std::uint16_t client_port,
                                 const proto::PublishReq& q);
@@ -87,6 +93,7 @@ class EdonkeyServer {
   std::unordered_map<proto::ClientId, SimTime> seen_clients_;
   std::unordered_map<proto::ClientId, std::uint64_t> published_count_;
   proto::ClientId next_low_id_ = 1;
+  obs::Logger* log_ = nullptr;
 };
 
 }  // namespace dtr::server

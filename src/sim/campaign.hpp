@@ -94,6 +94,9 @@ class CampaignSimulator {
   /// `registry` (the simulator owns the server the campaign talks to).
   void bind_metrics(obs::Registry& registry) { server_.bind_metrics(registry); }
 
+  /// Attach a logger to the embedded server (may be null).
+  void bind_telemetry(obs::Logger* log) { server_.bind_telemetry(log); }
+
   [[nodiscard]] const GroundTruth& truth() const { return truth_; }
   [[nodiscard]] const server::EdonkeyServer& server() const { return server_; }
   [[nodiscard]] const workload::FileCatalog& catalog() const {

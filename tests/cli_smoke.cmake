@@ -1,10 +1,15 @@
 # CLI smoke test: run a tiny campaign (on the parallel pipeline, with a
-# metrics snapshot), write a compressed dataset, then analyze it (which
-# validates it against the formal spec first).
+# metrics snapshot, a time series, and a flight dump), write a compressed
+# dataset, then analyze it (which validates it against the formal spec
+# first).  Every JSON artifact must pass the tool's own jsoncheck, and the
+# time series must be byte-identical across two same-seed runs.
 execute_process(
   COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
           --hours 3 --workers 2 --xml smoke.xml.dtz
           --metrics-out smoke_metrics.json
+          --metrics-interval 1800
+          --series-out smoke_series.jsonl --series-csv smoke_series.csv
+          --flight-dump smoke_flight.json --log-level warn
   WORKING_DIRECTORY ${WORKDIR}
   RESULT_VARIABLE rc_campaign)
 if(NOT rc_campaign EQUAL 0)
@@ -19,6 +24,60 @@ if(NOT metrics_json MATCHES "decode\\.messages")
 endif()
 if(NOT metrics_json MATCHES "capture\\.dropped")
   message(FATAL_ERROR "metrics JSON missing capture.dropped counter")
+endif()
+
+foreach(artifact smoke_series.jsonl smoke_series.csv smoke_flight.json)
+  if(NOT EXISTS ${WORKDIR}/${artifact})
+    message(FATAL_ERROR "campaign did not write ${artifact}")
+  endif()
+endforeach()
+file(READ ${WORKDIR}/smoke_series.jsonl series_jsonl)
+if(NOT series_jsonl MATCHES "decode\\.frames")
+  message(FATAL_ERROR "series JSONL missing decode.frames")
+endif()
+file(READ ${WORKDIR}/smoke_flight.json flight_json)
+if(NOT flight_json MATCHES "\"recorded\"")
+  message(FATAL_ERROR "flight dump missing recorded count")
+endif()
+
+# The tool validates its own JSON artifacts (the escaping fix is what makes
+# this pass for arbitrary decode-error text).
+execute_process(
+  COMMAND ${DONKEYTRACE} jsoncheck smoke_metrics.json smoke_series.jsonl
+          smoke_flight.json
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_jsoncheck)
+if(NOT rc_jsoncheck EQUAL 0)
+  message(FATAL_ERROR "donkeytrace jsoncheck failed: ${rc_jsoncheck}")
+endif()
+
+# Same seed, second run: the time series (JSONL and CSV) must be
+# byte-identical — the recorder's determinism contract, end to end through
+# the CLI.  (The metrics snapshot is not compared: span.* histograms are
+# wall-clock-valued.)
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2
+          --metrics-interval 1800
+          --series-out smoke_series2.jsonl --series-csv smoke_series2.csv
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_campaign2)
+if(NOT rc_campaign2 EQUAL 0)
+  message(FATAL_ERROR "second donkeytrace campaign failed: ${rc_campaign2}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/smoke_series.jsonl ${WORKDIR}/smoke_series2.jsonl
+  RESULT_VARIABLE rc_series_cmp)
+if(NOT rc_series_cmp EQUAL 0)
+  message(FATAL_ERROR "series JSONL differs between same-seed runs")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/smoke_series.csv ${WORKDIR}/smoke_series2.csv
+  RESULT_VARIABLE rc_csv_cmp)
+if(NOT rc_csv_cmp EQUAL 0)
+  message(FATAL_ERROR "series CSV differs between same-seed runs")
 endif()
 
 execute_process(

@@ -247,5 +247,71 @@ TEST(Registry, ConcurrentRegistrationAndRecording) {
             static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
+TEST(HistogramQuantile, EmptyAndClamping) {
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.buckets = {0, 0, 0};
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+
+  h.buckets = {4, 0, 0};
+  h.count = 4;
+  // q clamped into [0, 1]: out-of-range asks behave like the endpoints.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, LinearInterpolationWithinBucket) {
+  // 10 observations uniformly credited to the (1, 2] bucket: rank q*10
+  // lands 1 + (q*10/10) of the way through [1, 2].
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.buckets = {0, 10, 0, 0};
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 1.95);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.99);
+  // First bucket interpolates from 0.
+  HistogramSnapshot lo;
+  lo.bounds = {8.0};
+  lo.buckets = {4, 0};
+  lo.count = 4;
+  EXPECT_DOUBLE_EQ(lo.quantile(0.5), 4.0);
+}
+
+TEST(HistogramQuantile, PinsP50P95P99AcrossBuckets) {
+  // 100 observations: 50 in (0,1], 40 in (1,2], 10 in (2,4].
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.buckets = {50, 40, 10, 0};
+  h.count = 100;
+  // rank 50 is exactly the end of bucket 0 -> 0 + 1.0 * (50/50).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // rank 95 -> bucket 2 covers ranks (90, 100]: 2 + 2 * (5/10).
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 3.0);
+  // rank 99 -> 2 + 2 * (9/10).
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.8);
+}
+
+TEST(HistogramQuantile, OverflowBucketReturnsLargestFiniteBound) {
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.buckets = {1, 1, 8};  // most mass beyond the last bound
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(HistogramQuantile, MatchesRegistryHistogram) {
+  // End to end through a real instrument: 1..100 into decade buckets.
+  Registry r;
+  Histogram& h = r.histogram("q.test", {10.0, 50.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  HistogramSnapshot snap = r.snapshot().histograms.at("q.test");
+  // rank 25 lands in (10, 50] holding ranks (10, 50]: 10 + 40 * (15/40).
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 50.0);
+  EXPECT_GT(snap.quantile(0.95), 50.0);
+  EXPECT_LE(snap.quantile(0.99), 100.0);
+}
+
 }  // namespace
 }  // namespace dtr::obs

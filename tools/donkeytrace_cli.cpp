@@ -20,8 +20,12 @@
 #include "analysis/report.hpp"
 #include "cli_args.hpp"
 #include "core/donkeytrace.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/timeseries.hpp"
 #include "xmlio/compress.hpp"
 
 namespace {
@@ -44,12 +48,25 @@ commands:
               --xml PATH[.dtz]  (or positional path)
   compress    LZSS-compress a file   (positional path, adds .dtz)
   decompress  expand a .dtz file     (positional path, strips .dtz)
+  jsoncheck   validate JSON (or per-line JSONL) artifacts
+              (positional paths; .jsonl files are checked line by line)
 
-metrics (campaign and decode):
+telemetry (campaign and decode):
   --metrics-out PATH      write a JSON metrics snapshot after the run
-  --metrics-interval S    every S simulated seconds, print a metrics
-                          table to stderr (deterministic: driven by
-                          event/frame timestamps, not wall clock)
+  --metrics-interval S    sample every S simulated seconds: print a
+                          metrics table to stderr and set the series
+                          interval (deterministic: driven by event/frame
+                          timestamps, not wall clock)
+  --series-out PATH       write the metrics time series as JSONL (one
+                          sample per interval; default interval 1 hour)
+  --series-csv PATH       write the same series as wide CSV
+  --log-level LEVEL       enable structured logs on stderr at
+                          debug|info|warn|error (rate-limited per
+                          simulated time; off when omitted)
+  --flight-dump PATH      write the flight-recorder post-mortem (JSON,
+                          "-" = stderr as text) after the run; written
+                          automatically when the pipeline fails
+  --flight-events N       per-thread flight ring capacity (default 1024)
 )";
   return 2;
 }
@@ -150,6 +167,97 @@ bool write_metrics_json(const obs::Registry& registry,
   return static_cast<bool>(out);
 }
 
+/// The telemetry channels behind the shared campaign/decode flags
+/// (--series-out/--series-csv/--log-level/--flight-dump/--flight-events).
+struct Telemetry {
+  obs::StreamSink log_sink{std::cerr};
+  obs::Logger logger;
+  bool log_enabled = false;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::TimeSeriesRecorder> series;
+  std::string series_path;
+  std::string series_csv_path;
+  std::string flight_path;
+
+  obs::Logger* log() { return log_enabled ? &logger : nullptr; }
+};
+
+/// Parse the telemetry flags; returns a usage error code or 0.
+/// `always_flight` forces a flight recorder even without --flight-dump so
+/// a failing run can still produce a post-mortem.
+int setup_telemetry(const cli::Args& args, const obs::Registry& registry,
+                    double metrics_interval, bool always_flight,
+                    Telemetry& t) {
+  t.series_path = args.get("series-out");
+  t.series_csv_path = args.get("series-csv");
+  t.flight_path = args.get("flight-dump");
+  std::string level_name = args.get("log-level");
+  if (!level_name.empty()) {
+    obs::LogLevel level;
+    if (!obs::parse_log_level(level_name, level)) {
+      std::cerr << "unknown log level: " << level_name << "\n";
+      return 2;
+    }
+    t.logger.set_level(level);
+    t.logger.set_sink(&t.log_sink);
+    t.log_enabled = true;
+  }
+  if (always_flight || !t.flight_path.empty()) {
+    t.flight = std::make_unique<obs::FlightRecorder>(
+        args.get_u64("flight-events", 1024));
+  }
+  if (!t.series_path.empty() || !t.series_csv_path.empty()) {
+    obs::TimeSeriesOptions options;
+    options.interval = metrics_interval > 0.0
+                           ? static_cast<SimTime>(metrics_interval * kSecond)
+                           : kHour;
+    t.series = std::make_unique<obs::TimeSeriesRecorder>(registry, options);
+  }
+  return 0;
+}
+
+/// Write the recorded series to the requested JSONL/CSV paths.
+bool write_series_files(const Telemetry& t) {
+  if (!t.series) return true;
+  if (!t.series_path.empty()) {
+    std::ofstream out(t.series_path);
+    if (!out) return false;
+    t.series->write_jsonl(out);
+    if (!out) return false;
+    std::cout << "wrote " << t.series_path << " ("
+              << t.series->samples().size() << " samples)\n";
+  }
+  if (!t.series_csv_path.empty()) {
+    std::ofstream out(t.series_csv_path);
+    if (!out) return false;
+    t.series->write_csv(out);
+    if (!out) return false;
+    std::cout << "wrote " << t.series_csv_path << " ("
+              << t.series->samples().size() << " samples)\n";
+  }
+  return true;
+}
+
+/// Dump the flight recorder: JSON to the --flight-dump path, or text to
+/// stderr when the path is "-" (or when dumping a failure post-mortem
+/// without an explicit path).
+bool dump_flight(const Telemetry& t) {
+  if (!t.flight) return true;
+  // Dump every surviving event (the rings bound the total): a mid-run
+  // failure keeps draining frames afterwards, so a tail-truncated dump
+  // could show only post-failure traffic and miss the error itself.
+  constexpr auto kAll = static_cast<std::size_t>(-1);
+  if (t.flight_path.empty() || t.flight_path == "-") {
+    t.flight->dump_text(std::cerr, kAll);
+    return true;
+  }
+  std::ofstream out(t.flight_path);
+  if (!out) return false;
+  t.flight->dump_json(out, kAll);
+  if (out) std::cout << "wrote " << t.flight_path << " (flight dump)\n";
+  return static_cast<bool>(out);
+}
+
 void print_dataset_summary(const analysis::CampaignStats& stats) {
   analysis::print_table(
       std::cout, "dataset",
@@ -210,8 +318,17 @@ int cmd_campaign(const cli::Args& args) {
   obs::Registry registry;
   std::string metrics_path = args.get("metrics-out");
   double metrics_interval = args.get_f64("metrics-interval", 0.0);
+  Telemetry telemetry;
+  // A campaign always carries a flight recorder: a mid-run pipeline
+  // failure must leave a post-mortem even when --flight-dump was not
+  // anticipated.
+  if (int rc = setup_telemetry(args, registry, metrics_interval,
+                               /*always_flight=*/true, telemetry)) {
+    return rc;
+  }
   std::unique_ptr<MetricsTicker> ticker;
-  if (!metrics_path.empty() || metrics_interval > 0.0) {
+  if (!metrics_path.empty() || metrics_interval > 0.0 ||
+      telemetry.series != nullptr) {
     cfg.metrics = &registry;
   }
   if (metrics_interval > 0.0) {
@@ -222,9 +339,18 @@ int cmd_campaign(const cli::Args& args) {
       ticker->tick(ev.time);
     };
   }
+  cfg.log = telemetry.log();
+  cfg.flight = telemetry.flight.get();
+  cfg.series = telemetry.series.get();
 
   core::CampaignRunner runner(cfg);
   core::CampaignReport report = runner.run();
+
+  if (!report.pipeline.ok()) {
+    std::cerr << "pipeline failed: " << report.pipeline.error << "\n";
+    dump_flight(telemetry);
+    return 1;
+  }
 
   analysis::print_table(
       std::cout, "campaign",
@@ -248,6 +374,14 @@ int cmd_campaign(const cli::Args& args) {
   }
   if (!metrics_path.empty() && !write_metrics_json(registry, metrics_path)) {
     std::cerr << "cannot write " << metrics_path << "\n";
+    return 1;
+  }
+  if (!write_series_files(telemetry)) {
+    std::cerr << "cannot write series files\n";
+    return 1;
+  }
+  if (!telemetry.flight_path.empty() && !dump_flight(telemetry)) {
+    std::cerr << "cannot write " << telemetry.flight_path << "\n";
     return 1;
   }
   return 0;
@@ -293,12 +427,20 @@ int cmd_decode(const cli::Args& args) {
   obs::Registry registry;
   std::string metrics_path = args.get("metrics-out");
   double metrics_interval = args.get_f64("metrics-interval", 0.0);
+  Telemetry telemetry;
+  if (int rc = setup_telemetry(args, registry, metrics_interval,
+                               /*always_flight=*/false, telemetry)) {
+    return rc;
+  }
   std::unique_ptr<MetricsTicker> ticker;
-  if (!metrics_path.empty() || metrics_interval > 0.0) {
+  if (!metrics_path.empty() || metrics_interval > 0.0 ||
+      telemetry.series != nullptr) {
     decoder.bind_metrics(registry);
     anonymiser.bind_metrics(registry);
     stats.bind_metrics(registry);
   }
+  decoder.bind_telemetry(telemetry.log(), telemetry.flight.get());
+  anonymiser.bind_telemetry(telemetry.log());
   if (metrics_interval > 0.0) {
     ticker = std::make_unique<MetricsTicker>(registry, metrics_interval);
   }
@@ -306,6 +448,11 @@ int cmd_decode(const cli::Args& args) {
   std::uint64_t frames = 0;
   SimTime last = 0;
   while (auto rec = reader.next()) {
+    // Offline replay is single-threaded, so sampling straight off the frame
+    // timestamp is already exact — no pipeline to quiesce.
+    while (telemetry.series && telemetry.series->due(rec->timestamp)) {
+      telemetry.series->sample();
+    }
     decoder.push(sim::TimedFrame{rec->timestamp, rec->data});
     last = rec->timestamp;
     ++frames;
@@ -313,6 +460,7 @@ int cmd_decode(const cli::Args& args) {
   }
   decoder.finish(last);
   if (writer) writer->finish();
+  if (telemetry.series) telemetry.series->finish(last);
 
   const decode::DecodeStats& d = decoder.stats();
   analysis::print_table(
@@ -332,6 +480,14 @@ int cmd_decode(const cli::Args& args) {
   }
   if (!metrics_path.empty() && !write_metrics_json(registry, metrics_path)) {
     std::cerr << "cannot write " << metrics_path << "\n";
+    return 1;
+  }
+  if (!write_series_files(telemetry)) {
+    std::cerr << "cannot write series files\n";
+    return 1;
+  }
+  if (!telemetry.flight_path.empty() && !dump_flight(telemetry)) {
+    std::cerr << "cannot write " << telemetry.flight_path << "\n";
     return 1;
   }
   return 0;
@@ -413,6 +569,34 @@ int cmd_compress(const cli::Args& args, bool compress) {
   return 0;
 }
 
+int cmd_jsoncheck(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "jsoncheck: at least one path required\n";
+    return 2;
+  }
+  int rc = 0;
+  for (const std::string& path : args.positional()) {
+    auto data = read_file(path);
+    if (!data) {
+      std::cerr << path << ": cannot read\n";
+      rc = 1;
+      continue;
+    }
+    std::string_view text(reinterpret_cast<const char*>(data->data()),
+                          data->size());
+    const bool jsonl = ends_with(path, ".jsonl");
+    const bool valid =
+        jsonl ? obs::jsonl_valid(text) : obs::json_valid(text);
+    if (valid) {
+      std::cout << path << ": valid " << (jsonl ? "JSONL" : "JSON") << "\n";
+    } else {
+      std::cerr << path << ": INVALID " << (jsonl ? "JSONL" : "JSON") << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -429,6 +613,8 @@ int main(int argc, char** argv) {
     rc = cmd_compress(args, true);
   } else if (args.command() == "decompress") {
     rc = cmd_compress(args, false);
+  } else if (args.command() == "jsoncheck") {
+    rc = cmd_jsoncheck(args);
   } else {
     return usage();
   }
