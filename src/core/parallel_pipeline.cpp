@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/rng.hpp"
+#include "core/server_pool.hpp"
 
 namespace dtr::core {
 
@@ -104,6 +105,7 @@ void ParallelCapturePipeline::flush() {
   while (results_merged_.load(std::memory_order_acquire) < next_seq_) {
     std::this_thread::sleep_for(std::chrono::microseconds(20));
   }
+  if (config_.replay != nullptr) config_.replay->drain();
 }
 
 void ParallelCapturePipeline::fail(const char* stage, SimTime time,
@@ -163,6 +165,11 @@ void ParallelCapturePipeline::merge_loop() {
           stats_.consume(event);
           if (config_.extra_sink) config_.extra_sink(event);
           if (xml_) xml_->write(event);
+          if (config_.replay != nullptr && from_client) {
+            config_.replay->submit(ServerQuery{msg.src_ip, msg.src_port,
+                                               std::move(msg.message),
+                                               msg.time});
+          }
         }
       } catch (const std::exception& e) {
         failed = true;  // keep consuming results so flush() never hangs
@@ -218,6 +225,7 @@ PipelineResult ParallelCapturePipeline::finish() {
     for (auto& worker : workers_) worker->thread.join();
     merge_queue_.close();
     merge_thread_.join();
+    if (config_.replay != nullptr) config_.replay->drain();
     if (xml_) xml_->finish();
     for (auto& worker : workers_) {
       accumulate(total_decode_, worker->decoder->stats());

@@ -55,6 +55,10 @@ struct ParallelPipelineConfig {
   /// Optional flight recorder; each worker records into its own
   /// per-thread ring (may be null).
   obs::FlightRecorder* flight = nullptr;
+  /// Optional shadow-serving pool (see PipelineConfig::replay): decoded
+  /// client->server queries are resubmitted, in merge order, to a live
+  /// reference EdonkeyServer.  flush()/finish() drain it.
+  ServerWorkerPool* replay = nullptr;
 };
 
 class ParallelCapturePipeline {

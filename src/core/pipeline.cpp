@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "core/server_pool.hpp"
+
 namespace dtr::core {
 
 CapturePipeline::CapturePipeline(const PipelineConfig& config)
@@ -62,6 +64,7 @@ void CapturePipeline::flush() {
   while (messages_done_.load(std::memory_order_acquire) < messages) {
     std::this_thread::sleep_for(std::chrono::microseconds(20));
   }
+  if (config_.replay != nullptr) config_.replay->drain();
 }
 
 void CapturePipeline::fail(const char* stage, SimTime time,
@@ -114,6 +117,13 @@ void CapturePipeline::anonymise_loop() {
         if (config_.extra_sink) config_.extra_sink(event);
         if (xml_) xml_->write(event);
         if (config_.keep_events) events_.push_back(std::move(event));
+        if (config_.replay != nullptr && from_client) {
+          // The anonymised event is already extracted; the decoded message
+          // itself is free to move into the shadow-serving pool.
+          config_.replay->submit(ServerQuery{msg->src_ip, msg->src_port,
+                                             std::move(msg->message),
+                                             msg->time});
+        }
       } catch (const std::exception& e) {
         failed = true;  // keep draining so flush() never hangs
         fail("anonymise", msg->time, e.what());
@@ -141,6 +151,7 @@ PipelineResult CapturePipeline::finish() {
     frame_queue_.close();
     decode_thread_.join();
     anonymise_thread_.join();
+    if (config_.replay != nullptr) config_.replay->drain();
     if (xml_) xml_->finish();
     DTR_LOG_INFO(config_.log, "pipeline", last_time_,
                  "serial pipeline drained (" << anonymised_events_

@@ -32,6 +32,8 @@
 
 namespace dtr::core {
 
+class ServerWorkerPool;
+
 struct PipelineConfig {
   std::uint32_t server_ip = 0xC0A80001;
   std::uint16_t server_port = 4665;
@@ -58,6 +60,11 @@ struct PipelineConfig {
   /// events into per-thread rings for post-mortem dumps (must outlive the
   /// pipeline; may be null — recording is a no-op then).
   obs::FlightRecorder* flight = nullptr;
+  /// Optional shadow-serving pool: every decoded client->server query is
+  /// resubmitted to a live reference EdonkeyServer through this pool, so a
+  /// captured trace can be replayed against the sharded index at full
+  /// concurrency.  flush()/finish() drain it (must outlive the pipeline).
+  ServerWorkerPool* replay = nullptr;
 };
 
 /// End-of-run snapshot of everything the pipeline accumulated.

@@ -1,0 +1,84 @@
+#include "core/server_pool.hpp"
+
+#include <chrono>
+
+namespace dtr::core {
+
+ServerWorkerPool::ServerWorkerPool(server::EdonkeyServer& server,
+                                   std::size_t workers,
+                                   std::size_t queue_capacity,
+                                   AnswerSink sink)
+    : server_(server),
+      sink_(std::move(sink)),
+      queue_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServerWorkerPool::~ServerWorkerPool() { finish(); }
+
+bool ServerWorkerPool::submit(ServerQuery query) {
+  // Count before pushing: a worker may finish the query (and compare
+  // processed_ against submitted_) before push() even returns.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.push(std::move(query))) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  obs::inc(metrics_.queries);
+  obs::record_max(metrics_.depth_high_water,
+                  static_cast<std::int64_t>(queue_.size()));
+  return true;
+}
+
+void ServerWorkerPool::worker_loop() {
+  while (auto query = queue_.pop()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<proto::Message> answers = server_.handle(
+        query->client_ip, query->client_port, query->query, query->time);
+    obs::observe(
+        metrics_.handle_seconds,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    answers_.fetch_add(answers.size(), std::memory_order_relaxed);
+    obs::inc(metrics_.answers, answers.size());
+    if (sink_) sink_(*query, std::move(answers));
+    {
+      // The lock pairs the increment with drain()'s predicate check, so a
+      // drainer can't read a stale count and sleep through the last wakeup.
+      std::lock_guard lock(drain_mutex_);
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    drained_.notify_all();
+  }
+}
+
+void ServerWorkerPool::drain() {
+  std::unique_lock lock(drain_mutex_);
+  drained_.wait(lock, [this] {
+    return processed_.load(std::memory_order_relaxed) >=
+           submitted_.load(std::memory_order_relaxed);
+  });
+}
+
+void ServerWorkerPool::finish() {
+  if (finished_) return;
+  finished_ = true;
+  queue_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ServerWorkerPool::bind_metrics(obs::Registry& registry) {
+  metrics_.queries = &registry.counter("server.pool.queries");
+  metrics_.answers = &registry.counter("server.pool.answers");
+  metrics_.depth_high_water = &registry.gauge("server.pool.depth.high_water");
+  metrics_.handle_seconds =
+      &registry.histogram("span.server.pool.handle.seconds");
+}
+
+}  // namespace dtr::core

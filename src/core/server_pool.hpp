@@ -1,0 +1,106 @@
+// Concurrent driver for the directory-server stage.
+//
+// The paper's server fielded publishes and searches from tens of millions
+// of clients; the sharded index (server/index.hpp) makes EdonkeyServer
+// safe to call from many threads, and this pool is the harness that does
+// so: a bounded MPMC queue of client queries fanned out to a fixed set of
+// worker threads, each calling EdonkeyServer::handle().  Backpressure is
+// inherited from BoundedQueue — a full queue blocks the submitter rather
+// than dropping, mirroring the pipeline-stage coupling.
+//
+// Answers are delivered to an optional sink callback *from worker
+// threads*; the sink must be thread-safe.  drain() blocks until every
+// submitted query has been fully processed (including its sink call), so
+// callers can quiesce before reading totals — ServerStats counters are
+// atomic but only add up to a consistent story once the pool is idle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/queue.hpp"
+#include "obs/metrics.hpp"
+#include "proto/messages.hpp"
+#include "server/server.hpp"
+
+namespace dtr::core {
+
+/// One client query as the pool transports it.
+struct ServerQuery {
+  proto::ClientId client_ip = 0;
+  std::uint16_t client_port = 0;
+  proto::Message query;
+  SimTime time{};
+};
+
+class ServerWorkerPool {
+ public:
+  /// Called once per processed query, from a worker thread, with the
+  /// answers handle() produced (possibly empty).  Must be thread-safe.
+  using AnswerSink =
+      std::function<void(const ServerQuery&, std::vector<proto::Message>)>;
+
+  /// The pool starts its workers immediately; `server` must outlive it.
+  /// `workers` is clamped to at least 1.
+  ServerWorkerPool(server::EdonkeyServer& server, std::size_t workers,
+                   std::size_t queue_capacity, AnswerSink sink = nullptr);
+  ~ServerWorkerPool();
+
+  ServerWorkerPool(const ServerWorkerPool&) = delete;
+  ServerWorkerPool& operator=(const ServerWorkerPool&) = delete;
+
+  /// Enqueue a query; blocks while the queue is full.  Returns false after
+  /// finish() — the query is dropped in that case.
+  bool submit(ServerQuery query);
+
+  /// Block until every query submitted so far has been processed.  The
+  /// pool remains usable afterwards.
+  void drain();
+
+  /// Close the queue, process what remains, and join the workers.
+  /// Idempotent; the destructor calls it.
+  void finish();
+
+  [[nodiscard]] std::uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t answers() const {
+    return answers_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Register `server.pool.*` instruments: query/answer counters, a
+  /// queue-depth high-water gauge, and a per-query handle-latency
+  /// histogram (span.-prefixed: wall-clock, excluded from the series).
+  void bind_metrics(obs::Registry& registry);
+
+ private:
+  void worker_loop();
+
+  server::EdonkeyServer& server_;
+  AnswerSink sink_;
+  BoundedQueue<ServerQuery> queue_;
+  std::vector<std::thread> threads_;
+  bool finished_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> answers_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* answers = nullptr;
+    obs::Gauge* depth_high_water = nullptr;
+    obs::Histogram* handle_seconds = nullptr;
+  } metrics_;
+};
+
+}  // namespace dtr::core

@@ -80,6 +80,12 @@ std::vector<double> size_buckets() {
   return bounds;
 }
 
+std::vector<double> lock_wait_buckets_s() {
+  std::vector<double> bounds;
+  for (double b = 250e-9; b < 2.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto it = counters_.find(name);

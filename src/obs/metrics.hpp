@@ -120,6 +120,10 @@ class Histogram {
 std::vector<double> latency_buckets_s();
 /// Sizes/counts: 1 .. 65536 in powers of two.
 std::vector<double> size_buckets();
+/// Lock acquisition waits: 250 ns .. ~1 s in powers of four.  Finer at the
+/// bottom than latency_buckets_s because an uncontended-but-measured wait
+/// is tens of nanoseconds, not microseconds.
+std::vector<double> lock_wait_buckets_s();
 
 /// Named instruments.  Thread-safe; instruments live as long as the
 /// Registry and keep stable addresses, so callers cache the references.

@@ -5,11 +5,21 @@
 namespace dtr::server {
 
 EdonkeyServer::EdonkeyServer(ServerConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)),
+      index_(FileIndexConfig{config_.index_shards,
+                             config_.search_cache_entries}) {
+  // The wire count field is a u8; a larger configured cap would silently
+  // truncate on encode, so clamp here and keep every layer consistent.
+  config_.max_sources_per_answer =
+      std::min<std::size_t>(config_.max_sources_per_answer, 255);
+  next_low_id_ = config_.first_low_id % proto::kLowIdThreshold;
+  if (next_low_id_ == 0) next_low_id_ = 1;
+}
 
 proto::ClientId EdonkeyServer::client_id_for(proto::ClientId client_ip,
                                              bool reachable) {
   if (reachable) return client_ip;
+  std::lock_guard lock(client_mutex_);
   auto [it, inserted] = low_ids_.try_emplace(client_ip, next_low_id_);
   if (inserted) {
     next_low_id_ = (next_low_id_ + 1) % proto::kLowIdThreshold;
@@ -20,6 +30,7 @@ proto::ClientId EdonkeyServer::client_id_for(proto::ClientId client_ip,
 
 void EdonkeyServer::client_offline(proto::ClientId client_ip) {
   index_.retract_client(client_ip);
+  std::lock_guard lock(client_mutex_);
   published_count_.erase(client_ip);
 }
 
@@ -57,22 +68,30 @@ proto::Message EdonkeyServer::answer_search(const proto::FileSearchReq& q,
   }
   res.results.reserve(ids.size());
   for (const FileId& id : ids) {
-    const FileRecord* record = index_.find(id);
-    if (record == nullptr || record->sources.empty()) continue;
+    // Copy the answer fields out under the shard lock: a concurrent
+    // retract must not be able to pull the record out from under us.
     proto::FileEntry entry;
-    entry.file_id = id;
-    // Real servers return one representative source per result entry.
-    entry.client_id = record->sources.front().client;
-    entry.port = record->sources.front().port;
-    entry.tags.push_back(proto::Tag::str(proto::TagName::kFileName, record->name));
-    entry.tags.push_back(proto::Tag::u32(proto::TagName::kFileSize, record->size));
-    if (!record->type.empty()) {
+    bool usable = false;
+    index_.visit(id, [&](const FileRecord& record) {
+      if (record.sources.empty()) return;
+      entry.file_id = id;
+      // Real servers return one representative source per result entry.
+      entry.client_id = record.sources.front().client;
+      entry.port = record.sources.front().port;
       entry.tags.push_back(
-          proto::Tag::str(proto::TagName::kFileType, record->type));
-    }
-    entry.tags.push_back(
-        proto::Tag::u32(proto::TagName::kAvailability, record->availability()));
-    res.results.push_back(std::move(entry));
+          proto::Tag::str(proto::TagName::kFileName, record.name));
+      entry.tags.push_back(
+          proto::Tag::u32(proto::TagName::kFileSize, record.size));
+      if (!record.type.empty()) {
+        entry.tags.push_back(
+            proto::Tag::str(proto::TagName::kFileType, record.type));
+      }
+      entry.tags.push_back(
+          proto::Tag::u32(proto::TagName::kAvailability,
+                          record.availability()));
+      usable = true;
+    });
+    if (usable) res.results.push_back(std::move(entry));
   }
   return res;
 }
@@ -82,25 +101,27 @@ std::vector<proto::Message> EdonkeyServer::answer_sources(
   ++stats_.source_requests;
   std::vector<proto::Message> answers;
   for (const FileId& id : q.file_ids) {
-    const FileRecord* record = index_.find(id);
-    if (record == nullptr || record->sources.empty()) {
+    proto::FoundSourcesRes res;
+    res.file_id = id;
+    std::size_t total = 0;
+    index_.visit(id, [&](const FileRecord& record) {
+      total = record.sources.size();
+      std::size_t n = std::min(total, config_.max_sources_per_answer);
+      res.sources.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        res.sources.push_back(
+            {record.sources[i].client, record.sources[i].port});
+      }
+    });
+    if (res.sources.empty()) {
       ++stats_.unanswerable;
       continue;  // real servers stay silent for unknown fileIDs
     }
-    proto::FoundSourcesRes res;
-    res.file_id = id;
-    std::size_t n =
-        std::min(record->sources.size(), config_.max_sources_per_answer);
-    if (n < record->sources.size()) {
+    if (res.sources.size() < total) {
       DTR_LOG_DEBUG(log_, "server", now,
-                    "source answer truncated to "
-                        << n << " of " << record->sources.size()
-                        << " known sources");
-    }
-    res.sources.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      res.sources.push_back(
-          {record->sources[i].client, record->sources[i].port});
+                    "source answer truncated to " << res.sources.size()
+                                                  << " of " << total
+                                                  << " known sources");
     }
     answers.emplace_back(std::move(res));
   }
@@ -111,21 +132,56 @@ proto::Message EdonkeyServer::accept_publish(proto::ClientId client,
                                              std::uint16_t client_port,
                                              const proto::PublishReq& q) {
   ++stats_.publishes;
-  std::uint32_t accepted = 0;
-  std::uint64_t& count = published_count_[client];
-  std::size_t batch = std::min(q.files.size(), config_.max_files_per_publish);
-  for (std::size_t i = 0; i < batch; ++i) {
-    if (count >= config_.max_published_per_client) {
-      stats_.published_files_rejected += q.files.size() - i;
-      break;
-    }
-    proto::FileEntry entry = q.files[i];
-    entry.client_id = client;       // the server trusts the transport address
+  const std::size_t batch =
+      std::min(q.files.size(), config_.max_files_per_publish);
+  std::vector<proto::FileEntry> entries(q.files.begin(),
+                                        q.files.begin() + batch);
+  for (proto::FileEntry& entry : entries) {
+    entry.client_id = client;  // the server trusts the transport address
     entry.port = client_port;
-    if (index_.publish(entry)) ++count;
-    ++accepted;
   }
-  stats_.published_files_rejected += q.files.size() - batch;
+
+  // Fast path: when the per-client cap cannot trigger within this
+  // announce, publish the whole batch through the index's batched path —
+  // one lock per touched shard instead of one per file.  (Concurrent
+  // announces from one client may overshoot the cap by a batch; the cap
+  // is an anti-abuse bound, not an exact quota.)
+  bool fits = false;
+  {
+    std::lock_guard lock(client_mutex_);
+    fits = published_count_[client] + batch <= config_.max_published_per_client;
+  }
+
+  std::uint32_t accepted = 0;
+  std::uint64_t rejected = 0;
+  if (fits) {
+    const std::size_t new_pairs = index_.publish_batch(entries);
+    accepted = static_cast<std::uint32_t>(batch);
+    std::lock_guard lock(client_mutex_);
+    published_count_[client] += new_pairs;
+  } else {
+    // Near the cap: fall back to per-entry publishing so the cutoff lands
+    // on the same file as the pre-sharding server.
+    for (std::size_t i = 0; i < batch; ++i) {
+      bool at_cap = false;
+      {
+        std::lock_guard lock(client_mutex_);
+        at_cap =
+            published_count_[client] >= config_.max_published_per_client;
+      }
+      if (at_cap) {
+        rejected += q.files.size() - i;
+        break;
+      }
+      if (index_.publish(entries[i])) {
+        std::lock_guard lock(client_mutex_);
+        ++published_count_[client];
+      }
+      ++accepted;
+    }
+  }
+  rejected += q.files.size() - batch;
+  stats_.published_files_rejected += rejected;
   stats_.published_files_accepted += accepted;
   return proto::PublishAck{accepted};
 }
@@ -135,7 +191,10 @@ std::vector<proto::Message> EdonkeyServer::handle(proto::ClientId client_ip,
                                                   const proto::Message& query,
                                                   SimTime now) {
   ++stats_.queries;
-  seen_clients_[client_ip] = now;
+  {
+    std::lock_guard lock(client_mutex_);
+    seen_clients_[client_ip] = now;
+  }
 
   std::vector<proto::Message> answers;
   if (const auto* q = std::get_if<proto::ServStatReq>(&query)) {

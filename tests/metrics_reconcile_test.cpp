@@ -10,12 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/campaign_runner.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
+#include "core/server_pool.hpp"
+#include "hash/md4.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/timeseries.hpp"
+#include "server/server.hpp"
 #include "sim/campaign.hpp"
 
 namespace dtr::core {
@@ -352,6 +356,187 @@ TEST(SeriesReconcile, SameSeedRunsAreByteIdentical) {
   SeriesRun pb = run_with_series(32, 3);
   EXPECT_EQ(pa.jsonl, pb.jsonl);
   EXPECT_EQ(pa.csv, pb.csv);
+}
+
+// --- Server-stage reconciliation (the sharded index, PR 3) --------------
+//
+// ServerStats counters are atomic so concurrent handle() calls can bump
+// them; the invariant that makes them *meaningful* is that the totals are
+// a function of the workload, not of the shard count or the scheduling.
+// One workload, three servers: single-shard serial, eight-shard serial,
+// eight-shard behind a worker pool (phased so answer counts stay
+// deterministic) — every counter must agree.
+
+server::ServerConfig sharded_server_config(std::size_t shards) {
+  server::ServerConfig cfg;
+  cfg.index_shards = shards;
+  cfg.search_cache_entries = 32;
+  return cfg;
+}
+
+std::vector<proto::Message> server_workload(std::uint64_t seed,
+                                            std::size_t ops) {
+  Rng r(seed);
+  const std::vector<std::string> vocab = {"alpha", "bravo", "carol", "delta",
+                                          "eagle", "frost", "grape", "haste"};
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < 120; ++i) {
+    names.push_back(vocab[r.below(vocab.size())] + ' ' +
+                    vocab[r.below(vocab.size())] + ".mp3");
+  }
+  auto entry = [&](const std::string& name, proto::ClientId client) {
+    proto::FileEntry e;
+    e.file_id = Md4::digest(name);
+    e.client_id = client;
+    e.port = 4662;
+    e.tags = {proto::Tag::str(proto::TagName::kFileName, name),
+              proto::Tag::u32(proto::TagName::kFileSize,
+                              static_cast<std::uint32_t>(1 + r.below(1u << 20))),
+              proto::Tag::str(proto::TagName::kFileType, "audio")};
+    return e;
+  };
+
+  std::vector<proto::Message> queries;
+  queries.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t roll = r.below(10);
+    if (roll < 4) {
+      proto::PublishReq req;
+      const std::size_t n = 1 + r.below(5);
+      for (std::size_t j = 0; j < n; ++j) {
+        req.files.push_back(entry(names[r.below(names.size())],
+                                  static_cast<proto::ClientId>(1 + r.below(24))));
+      }
+      queries.emplace_back(std::move(req));
+    } else if (roll < 8) {
+      proto::FileSearchReq req;
+      req.expr = proto::SearchExpr::keyword(vocab[r.below(vocab.size())]);
+      queries.emplace_back(std::move(req));
+    } else {
+      proto::GetSourcesReq req;
+      req.file_ids.push_back(Md4::digest(names[r.below(names.size())]));
+      queries.emplace_back(std::move(req));
+    }
+  }
+  return queries;
+}
+
+/// Counter/gauge names the shard count may legitimately change (per-shard
+/// occupancy gauges and the shard-count gauge itself).
+bool shard_dependent(const std::string& name) {
+  return name == "server.index.shards" ||
+         name.rfind("server.index.shard.", 0) == 0;
+}
+
+TEST(ServerReconcile, StatsAndIndexCountersAreShardCountInvariant) {
+  const std::vector<proto::Message> queries = server_workload(5, 600);
+
+  auto run = [&](std::size_t shards) {
+    auto registry = std::make_unique<obs::Registry>();
+    server::EdonkeyServer server(sharded_server_config(shards));
+    server.bind_metrics(*registry);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const proto::ClientId client =
+          static_cast<proto::ClientId>(1 + i % 24);
+      server.handle(client, 4662, queries[i], static_cast<SimTime>(i));
+    }
+    return std::make_pair(server.stats(), registry->snapshot());
+  };
+
+  auto [stats1, metrics1] = run(1);
+  auto [stats8, metrics8] = run(8);
+
+  EXPECT_EQ(stats1.queries.load(), stats8.queries.load());
+  EXPECT_EQ(stats1.answers.load(), stats8.answers.load());
+  EXPECT_EQ(stats1.searches.load(), stats8.searches.load());
+  EXPECT_EQ(stats1.source_requests.load(), stats8.source_requests.load());
+  EXPECT_EQ(stats1.publishes.load(), stats8.publishes.load());
+  EXPECT_EQ(stats1.published_files_accepted.load(),
+            stats8.published_files_accepted.load());
+  EXPECT_EQ(stats1.published_files_rejected.load(),
+            stats8.published_files_rejected.load());
+  EXPECT_EQ(stats1.unanswerable.load(), stats8.unanswerable.load());
+
+  // Every server.index.* counter — including the cache hit/partial/miss
+  // split, which revalidates per shard — is shard-count invariant in a
+  // serial run.  (A query goes partial-hit exactly when *some* shard
+  // mutated since it was cached, which is true for one shard iff it is
+  // true for eight.)
+  for (const auto& [name, value] : metrics1.counters) {
+    EXPECT_EQ(metrics8.counter(name), value) << name;
+  }
+  for (const auto& [name, value] : metrics1.gauges) {
+    if (shard_dependent(name)) continue;
+    EXPECT_EQ(metrics8.gauge(name), value) << name;
+  }
+  EXPECT_GT(metrics1.counter("server.index.cache.hits") +
+                metrics1.counter("server.index.cache.partial_hits"),
+            0u)
+      << "the workload must actually exercise the cache";
+  // The candidates histogram is value-deterministic (not a span): one
+  // observation per search either way.  The *sum* is where sharding pays
+  // off — with the cache on, a publish dirties one shard out of eight, so
+  // clean shards are reused and fewer candidates are re-evaluated.
+  EXPECT_EQ(metrics1.histograms.at("server.index.search.candidates").count,
+            metrics8.histograms.at("server.index.search.candidates").count);
+  EXPECT_LT(metrics8.histograms.at("server.index.search.candidates").sum,
+            metrics1.histograms.at("server.index.search.candidates").sum)
+      << "eight shards must confine cache invalidation better than one";
+}
+
+TEST(ServerReconcile, ConcurrentPoolTotalsMatchSerialTotals) {
+  // Phase the workload (all publishes, drain, then all reads) so answer
+  // counts are schedule-independent, then compare against a serial server
+  // handling the same phases.
+  const std::vector<proto::Message> queries = server_workload(9, 600);
+
+  server::EdonkeyServer serial(sharded_server_config(1));
+  for (const proto::Message& q : queries) {
+    if (std::holds_alternative<proto::PublishReq>(q)) {
+      serial.handle(
+          static_cast<proto::ClientId>(1 + (&q - queries.data()) % 24), 4662,
+          q, 0);
+    }
+  }
+  for (const proto::Message& q : queries) {
+    if (!std::holds_alternative<proto::PublishReq>(q)) {
+      serial.handle(
+          static_cast<proto::ClientId>(1 + (&q - queries.data()) % 24), 4662,
+          q, 0);
+    }
+  }
+
+  server::EdonkeyServer sharded(sharded_server_config(8));
+  core::ServerWorkerPool pool(sharded, 4, 128);
+  for (const proto::Message& q : queries) {
+    if (std::holds_alternative<proto::PublishReq>(q)) {
+      pool.submit(core::ServerQuery{
+          static_cast<proto::ClientId>(1 + (&q - queries.data()) % 24), 4662,
+          proto::clone_message(q), 0});
+    }
+  }
+  pool.drain();
+  for (const proto::Message& q : queries) {
+    if (!std::holds_alternative<proto::PublishReq>(q)) {
+      pool.submit(core::ServerQuery{
+          static_cast<proto::ClientId>(1 + (&q - queries.data()) % 24), 4662,
+          proto::clone_message(q), 0});
+    }
+  }
+  pool.drain();
+
+  const server::ServerStats a = serial.stats();
+  const server::ServerStats b = sharded.stats();
+  EXPECT_EQ(a.queries.load(), b.queries.load());
+  EXPECT_EQ(a.answers.load(), b.answers.load());
+  EXPECT_EQ(a.searches.load(), b.searches.load());
+  EXPECT_EQ(a.source_requests.load(), b.source_requests.load());
+  EXPECT_EQ(a.publishes.load(), b.publishes.load());
+  EXPECT_EQ(a.published_files_accepted.load(),
+            b.published_files_accepted.load());
+  EXPECT_EQ(a.unanswerable.load(), b.unanswerable.load());
+  EXPECT_EQ(serial.index().file_count(), sharded.index().file_count());
+  EXPECT_EQ(serial.index().source_count(), sharded.index().source_count());
 }
 
 }  // namespace

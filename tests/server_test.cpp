@@ -353,6 +353,75 @@ TEST_F(ServerTest, ClientOfflineDropsFiles) {
   EXPECT_EQ(server_.index().file_count(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Protocol-cap properties.  These pin down the wire-level invariants the
+// paper's dataset exhibits: 201 results per search answer, a one-byte
+// source count, and low IDs strictly below 2^24.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, SearchAnswerCapIsExactly201) {
+  // 230 matching files through the *default* config: the classic server cap
+  // must bite at exactly 201, not 200 and not 202.
+  for (int i = 0; i < 230; ++i) {
+    proto::PublishReq req;
+    req.files.push_back(entry("ubiquitous hit " + std::to_string(i) + ".mp3",
+                              1, "audio", static_cast<proto::ClientId>(i + 1)));
+    server_.handle(static_cast<proto::ClientId>(i + 1), 4662,
+                   proto::Message(std::move(req)), 0);
+  }
+  proto::FileSearchReq req;
+  req.expr = proto::SearchExpr::keyword("ubiquitous");
+  auto answers = server_.handle(999, 4662, proto::Message(std::move(req)), 0);
+  const auto& res = std::get<proto::FileSearchRes>(answers[0]);
+  EXPECT_EQ(res.results.size(), 201u);
+  Bytes wire = proto::encode_message(answers[0]);
+  EXPECT_TRUE(proto::decode_datagram(wire).ok());
+}
+
+TEST_F(ServerTest, MisconfiguredSourceCapIsClampedToWireLimit) {
+  // The source count is a u8 on the wire; a config asking for more than
+  // 255 per answer must be clamped, or encoding would silently truncate
+  // modulo 256.
+  ServerConfig cfg;
+  cfg.max_sources_per_answer = 1000;
+  EdonkeyServer server(cfg);
+  EXPECT_EQ(server.config().max_sources_per_answer, 255u);
+  for (std::uint32_t c = 1; c <= 300; ++c) {
+    proto::PublishReq req;
+    req.files.push_back(entry("oversubscribed.avi", 1, "video", c));
+    server.handle(c, 4662, proto::Message(std::move(req)), 0);
+  }
+  proto::GetSourcesReq req{{fid("oversubscribed.avi")}};
+  auto answers = server.handle(999, 4662, proto::Message(std::move(req)), 0);
+  const auto& res = std::get<proto::FoundSourcesRes>(answers[0]);
+  EXPECT_EQ(res.sources.size(), 255u);
+  Bytes wire = proto::encode_message(answers[0]);
+  auto decoded = proto::decode_datagram(wire);
+  ASSERT_TRUE(decoded.ok());
+  const auto& round_trip =
+      std::get<proto::FoundSourcesRes>(*decoded.message);
+  EXPECT_EQ(round_trip.sources.size(), 255u)
+      << "the u8 count field must survive an encode/decode round trip";
+}
+
+TEST_F(ServerTest, LowIdsWrapInsideTheBoundary) {
+  // Start the allocator one below 2^24: the next assignment takes the last
+  // valid low ID, and the one after wraps to 1 — never 0, never >= 2^24.
+  ServerConfig cfg;
+  cfg.first_low_id = proto::kLowIdThreshold - 1;
+  EdonkeyServer server(cfg);
+  const proto::ClientId last = server.client_id_for(0x0A000001, false);
+  EXPECT_EQ(last, proto::kLowIdThreshold - 1);
+  const proto::ClientId wrapped = server.client_id_for(0x0A000002, false);
+  EXPECT_EQ(wrapped, 1u) << "low IDs wrap past the boundary, skipping 0";
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const proto::ClientId id =
+        server.client_id_for(0x0B000000 + i, false);
+    EXPECT_TRUE(proto::is_low_id(id));
+    EXPECT_NE(id, 0u);
+  }
+}
+
 TEST_F(ServerTest, AnswersToAnswersIgnored) {
   auto answers = server_.handle(1, 4662, proto::ServStatRes{1, 2, 3}, 0);
   EXPECT_TRUE(answers.empty());

@@ -41,6 +41,8 @@ commands:
               --seed N --clients N --files N --hours H
               --xml PATH[.dtz] --pcap PATH --background
               [--workers N] (N>1: parallel decode pipeline)
+              [--server-shards N] (index shards, power of two; default 4)
+              [--search-cache N] (LRU search-cache entries; default 0 = off)
   decode      replay a pcap file through the offline decoder
               --pcap PATH [--xml PATH[.dtz]]
               [--server-ip A.B.C.D] [--server-port P]
@@ -301,6 +303,8 @@ int cmd_campaign(const cli::Args& args) {
   cfg.campaign.catalog.file_count =
       static_cast<std::uint32_t>(args.get_u64("files", 20000));
   cfg.campaign.duration = args.get_u64("hours", 48) * kHour;
+  cfg.campaign.server.index_shards = args.get_u64("server-shards", 4);
+  cfg.campaign.server.search_cache_entries = args.get_u64("search-cache", 0);
   cfg.workers = args.get_u64("workers", 0);
   cfg.pcap_path = args.get("pcap");
   if (args.has("background")) {
