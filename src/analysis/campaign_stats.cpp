@@ -79,6 +79,55 @@ void CampaignStats::consume(const anon::AnonEvent& event) {
            static_cast<std::int64_t>(seen_files_.size()));
 }
 
+void CampaignStats::save_state(ByteWriter& out) const {
+  out.u64le(messages_);
+  out.u64le(queries_);
+  distinct_clients_.save_state(out);
+  provides_.save_state(out);
+  asks_.save_state(out);
+  out.u64le(seen_files_.size());
+  for (const auto& [file, kb] : seen_files_) {
+    out.u64le(file);
+    out.u32le(kb);
+  }
+  const auto& bins = sizes_.bins();
+  out.u64le(bins.size());
+  for (const auto& [value, count] : bins) {
+    out.u64le(value);
+    out.u64le(count);
+  }
+}
+
+bool CampaignStats::restore_state(ByteReader& in) {
+  messages_ = in.u64le();
+  queries_ = in.u64le();
+  if (queries_ > messages_) return false;
+  if (!distinct_clients_.restore_state(in)) return false;
+  if (!provides_.restore_state(in)) return false;
+  if (!asks_.restore_state(in)) return false;
+  seen_files_.clear();
+  const std::uint64_t files = in.u64le();
+  if (files > in.remaining() / 12) return false;
+  seen_files_.reserve(files);
+  for (std::uint64_t i = 0; i < files; ++i) {
+    const std::uint64_t file = in.u64le();
+    const std::uint32_t kb = in.u32le();
+    if (!seen_files_.try_emplace(file, kb).second) return false;
+  }
+  sizes_ = CountHistogram{};
+  const std::uint64_t bins = in.u64le();
+  if (bins > in.remaining() / 16) return false;
+  std::uint64_t last_value = 0;
+  for (std::uint64_t i = 0; i < bins; ++i) {
+    const std::uint64_t value = in.u64le();
+    const std::uint64_t count = in.u64le();
+    if (i > 0 && value <= last_value) return false;  // bins are sorted
+    last_value = value;
+    sizes_.add(value, count);
+  }
+  return in.ok();
+}
+
 void CampaignStats::bind_metrics(obs::Registry& registry) {
   metrics_.messages = &registry.counter("analysis.messages");
   metrics_.queries = &registry.counter("analysis.queries");

@@ -69,6 +69,11 @@ class CampaignStats {
   }
   [[nodiscard]] std::uint64_t asker_relations() const { return asks_.pairs(); }
 
+  /// Checkpoint codec: counters, relation sets, distinct tables and the
+  /// size histogram — everything consume() accumulates.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   void observe_file_meta(anon::AnonFileId file, const anon::AnonFileMeta& meta);
 

@@ -38,8 +38,56 @@ std::uint64_t BitsetDistinctCounter::memory_bytes() const {
   return pages * kPageWords * sizeof(std::uint64_t);
 }
 
+void BitsetDistinctCounter::save_state(ByteWriter& out) const {
+  out.u64le(distinct_);
+  for (std::size_t p = 0; p < pages_.size(); ++p) {
+    const auto& page = pages_[p];
+    if (!page) continue;
+    for (std::uint32_t w = 0; w < kPageWords; ++w) {
+      std::uint64_t word = page[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(word));
+        word &= word - 1;
+        out.u32le(static_cast<std::uint32_t>(p << kPageBits) + w * 64 + bit);
+      }
+    }
+  }
+}
+
+bool BitsetDistinctCounter::restore_state(ByteReader& in) {
+  for (auto& page : pages_) page.reset();
+  distinct_ = 0;
+  const std::uint64_t count = in.u64le();
+  if (count > in.remaining() / 4) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!observe(in.u32le())) return false;  // duplicate key
+  }
+  return in.ok() && distinct_ == count;
+}
+
 bool PairSetCounter::observe(std::uint64_t a, std::uint32_t b) {
   return set_.insert(Key{a, b}).second;
+}
+
+void PairSetCounter::save_state(ByteWriter& out) const {
+  out.u64le(set_.size());
+  for (const Key& k : set_) {
+    out.u64le(k.a);
+    out.u32le(k.b);
+  }
+}
+
+bool PairSetCounter::restore_state(ByteReader& in) {
+  set_.clear();
+  const std::uint64_t count = in.u64le();
+  if (count > in.remaining() / 12) return false;
+  set_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t a = in.u64le();
+    const std::uint32_t b = in.u32le();
+    if (!set_.insert(Key{a, b}).second) return false;
+  }
+  return in.ok();
 }
 
 CountHistogram PairSetCounter::degree_of_a() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/binning.hpp"
+#include "common/bytes.hpp"
 
 namespace dtr::analysis {
 
@@ -30,6 +31,10 @@ class BitsetDistinctCounter {
   [[nodiscard]] bool seen(std::uint32_t key) const;
   [[nodiscard]] std::uint64_t distinct() const { return distinct_; }
   [[nodiscard]] std::uint64_t memory_bytes() const;
+
+  /// Checkpoint codec: the set bits, as keys.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
   static constexpr std::uint32_t kPageBits = 18;  // 2^18 bits = 32 KiB/page
   static constexpr std::uint32_t kPageWords = (1u << kPageBits) / 64;
@@ -47,6 +52,11 @@ class PairSetCounter {
   bool observe(std::uint64_t a, std::uint32_t b);
 
   [[nodiscard]] std::uint64_t pairs() const { return set_.size(); }
+
+  /// Checkpoint codec: the deduplicated pairs (order irrelevant — the
+  /// degree histograms are computed from the set, not from history).
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
   /// Histogram of "number of b's per a" values -> "number of a's with that
   /// many b's" (e.g. clients providing each file -> files per count).

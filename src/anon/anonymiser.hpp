@@ -165,6 +165,19 @@ class Anonymiser {
     return files_.distinct();
   }
 
+  /// Checkpoint codec for the milestone cursors, so a resumed campaign
+  /// logs the same population milestones as an uninterrupted one (the
+  /// tables themselves checkpoint separately).
+  void save_state(ByteWriter& out) const {
+    out.u64le(next_client_milestone_);
+    out.u64le(next_file_milestone_);
+  }
+  bool restore_state(ByteReader& in) {
+    next_client_milestone_ = in.u64le();
+    next_file_milestone_ = in.u64le();
+    return in.ok();
+  }
+
  private:
   AnonFileMeta anonymise_meta(const proto::TagList& tags);
   AnonFileEntry anonymise_entry(const proto::FileEntry& e);

@@ -49,6 +49,41 @@ std::size_t DirectClientTable::pages_allocated() const {
   return n;
 }
 
+void DirectClientTable::save_state(ByteWriter& out) const {
+  out.u32le(next_);
+  for (std::uint32_t p = 0; p < kPageCount; ++p) {
+    const auto& page = pages_[p];
+    if (!page) continue;
+    for (std::uint32_t o = 0; o < kPageEntries; ++o) {
+      if (page[o] == kClientNotSeen) continue;
+      out.u32le((p << kPageBits) | o);
+      out.u32le(page[o]);
+    }
+  }
+}
+
+bool DirectClientTable::restore_state(ByteReader& in) {
+  for (auto& page : pages_) {
+    if (page) std::memset(page.get(), 0xFF, kPageEntries * sizeof(std::uint32_t));
+    if (mode_ == PageMode::kPaged) page.reset();
+  }
+  next_ = 0;
+  const std::uint32_t count = in.u32le();
+  // Exactly `count` dense anon IDs were assigned, one pair each.
+  if (static_cast<std::uint64_t>(count) * 8 > in.remaining()) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t id = in.u32le();
+    const std::uint32_t anon = in.u32le();
+    if (anon >= count) return false;
+    std::uint32_t* page = page_for(id, /*create=*/true);
+    std::uint32_t& cell = page[id & (kPageEntries - 1)];
+    if (cell != kClientNotSeen) return false;  // duplicate clientID
+    cell = anon;
+  }
+  next_ = count;
+  return in.ok();
+}
+
 AnonClientId HashClientTable::anonymise(proto::ClientId id) {
   auto [it, inserted] =
       map_.try_emplace(id, static_cast<AnonClientId>(map_.size()));

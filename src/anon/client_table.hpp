@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "proto/opcodes.hpp"
 
 namespace dtr::anon {
@@ -75,6 +76,12 @@ class DirectClientTable final : public ClientAnonymiser {
   [[nodiscard]] const char* name() const override { return "direct-array"; }
 
   [[nodiscard]] std::size_t pages_allocated() const;
+
+  /// Checkpoint codec: every populated (clientID, anon) cell.  Restore
+  /// replaces the table's contents; it fails (and leaves the table
+  /// unusable for resume) on duplicate cells or out-of-range indices.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
   /// Entries per page: 2^10 entries = 4 KiB per page.  Small pages keep the
   /// resident set proportional to the number of *distinct* clients even for

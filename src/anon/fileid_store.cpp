@@ -35,6 +35,39 @@ AnonFileId BucketedFileIdStore::lookup(const FileId& id) const {
   return kFileNotSeen;
 }
 
+void BucketedFileIdStore::save_state(ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(b0_));
+  out.u8(static_cast<std::uint8_t>(b1_));
+  out.u64le(next_);
+  for (const auto& bucket : buckets_) {
+    for (const Entry& e : bucket) {
+      out.raw(e.id.bytes.data(), e.id.bytes.size());
+      out.u64le(e.anon);
+    }
+  }
+}
+
+bool BucketedFileIdStore::restore_state(ByteReader& in) {
+  for (auto& bucket : buckets_) bucket.clear();
+  next_ = 0;
+  if (in.u8() != b0_ || in.u8() != b1_) return false;
+  const std::uint64_t count = in.u64le();
+  if (count > in.remaining() / 24) return false;  // 16-byte id + u64 anon
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    BytesView id = in.raw(e.id.bytes.size());
+    if (!in.ok()) return false;
+    std::copy(id.begin(), id.end(), e.id.bytes.begin());
+    e.anon = in.u64le();
+    if (e.anon >= count) return false;
+    auto& bucket = buckets_[bucket_of(e.id)];
+    if (!bucket.empty() && !(bucket.back().id < e.id)) return false;
+    bucket.push_back(e);
+  }
+  next_ = count;
+  return in.ok();
+}
+
 std::uint64_t BucketedFileIdStore::memory_bytes() const {
   std::uint64_t total = kBucketCount * sizeof(std::vector<Entry>);
   for (const auto& bucket : buckets_) total += bucket.capacity() * sizeof(Entry);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/binning.hpp"
+#include "common/bytes.hpp"
 #include "hash/digest.hpp"
 
 namespace dtr::anon {
@@ -71,6 +72,12 @@ class BucketedFileIdStore final : public FileIdAnonymiser {
 
   [[nodiscard]] unsigned index_byte_0() const { return b0_; }
   [[nodiscard]] unsigned index_byte_1() const { return b1_; }
+
+  /// Checkpoint codec: entries in bucket-major order, so restore rebuilds
+  /// each sorted bucket with plain appends.  Restore fails when the
+  /// snapshot was taken with a different index-byte pair.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
  private:
   struct Entry {

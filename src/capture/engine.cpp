@@ -20,6 +20,33 @@ bool CaptureEngine::offer(const sim::TimedFrame& frame) {
   return true;
 }
 
+void CaptureEngine::save_state(ByteWriter& out) const {
+  buffer_.save_state(out);
+  out.u64le(loss_series_.size());
+  for (const LossPoint& p : loss_series_) {
+    out.u64le(p.second);
+    out.u64le(p.lost);
+  }
+}
+
+bool CaptureEngine::restore_state(ByteReader& in) {
+  if (!buffer_.restore_state(in)) return false;
+  loss_series_.clear();
+  const std::uint64_t count = in.u64le();
+  if (count > in.remaining() / 16) return false;
+  loss_series_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LossPoint p;
+    p.second = in.u64le();
+    p.lost = in.u64le();
+    if (!loss_series_.empty() && p.second <= loss_series_.back().second) {
+      return false;  // the per-second series is strictly time-ordered
+    }
+    loss_series_.push_back(p);
+  }
+  return in.ok();
+}
+
 std::vector<LossPoint> CaptureEngine::cumulative_losses() const {
   std::vector<LossPoint> out;
   out.reserve(loss_series_.size());

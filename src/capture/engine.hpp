@@ -59,6 +59,11 @@ class CaptureEngine {
   /// Cumulative losses at each recorded point (Figure 2 inset).
   [[nodiscard]] std::vector<LossPoint> cumulative_losses() const;
 
+  /// Checkpoint codec: kernel-buffer state plus the accumulated loss
+  /// series.  The pcap writer and frame sink are rewired by the owner.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   KernelBuffer buffer_;
   net::PcapWriter* pcap_ = nullptr;

@@ -1,5 +1,7 @@
 #include "capture/kernel_buffer.hpp"
 
+#include <bit>
+
 namespace dtr::capture {
 
 namespace {
@@ -97,6 +99,35 @@ bool KernelBuffer::offer(SimTime now) {
                   static_cast<std::int64_t>(occupancy_));
   obs::record(flight_, obs::FlightEvent::kFrameAccepted, now, occupancy_);
   return true;
+}
+
+void KernelBuffer::save_state(ByteWriter& out) const {
+  rng_.save_state(out);
+  out.u64le(occupancy_);
+  out.u64le(last_drain_);
+  out.u64le(std::bit_cast<std::uint64_t>(drain_credit_));
+  out.u64le(next_stall_);
+  out.u64le(stall_until_);
+  out.u64le(accepted_);
+  out.u64le(dropped_);
+  out.u64le(occupancy_high_water_);
+  out.u64le(high_water_decile_);
+}
+
+bool KernelBuffer::restore_state(ByteReader& in) {
+  if (!rng_.restore_state(in)) return false;
+  occupancy_ = static_cast<std::size_t>(in.u64le());
+  last_drain_ = in.u64le();
+  drain_credit_ = std::bit_cast<double>(in.u64le());
+  next_stall_ = in.u64le();
+  stall_until_ = in.u64le();
+  accepted_ = in.u64le();
+  dropped_ = in.u64le();
+  occupancy_high_water_ = static_cast<std::size_t>(in.u64le());
+  high_water_decile_ = static_cast<std::size_t>(in.u64le());
+  if (occupancy_ > config_.capacity) return false;
+  if (occupancy_high_water_ > config_.capacity) return false;
+  return in.ok();
 }
 
 void KernelBuffer::bind_metrics(obs::Registry& registry) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "obs/flight_recorder.hpp"
@@ -62,6 +63,12 @@ class KernelBuffer {
     log_ = log;
     flight_ = flight;
   }
+
+  /// Checkpoint codec: drain/stall clocks, RNG, occupancy and loss
+  /// counters.  Telemetry/metrics bindings are re-established by the
+  /// owner after restore, not serialized.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
  private:
   void drain_until(SimTime now);

@@ -36,6 +36,17 @@ std::uint64_t Rng::next() {
   return result;
 }
 
+void Rng::save_state(ByteWriter& out) const {
+  for (std::uint64_t word : s_) out.u64le(word);
+  out.u64le(seed_);
+}
+
+bool Rng::restore_state(ByteReader& in) {
+  for (auto& word : s_) word = in.u64le();
+  seed_ = in.u64le();
+  return in.ok();
+}
+
 std::uint64_t Rng::below(std::uint64_t bound) {
   if (bound == 0) return 0;
   // Lemire's nearly-divisionless method.

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hpp"
+
 namespace dtr {
 
 /// splitmix64 step — used for seeding and for cheap stateless hashing.
@@ -65,6 +67,12 @@ class Rng {
   /// (parent seed, stream id).  Prevents cross-contamination between e.g.
   /// the catalog generator and the session generator when one is re-tuned.
   Rng fork(std::uint64_t stream_id) const;
+
+  /// Checkpoint codec: the full generator state (4 state words + the seed
+  /// that fork() derives sub-streams from).  Restoring resumes the exact
+  /// output sequence.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
  private:
   std::array<std::uint64_t, 4> s_;

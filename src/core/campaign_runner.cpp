@@ -1,6 +1,10 @@
 #include "core/campaign_runner.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
 
 namespace dtr::core {
 
@@ -28,13 +32,169 @@ RunnerConfig RunnerConfig::bench_scale(std::uint64_t seed) {
   return cfg;
 }
 
+std::string checkpoint_file_name(SimTime boundary) {
+  std::string digits = std::to_string(boundary);
+  std::string name = "checkpoint-";
+  name.append(20 - digits.size(), '0');  // u64 is at most 20 decimal digits
+  name += digits;
+  name += ".ckpt";
+  return name;
+}
+
+namespace {
+
+/// The config fingerprint stored in the "meta" section: a snapshot only
+/// resumes into a runner whose config would have produced it.
+struct CheckpointMeta {
+  std::uint64_t seed = 0;
+  std::uint64_t duration = 0;
+  std::uint64_t clients = 0;
+  std::uint64_t files = 0;
+  std::uint64_t workers = 0;  // normalised: serial pipeline = 1
+  std::uint64_t buffer_capacity = 0;
+  std::uint8_t has_background = 0;
+  std::uint64_t background_seed = 0;
+  std::uint8_t has_xml = 0;
+  std::uint8_t has_pcap = 0;
+  std::uint8_t has_series = 0;
+  std::uint8_t has_metrics = 0;
+  std::uint64_t boundary = 0;  // simulated time the snapshot was taken at
+};
+
+CheckpointMeta meta_of(const RunnerConfig& cfg, SimTime boundary) {
+  CheckpointMeta m;
+  m.seed = cfg.campaign.seed;
+  m.duration = cfg.campaign.duration;
+  m.clients = cfg.campaign.population.client_count;
+  m.files = cfg.campaign.catalog.file_count;
+  m.workers = cfg.workers > 1 ? cfg.workers : 1;
+  m.buffer_capacity = cfg.buffer.capacity;
+  m.has_background = cfg.background.has_value() ? 1 : 0;
+  m.background_seed = cfg.background ? cfg.background->seed : 0;
+  m.has_xml = cfg.xml_out != nullptr ? 1 : 0;
+  m.has_pcap = cfg.pcap_path.empty() ? 0 : 1;
+  m.has_series = cfg.series != nullptr ? 1 : 0;
+  m.has_metrics = cfg.metrics != nullptr ? 1 : 0;
+  m.boundary = boundary;
+  return m;
+}
+
+void save_meta(const CheckpointMeta& m, ByteWriter& out) {
+  out.u64le(m.seed);
+  out.u64le(m.duration);
+  out.u64le(m.clients);
+  out.u64le(m.files);
+  out.u64le(m.workers);
+  out.u64le(m.buffer_capacity);
+  out.u8(m.has_background);
+  out.u64le(m.background_seed);
+  out.u8(m.has_xml);
+  out.u8(m.has_pcap);
+  out.u8(m.has_series);
+  out.u8(m.has_metrics);
+  out.u64le(m.boundary);
+}
+
+bool read_meta(ByteReader& in, CheckpointMeta& m) {
+  m.seed = in.u64le();
+  m.duration = in.u64le();
+  m.clients = in.u64le();
+  m.files = in.u64le();
+  m.workers = in.u64le();
+  m.buffer_capacity = in.u64le();
+  m.has_background = in.u8();
+  m.background_seed = in.u64le();
+  m.has_xml = in.u8();
+  m.has_pcap = in.u8();
+  m.has_series = in.u8();
+  m.has_metrics = in.u8();
+  m.boundary = in.u64le();
+  return in.ok();
+}
+
+/// First mismatching field name, or nullptr when the snapshot fits.
+const char* meta_mismatch(const CheckpointMeta& want,
+                          const CheckpointMeta& got) {
+  if (got.seed != want.seed) return "seed";
+  if (got.duration != want.duration) return "duration";
+  if (got.clients != want.clients) return "client count";
+  if (got.files != want.files) return "file count";
+  if (got.workers != want.workers) return "worker count";
+  if (got.buffer_capacity != want.buffer_capacity) return "buffer capacity";
+  if (got.has_background != want.has_background ||
+      got.background_seed != want.background_seed) {
+    return "background traffic";
+  }
+  if (got.has_xml != want.has_xml) return "xml output";
+  if (got.has_pcap != want.has_pcap) return "pcap output";
+  if (got.has_series != want.has_series) return "time series";
+  if (got.has_metrics != want.has_metrics) return "metrics registry";
+  return nullptr;
+}
+
+}  // namespace
+
 CampaignRunner::CampaignRunner(const RunnerConfig& config)
     : config_(config), simulator_(config.campaign) {}
 
 CampaignReport CampaignRunner::run() {
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+  const bool resuming = !config_.resume_from.empty();
+
+  // A failed checkpoint parse/restore reports through the pipeline error
+  // channel (the run produced nothing trustworthy).
+  auto fail_run = [&](const std::string& what) {
+    DTR_LOG_ERROR(config_.log, "checkpoint", 0, what);
+    CampaignReport report;
+    if (parallel_) {
+      report.pipeline = parallel_->finish();
+    } else if (pipeline_) {
+      report.pipeline = pipeline_->finish();
+    }
+    report.pipeline.error = "checkpoint: " + what;
+    return report;
+  };
+
+  // Parse and fingerprint-check the snapshot before any subsystem exists:
+  // a rejected snapshot must leave nothing half-restored.
+  std::optional<CheckpointView> view;
+  SimTime resume_time = 0;
+  if (resuming) {
+    std::string err;
+    view = CheckpointView::load(config_.resume_from, err);
+    if (!view) {
+      return fail_run("cannot resume from '" + config_.resume_from +
+                      "': " + err);
+    }
+    CheckpointMeta meta;
+    ByteReader meta_reader = view->reader("meta");
+    if (!read_meta(meta_reader, meta)) {
+      return fail_run("snapshot meta section missing or malformed");
+    }
+    const CheckpointMeta want = meta_of(config_, 0);
+    if (const char* field = meta_mismatch(want, meta)) {
+      return fail_run(std::string("snapshot does not match this config (") +
+                      field + " differs)");
+    }
+    resume_time = meta.boundary;
+  }
+
   capture::CaptureEngine engine(config_.buffer);
   if (!config_.pcap_path.empty()) {
-    pcap_ = std::make_unique<net::PcapWriter>(config_.pcap_path);
+    if (resuming) {
+      ByteReader r = view->reader("pcap");
+      const std::uint64_t pcap_bytes = r.u64le();
+      const std::uint64_t pcap_records = r.u64le();
+      if (!r.ok()) return fail_run("snapshot pcap section rejected");
+      pcap_ = std::make_unique<net::PcapWriter>(config_.pcap_path, pcap_bytes,
+                                                pcap_records);
+      if (!pcap_->ok()) {
+        return fail_run("pcap file '" + config_.pcap_path +
+                        "' is shorter than the snapshot's offset");
+      }
+    } else {
+      pcap_ = std::make_unique<net::PcapWriter>(config_.pcap_path);
+    }
     engine.set_pcap(pcap_.get());
   }
 
@@ -45,12 +205,36 @@ CampaignReport CampaignRunner::run() {
   engine.bind_telemetry(config_.log, config_.flight);
   simulator_.bind_telemetry(config_.log);
 
+  // checkpoint.* instruments (excluded from the series by default:
+  // checkpointing is operational, not part of the measured campaign).
+  obs::Counter* ckpt_writes = nullptr;
+  obs::Counter* ckpt_write_failures = nullptr;
+  obs::Counter* ckpt_bytes = nullptr;
+  obs::Counter* ckpt_restores = nullptr;
+  obs::Gauge* ckpt_last_time = nullptr;
+  if (config_.metrics != nullptr && (checkpointing || resuming)) {
+    ckpt_writes = &config_.metrics->counter("checkpoint.writes");
+    ckpt_write_failures = &config_.metrics->counter("checkpoint.write_failures");
+    ckpt_bytes = &config_.metrics->counter("checkpoint.bytes");
+    ckpt_restores = &config_.metrics->counter("checkpoint.restores");
+    ckpt_last_time = &config_.metrics->gauge("checkpoint.last_time");
+  }
+
+  // When checkpoint/resume is in play and an XML sink is attached, the
+  // runner interposes its own buffer: the written prefix must be readable
+  // (to snapshot it) and replaceable (to restore it), which a generic
+  // ostream is not.  The content reaches the caller's stream at the end.
+  std::ostringstream xml_buffer;
+  const bool xml_interposed =
+      (checkpointing || resuming) && config_.xml_out != nullptr;
+  std::ostream* xml_sink = xml_interposed ? &xml_buffer : config_.xml_out;
+
   if (config_.workers > 1) {
     ParallelPipelineConfig parallel_config;
     parallel_config.server_ip = config_.campaign.server_ip;
     parallel_config.server_port = config_.campaign.server_port;
     parallel_config.workers = config_.workers;
-    parallel_config.xml_out = config_.xml_out;
+    parallel_config.xml_out = xml_sink;
     parallel_config.extra_sink = config_.extra_sink;
     parallel_config.metrics = config_.metrics;
     parallel_config.log = config_.log;
@@ -62,7 +246,7 @@ CampaignReport CampaignRunner::run() {
     PipelineConfig pipeline_config;
     pipeline_config.server_ip = config_.campaign.server_ip;
     pipeline_config.server_port = config_.campaign.server_port;
-    pipeline_config.xml_out = config_.xml_out;
+    pipeline_config.xml_out = xml_sink;
     pipeline_config.keep_events = config_.keep_events;
     pipeline_config.extra_sink = config_.extra_sink;
     pipeline_config.metrics = config_.metrics;
@@ -73,6 +257,180 @@ CampaignReport CampaignRunner::run() {
         [this](const sim::TimedFrame& frame) { pipeline_->push(frame); });
   }
 
+  auto quiesce = [&] {
+    if (parallel_) {
+      parallel_->flush();
+    } else {
+      pipeline_->flush();
+    }
+  };
+
+  // The background generator and its one-frame lookahead live at runner
+  // scope: the pending frame is part of the merge state a snapshot must
+  // carry (the generator's cursor is already past it).
+  std::optional<sim::BackgroundTraffic> background;
+  std::optional<sim::TimedFrame> pending;
+  if (config_.background) {
+    sim::BackgroundConfig bg = *config_.background;
+    bg.duration = config_.campaign.duration;
+    bg.server_ip = config_.campaign.server_ip;
+    background.emplace(bg);
+    if (!resuming) pending = background->next();
+  }
+
+  if (resuming) {
+    // Restore order: registry first (plain value overwrite), then the
+    // subsystems — some recompute gauges from restored state, which must
+    // win over the snapshot's raw values.
+    if (config_.metrics != nullptr) {
+      obs::Snapshot snap;
+      ByteReader r = view->reader("metrics");
+      if (!snap.restore_state(r) || !config_.metrics->restore(snap)) {
+        return fail_run("snapshot metrics section rejected");
+      }
+    }
+    {
+      ByteReader r = view->reader("sim");
+      if (!simulator_.restore_state(r)) {
+        return fail_run("snapshot sim section rejected");
+      }
+    }
+    {
+      ByteReader r = view->reader("capture");
+      if (!engine.restore_state(r)) {
+        return fail_run("snapshot capture section rejected");
+      }
+    }
+    if (xml_interposed) {
+      const Bytes* prefix = view->section("xml");
+      if (prefix == nullptr) return fail_run("snapshot xml section missing");
+      xml_buffer.str(std::string(prefix->begin(), prefix->end()));
+      xml_buffer.seekp(0, std::ios_base::end);
+    }
+    {
+      ByteReader r = view->reader("pipeline");
+      const bool restored = parallel_ ? parallel_->restore_state(r)
+                                      : pipeline_->restore_state(r);
+      if (!restored) return fail_run("snapshot pipeline section rejected");
+    }
+    if (config_.series != nullptr) {
+      ByteReader r = view->reader("series");
+      if (!config_.series->restore_state(r)) {
+        return fail_run("snapshot series section rejected");
+      }
+    }
+    if (background) {
+      ByteReader r = view->reader("background");
+      if (r.u8() != 0) {
+        sim::TimedFrame f;
+        f.time = r.u64le();
+        const std::uint32_t len = r.u32le();
+        if (len > r.remaining()) r.fail();
+        const BytesView raw = r.raw(len);
+        f.bytes.assign(raw.begin(), raw.end());
+        pending = std::move(f);
+      }
+      if (!background->restore_state(r) || !r.ok()) {
+        return fail_run("snapshot background section rejected");
+      }
+    }
+    obs::inc(ckpt_restores);
+    obs::set(ckpt_last_time, static_cast<std::int64_t>(resume_time));
+    obs::record(config_.flight, obs::FlightEvent::kCheckpointRestore,
+                resume_time, resume_time,
+                view->section("sim") != nullptr ? view->section("sim")->size()
+                                                : 0);
+    DTR_LOG_INFO(config_.log, "checkpoint", resume_time,
+                 "resumed from '" << config_.resume_from << "' (boundary "
+                                  << resume_time << ")");
+  }
+
+  // Write one snapshot for the quiesced state at `boundary` (atomic
+  // stage-and-rename; a failure leaves any previous snapshot intact and
+  // the run continues — the next boundary tries again).
+  auto write_checkpoint = [&](SimTime boundary) {
+    CheckpointBuilder builder;
+    {
+      ByteWriter w;
+      save_meta(meta_of(config_, boundary), w);
+      builder.add("meta", std::move(w).take());
+    }
+    {
+      ByteWriter w;
+      simulator_.save_state(w);
+      builder.add("sim", std::move(w).take());
+    }
+    {
+      ByteWriter w;
+      engine.save_state(w);
+      builder.add("capture", std::move(w).take());
+    }
+    {
+      ByteWriter w;
+      if (parallel_) {
+        parallel_->save_state(w);
+      } else {
+        pipeline_->save_state(w);
+      }
+      builder.add("pipeline", std::move(w).take());
+    }
+    if (config_.metrics != nullptr) {
+      ByteWriter w;
+      config_.metrics->snapshot().save_state(w);
+      builder.add("metrics", std::move(w).take());
+    }
+    if (config_.series != nullptr) {
+      ByteWriter w;
+      config_.series->save_state(w);
+      builder.add("series", std::move(w).take());
+    }
+    if (xml_interposed) {
+      const std::string prefix = xml_buffer.str();
+      builder.add("xml", Bytes(prefix.begin(), prefix.end()));
+    }
+    if (background) {
+      ByteWriter w;
+      w.u8(pending.has_value() ? 1 : 0);
+      if (pending) {
+        w.u64le(pending->time);
+        w.u32le(static_cast<std::uint32_t>(pending->bytes.size()));
+        w.raw(pending->bytes);
+      }
+      background->save_state(w);
+      builder.add("background", std::move(w).take());
+    }
+    if (pcap_) {
+      pcap_->flush();  // the file on disk must cover the stored offset
+      ByteWriter w;
+      w.u64le(pcap_->bytes_written());
+      w.u64le(pcap_->records_written());
+      builder.add("pcap", std::move(w).take());
+    }
+
+    const std::string path =
+        (std::filesystem::path(config_.checkpoint_dir) /
+         checkpoint_file_name(boundary))
+            .string();
+    const std::string err = builder.write_file(path);
+    if (err.empty()) {
+      std::error_code ec;
+      const std::uint64_t size = std::filesystem::file_size(path, ec);
+      obs::inc(ckpt_writes);
+      obs::inc(ckpt_bytes, ec ? 0 : size);
+      obs::set(ckpt_last_time, static_cast<std::int64_t>(boundary));
+      obs::record(config_.flight, obs::FlightEvent::kCheckpointWrite, boundary,
+                  boundary, size);
+      DTR_LOG_INFO(config_.log, "checkpoint", boundary,
+                   "snapshot written: " << path << " (" << size << " bytes)");
+    } else {
+      obs::inc(ckpt_write_failures);
+      obs::record(config_.flight, obs::FlightEvent::kCheckpointWrite, boundary,
+                  boundary, 0);
+      DTR_LOG_ERROR(config_.log, "checkpoint", boundary,
+                    "snapshot write failed: " << err);
+    }
+  };
+
   // Every frame funnels through here in time order, which makes it the
   // natural clock edge for the time-series recorder: when a frame's
   // timestamp crosses a sample boundary, quiesce the pipeline (so interval
@@ -81,13 +439,7 @@ CampaignReport CampaignRunner::run() {
   // interval.
   auto feed = [&](const sim::TimedFrame& f) {
     if (config_.series != nullptr && config_.series->due(f.time)) {
-      if (config_.series_flush) {
-        if (parallel_) {
-          parallel_->flush();
-        } else {
-          pipeline_->flush();
-        }
-      }
+      if (config_.series_flush) quiesce();
       do {
         config_.series->sample();
       } while (config_.series->due(f.time));
@@ -95,28 +447,49 @@ CampaignReport CampaignRunner::run() {
     engine.offer(f);
   };
 
-  if (config_.background) {
-    // Mirror carries campaign + background traffic.  Both streams are
-    // time-ordered; merge them lazily (the background alone can be tens of
-    // millions of frames — never materialised).
-    sim::BackgroundConfig bg = *config_.background;
-    bg.duration = config_.campaign.duration;
-    bg.server_ip = config_.campaign.server_ip;
-    sim::BackgroundTraffic background(bg);
-    std::optional<sim::TimedFrame> pending = background.next();
-    simulator_.run([&](const sim::TimedFrame& f) {
+  // Campaign + background streams are both time-ordered; merge them lazily
+  // (the background alone can be tens of millions of frames — never
+  // materialised).
+  sim::FrameSink sink;
+  if (background) {
+    sink = [&](const sim::TimedFrame& f) {
       while (pending && pending->time <= f.time) {
         feed(*pending);
-        pending = background.next();
+        pending = background->next();
       }
       feed(f);
-    });
-    while (pending) {
-      feed(*pending);
-      pending = background.next();
+    };
+  } else {
+    sink = feed;
+  }
+
+  if (checkpointing && config_.checkpoint_interval > 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    // Segment the campaign at checkpoint boundaries.  run_until() produces
+    // the exact frame sequence run() does, and background frames drained at
+    // a boundary are exactly those an uninterrupted merge would have fed
+    // before the next campaign frame (whose time is >= the boundary), so
+    // the capture stream is independent of where the boundaries fall.
+    SimTime boundary =
+        (resume_time / config_.checkpoint_interval + 1) *
+        config_.checkpoint_interval;
+    while (simulator_.run_until(boundary, sink)) {
+      while (pending && pending->time < boundary) {
+        feed(*pending);
+        pending = background->next();
+      }
+      quiesce();
+      write_checkpoint(boundary);
+      boundary += config_.checkpoint_interval;
     }
   } else {
-    simulator_.run(feed);
+    simulator_.run_until(~SimTime{0}, sink);
+  }
+  // Campaign exhausted: drain whatever background outlives it.
+  while (pending) {
+    feed(*pending);
+    pending = background->next();
   }
 
   CampaignReport report;
@@ -140,6 +513,7 @@ CampaignReport CampaignRunner::run() {
   report.buffer_high_water = engine.buffer_high_water();
   report.loss_series = engine.loss_series();
   if (pcap_) pcap_->flush();
+  if (xml_interposed) *config_.xml_out << xml_buffer.str();
   return report;
 }
 

@@ -51,12 +51,31 @@ struct RunnerConfig {
   /// output, serial == parallel).  Disable only for coarse "roughly now"
   /// sampling where stalling the intake is not worth it.
   bool series_flush = true;
+  /// Checkpoint/resume — the crash-safe long-campaign story (the paper's
+  /// horizon is ten weeks).  When `checkpoint_dir` is non-empty the runner
+  /// quiesces the pipeline at every `checkpoint_interval` boundary of
+  /// simulated time and atomically writes a full snapshot (simulator +
+  /// server index, capture buffer and loss series, anonymiser tables,
+  /// decoder, metrics, time series, XML prefix, pcap cursor) into the
+  /// directory, one file per boundary (checkpoint_file_name()).  When
+  /// `resume_from` names a snapshot file, the run continues from that
+  /// boundary; the final outputs (XML dataset, series JSONL/CSV, pcap,
+  /// report counters) are byte-identical to an uninterrupted run's.
+  /// Resuming requires the same campaign/buffer config, worker count and
+  /// attached outputs as the run that wrote the snapshot.
+  std::string checkpoint_dir;
+  SimTime checkpoint_interval = kWeek;
+  std::string resume_from;
 
   /// Convenience: a small config that runs in well under a second.
   static RunnerConfig tiny(std::uint64_t seed = 42);
   /// Default bench-scale config (about a million messages).
   static RunnerConfig bench_scale(std::uint64_t seed = 42);
 };
+
+/// Snapshot file name for a boundary: "checkpoint-<zero-padded time>.ckpt"
+/// (fixed width so lexicographic order equals time order).
+std::string checkpoint_file_name(SimTime boundary);
 
 struct CampaignReport {
   sim::GroundTruth truth;

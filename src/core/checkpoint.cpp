@@ -1,0 +1,162 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "hash/md5.hpp"
+
+namespace dtr::core {
+
+namespace {
+
+// Guards against absurd section tables in corrupt files; generous versus
+// the handful of subsystems a campaign actually snapshots.
+constexpr std::uint32_t kMaxSections = 1024;
+constexpr std::uint32_t kMaxSectionName = 256;
+
+constexpr std::size_t kDigestSize = 16;
+constexpr std::size_t kMinFileSize =
+    sizeof(kCheckpointMagic) + 2 * sizeof(std::uint32_t) + kDigestSize;
+
+}  // namespace
+
+void CheckpointBuilder::add(std::string name, Bytes payload) {
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+Bytes CheckpointBuilder::encode() const {
+  ByteWriter out;
+  out.raw(kCheckpointMagic, sizeof(kCheckpointMagic));
+  out.u32le(kCheckpointVersion);
+  out.u32le(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    out.u32le(static_cast<std::uint32_t>(name.size()));
+    out.raw(name.data(), name.size());
+    out.u64le(payload.size());
+    out.raw(payload);
+  }
+  const Digest128 digest = Md5::digest(out.view());
+  out.raw(digest.bytes.data(), digest.bytes.size());
+  return std::move(out).take();
+}
+
+std::string CheckpointBuilder::write_file(const std::string& path) const {
+  const Bytes data = encode();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return "cannot open " + tmp + " for writing";
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return "short write to " + tmp;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return "cannot rename " + tmp + " to " + path;
+  }
+  return {};
+}
+
+std::optional<CheckpointView> CheckpointView::parse(BytesView data,
+                                                    std::string& error) {
+  if (data.size() < kMinFileSize) {
+    error = "truncated checkpoint (shorter than the fixed header)";
+    return std::nullopt;
+  }
+  if (std::memcmp(data.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    error = "not a checkpoint file (bad magic)";
+    return std::nullopt;
+  }
+  // Verify the trailing digest before trusting any length field: a single
+  // flipped bit anywhere — including in the section table — fails here.
+  const std::size_t body_size = data.size() - kDigestSize;
+  const Digest128 expect = Md5::digest(data.subspan(0, body_size));
+  if (std::memcmp(expect.bytes.data(), data.data() + body_size, kDigestSize) !=
+      0) {
+    error = "checkpoint checksum mismatch (corrupt or truncated file)";
+    return std::nullopt;
+  }
+
+  ByteReader in(data.subspan(0, body_size));
+  in.skip(sizeof(kCheckpointMagic));
+  const std::uint32_t version = in.u32le();
+  if (version != kCheckpointVersion) {
+    error = "unsupported checkpoint version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(kCheckpointVersion) + ")";
+    return std::nullopt;
+  }
+  const std::uint32_t count = in.u32le();
+  if (count > kMaxSections) {
+    error = "implausible section count";
+    return std::nullopt;
+  }
+
+  CheckpointView view;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = in.u32le();
+    if (!in.ok() || name_len == 0 || name_len > kMaxSectionName) {
+      error = "malformed section name";
+      return std::nullopt;
+    }
+    BytesView name_bytes = in.raw(name_len);
+    std::string name(reinterpret_cast<const char*>(name_bytes.data()),
+                     name_bytes.size());
+    const std::uint64_t payload_len = in.u64le();
+    if (!in.ok() || payload_len > in.remaining()) {
+      error = "truncated section payload";
+      return std::nullopt;
+    }
+    BytesView payload = in.raw(static_cast<std::size_t>(payload_len));
+    auto [it, inserted] =
+        view.sections_.emplace(std::move(name), Bytes(payload.begin(),
+                                                      payload.end()));
+    if (!inserted) {
+      error = "duplicate section '" + it->first + "'";
+      return std::nullopt;
+    }
+  }
+  if (!in.ok() || !in.at_end()) {
+    error = "trailing bytes after the last section";
+    return std::nullopt;
+  }
+  return view;
+}
+
+std::optional<CheckpointView> CheckpointView::load(const std::string& path,
+                                                   std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot read checkpoint file " + path;
+    return std::nullopt;
+  }
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return parse(data, error);
+}
+
+const Bytes* CheckpointView::section(std::string_view name) const {
+  auto it = sections_.find(name);
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+ByteReader CheckpointView::reader(std::string_view name) const {
+  const Bytes* payload = section(name);
+  if (payload == nullptr) {
+    ByteReader failed{BytesView{}};
+    failed.fail();
+    return failed;
+  }
+  return ByteReader(*payload);
+}
+
+}  // namespace dtr::core

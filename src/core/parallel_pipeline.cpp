@@ -204,6 +204,38 @@ void ParallelCapturePipeline::merge_loop() {
   obs::set(metrics_.merge_pending, 0);
 }
 
+void ParallelCapturePipeline::save_state(ByteWriter& out) const {
+  out.u64le(workers_.size());
+  out.u64le(anonymised_events_);
+  out.u64le(xml_ ? xml_->events_written() : 0);
+  out.u64le(xml_ ? xml_->xml_elements_written() : 0);
+  clients_.save_state(out);
+  files_.save_state(out);
+  anonymiser_.save_state(out);
+  stats_.save_state(out);
+  for (const auto& worker : workers_) {
+    out.u64le(worker->last_time);
+    worker->decoder->save_state(out);
+  }
+}
+
+bool ParallelCapturePipeline::restore_state(ByteReader& in) {
+  if (in.u64le() != workers_.size()) return false;
+  anonymised_events_ = in.u64le();
+  const std::uint64_t xml_events = in.u64le();
+  const std::uint64_t xml_elements = in.u64le();
+  if (xml_) xml_->resume(xml_events, xml_elements);
+  if (!clients_.restore_state(in)) return false;
+  if (!files_.restore_state(in)) return false;
+  if (!anonymiser_.restore_state(in)) return false;
+  if (!stats_.restore_state(in)) return false;
+  for (auto& worker : workers_) {
+    worker->last_time = in.u64le();
+    if (!worker->decoder->restore_state(in)) return false;
+  }
+  return in.ok();
+}
+
 void ParallelCapturePipeline::bind_metrics(obs::Registry& registry) {
   metrics_.frames = &registry.counter("pipeline.frames");
   metrics_.messages = &registry.counter("pipeline.messages");

@@ -83,6 +83,14 @@ class ParallelCapturePipeline {
   [[nodiscard]] const analysis::CampaignStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t workers() const { return workers_.size(); }
 
+  /// Checkpoint codec (same contract as CapturePipeline's).  The worker
+  /// count is part of the snapshot: in-flight IP fragments live in the
+  /// per-worker reassemblers frames are routed to by flow hash modulo the
+  /// worker count, so restoring into a pipeline with a different worker
+  /// count is rejected.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   struct SequencedFrame {
     std::uint64_t seq = 0;

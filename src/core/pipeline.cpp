@@ -133,6 +133,31 @@ void CapturePipeline::anonymise_loop() {
   }
 }
 
+void CapturePipeline::save_state(ByteWriter& out) const {
+  out.u64le(last_time_);
+  out.u64le(anonymised_events_);
+  out.u64le(xml_ ? xml_->events_written() : 0);
+  out.u64le(xml_ ? xml_->xml_elements_written() : 0);
+  clients_.save_state(out);
+  files_.save_state(out);
+  anonymiser_.save_state(out);
+  stats_.save_state(out);
+  decoder_->save_state(out);
+}
+
+bool CapturePipeline::restore_state(ByteReader& in) {
+  last_time_ = in.u64le();
+  anonymised_events_ = in.u64le();
+  const std::uint64_t xml_events = in.u64le();
+  const std::uint64_t xml_elements = in.u64le();
+  if (xml_) xml_->resume(xml_events, xml_elements);
+  if (!clients_.restore_state(in)) return false;
+  if (!files_.restore_state(in)) return false;
+  if (!anonymiser_.restore_state(in)) return false;
+  if (!stats_.restore_state(in)) return false;
+  return decoder_->restore_state(in) && in.ok();
+}
+
 void CapturePipeline::bind_metrics(obs::Registry& registry) {
   metrics_.frames = &registry.counter("pipeline.frames");
   metrics_.messages = &registry.counter("pipeline.messages");

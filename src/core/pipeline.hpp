@@ -123,6 +123,16 @@ class CapturePipeline {
     return clients_;
   }
 
+  /// Checkpoint codec.  save_state may only run while the pipeline is
+  /// quiesced (immediately after flush(), before the next push);
+  /// restore_state must run before the first push after construction.
+  /// keep_events buffers are not serialized — a resumed run retains only
+  /// post-resume events.  When an XML sink is attached, the owner must
+  /// restore the stream's contents to the checkpointed prefix itself
+  /// (DatasetWriter::resume realigns the writer's cursor here).
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   void decode_loop();
   void anonymise_loop();

@@ -115,6 +115,38 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
 
 void FrameDecoder::finish(SimTime now) { reassembler_.expire(now); }
 
+void FrameDecoder::save_state(ByteWriter& out) const {
+  out.u64le(stats_.frames);
+  out.u64le(stats_.non_ipv4_frames);
+  out.u64le(stats_.bad_ip_packets);
+  out.u64le(stats_.tcp_packets);
+  out.u64le(stats_.other_ip_packets);
+  out.u64le(stats_.udp_packets);
+  out.u64le(stats_.udp_fragments);
+  out.u64le(stats_.udp_malformed);
+  out.u64le(stats_.edonkey_messages);
+  out.u64le(stats_.decoded);
+  out.u64le(stats_.undecoded_structural);
+  out.u64le(stats_.undecoded_effective);
+  reassembler_.save_state(out);
+}
+
+bool FrameDecoder::restore_state(ByteReader& in) {
+  stats_.frames = in.u64le();
+  stats_.non_ipv4_frames = in.u64le();
+  stats_.bad_ip_packets = in.u64le();
+  stats_.tcp_packets = in.u64le();
+  stats_.other_ip_packets = in.u64le();
+  stats_.udp_packets = in.u64le();
+  stats_.udp_fragments = in.u64le();
+  stats_.udp_malformed = in.u64le();
+  stats_.edonkey_messages = in.u64le();
+  stats_.decoded = in.u64le();
+  stats_.undecoded_structural = in.u64le();
+  stats_.undecoded_effective = in.u64le();
+  return reassembler_.restore_state(in) && in.ok();
+}
+
 void FrameDecoder::bind_telemetry(obs::Logger* log,
                                   obs::FlightRecorder* flight) {
   log_ = log;

@@ -102,6 +102,11 @@ class FrameDecoder {
     return reassembler_.stats();
   }
 
+  /// Checkpoint codec: decode counters plus the embedded reassembler
+  /// (in-flight fragments straddle snapshot boundaries).
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   void handle_ip(const net::Ipv4Packet& packet, SimTime time);
 

@@ -163,6 +163,86 @@ void Ipv4Reassembler::expire(SimTime now) {
   obs::set(metrics_.pending, static_cast<std::int64_t>(pending_.size()));
 }
 
+void Ipv4Reassembler::save_state(ByteWriter& out) const {
+  out.u64le(stats_.fragments_seen);
+  out.u64le(stats_.reassembled);
+  out.u64le(stats_.expired);
+  out.u64le(stats_.overlapping);
+  out.u64le(pending_.size());
+  for (const auto& [key, partial] : pending_) {
+    out.u32le(key.src);
+    out.u32le(key.dst);
+    out.u16le(key.id);
+    out.u8(key.protocol);
+    out.u64le(partial.first_seen);
+    out.u8(partial.total_size.has_value() ? 1 : 0);
+    out.u32le(partial.total_size.value_or(0));
+    const Ipv4Packet& h = partial.header_template;
+    out.u8(h.ttl);
+    out.u8(h.protocol);
+    out.u32le(h.src);
+    out.u32le(h.dst);
+    out.u16le(h.identification);
+    out.u8(static_cast<std::uint8_t>((h.dont_fragment ? 1 : 0) |
+                                     (h.more_fragments ? 2 : 0)));
+    out.u16le(h.fragment_offset);
+    out.u64le(partial.pieces.size());
+    for (const auto& [offset, piece] : partial.pieces) {
+      out.u32le(offset);
+      out.u64le(piece.size());
+      out.raw(piece);
+    }
+  }
+}
+
+bool Ipv4Reassembler::restore_state(ByteReader& in) {
+  stats_.fragments_seen = in.u64le();
+  stats_.reassembled = in.u64le();
+  stats_.expired = in.u64le();
+  stats_.overlapping = in.u64le();
+  pending_.clear();
+  const std::uint64_t entries = in.u64le();
+  if (entries > in.remaining() / 32) return false;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    Key key{};
+    key.src = in.u32le();
+    key.dst = in.u32le();
+    key.id = in.u16le();
+    key.protocol = in.u8();
+    Partial partial;
+    partial.first_seen = in.u64le();
+    const bool has_total = in.u8() != 0;
+    const std::uint32_t total = in.u32le();
+    if (has_total) partial.total_size = total;
+    Ipv4Packet& h = partial.header_template;
+    h.ttl = in.u8();
+    h.protocol = in.u8();
+    h.src = in.u32le();
+    h.dst = in.u32le();
+    h.identification = in.u16le();
+    const std::uint8_t flags = in.u8();
+    h.dont_fragment = (flags & 1) != 0;
+    h.more_fragments = (flags & 2) != 0;
+    h.fragment_offset = in.u16le();
+    const std::uint64_t pieces = in.u64le();
+    if (pieces > in.remaining() / 12) return false;
+    for (std::uint64_t j = 0; j < pieces; ++j) {
+      const std::uint32_t offset = in.u32le();
+      const std::uint64_t len = in.u64le();
+      if (len > in.remaining()) return false;
+      BytesView piece = in.raw(static_cast<std::size_t>(len));
+      if (!in.ok()) return false;
+      if (!partial.pieces
+               .emplace(offset, Bytes(piece.begin(), piece.end()))
+               .second) {
+        return false;
+      }
+    }
+    if (!pending_.emplace(key, std::move(partial)).second) return false;
+  }
+  return in.ok();
+}
+
 void Ipv4Reassembler::bind_metrics(obs::Registry& registry) {
   metrics_.fragments = &registry.counter("net.reassembly.fragments");
   metrics_.reassembled = &registry.counter("net.reassembly.reassembled");

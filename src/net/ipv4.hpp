@@ -90,6 +90,11 @@ class Ipv4Reassembler {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
+  /// Checkpoint codec: counters plus every partially-reassembled packet —
+  /// fragments of one datagram may straddle a snapshot boundary.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   struct Key {
     std::uint32_t src, dst;

@@ -1,6 +1,7 @@
 #include "net/pcap.hpp"
 
 #include <cstring>
+#include <filesystem>
 
 namespace dtr::net {
 
@@ -25,6 +26,31 @@ PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
 PcapWriter::PcapWriter(std::uint32_t snaplen)
     : to_file_(false), snaplen_(snaplen) {
   write_header();
+}
+
+PcapWriter::PcapWriter(const std::string& path, std::uint64_t resume_offset,
+                       std::uint64_t resume_records, std::uint32_t snaplen)
+    : to_file_(true), snaplen_(snaplen) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size < resume_offset) {
+    ok_ = false;
+    return;
+  }
+  // Records past the snapshot boundary belong to the lost segment of the
+  // interrupted run; drop them so resumed appends land on a record edge.
+  std::filesystem::resize_file(path, resume_offset, ec);
+  if (ec) {
+    ok_ = false;
+    return;
+  }
+  file_.open(path, std::ios::binary | std::ios::app);
+  if (!file_) {
+    ok_ = false;
+    return;
+  }
+  bytes_ = resume_offset;
+  records_ = resume_records;
 }
 
 void PcapWriter::write_header() {
@@ -60,6 +86,7 @@ void PcapWriter::emit(BytesView bytes) {
   } else {
     memory_.insert(memory_.end(), bytes.begin(), bytes.end());
   }
+  bytes_ += bytes.size();
 }
 
 void PcapWriter::flush() {

@@ -34,10 +34,22 @@ class PcapWriter {
   /// In-memory variant for tests.
   explicit PcapWriter(std::uint32_t snaplen = kDefaultSnapLen);
 
+  /// Resume an interrupted capture file: truncate `path` back to
+  /// `resume_offset` bytes (records written after the snapshot was taken
+  /// are discarded) and continue appending.  `ok()` reports whether the
+  /// file existed and was at least that long.
+  PcapWriter(const std::string& path, std::uint64_t resume_offset,
+             std::uint64_t resume_records,
+             std::uint32_t snaplen = kDefaultSnapLen);
+
   void write(SimTime timestamp, BytesView frame);
   void flush();
 
+  [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  /// Total file/buffer bytes produced (header included) — the offset a
+  /// checkpoint stores so resume can truncate to a record boundary.
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
 
   /// For the in-memory variant: the bytes produced so far.
   [[nodiscard]] const Bytes& buffer() const { return memory_; }
@@ -48,9 +60,11 @@ class PcapWriter {
 
   std::ofstream file_;
   bool to_file_ = false;
+  bool ok_ = true;
   Bytes memory_;
   std::uint32_t snaplen_;
   std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 /// Streaming reader over an in-memory buffer or a file.

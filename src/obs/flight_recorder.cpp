@@ -16,6 +16,8 @@ const char* flight_event_name(FlightEvent kind) {
     case FlightEvent::kReassemblyExpired: return "reassembly-expired";
     case FlightEvent::kStageStall: return "stage-stall";
     case FlightEvent::kPipelineError: return "pipeline-error";
+    case FlightEvent::kCheckpointWrite: return "checkpoint-write";
+    case FlightEvent::kCheckpointRestore: return "checkpoint-restore";
     case FlightEvent::kMark: return "mark";
   }
   return "?";

@@ -43,6 +43,8 @@ enum class FlightEvent : std::uint8_t {
   kReassemblyExpired,   ///< a=IP identification, b=fragments dropped
   kStageStall,          ///< a=queue depth, b=worker index (parallel only)
   kPipelineError,       ///< stage identified by the paired error log
+  kCheckpointWrite,     ///< a=boundary time, b=snapshot bytes (0 = failed)
+  kCheckpointRestore,   ///< a=boundary time, b=snapshot bytes
   kMark,                ///< free-form caller marker
 };
 

@@ -68,6 +68,22 @@ HistogramSnapshot Histogram::snapshot() const {
   return snap;
 }
 
+bool Histogram::store(const HistogramSnapshot& snap) {
+  if (snap.bounds != bounds_) return false;
+  if (snap.buckets.size() != bounds_.size() + 1) return false;
+  for (Shard& shard : shards_) {
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    shards_[0].buckets[i].store(snap.buckets[i], std::memory_order_relaxed);
+  }
+  shards_[0].sum.store(snap.sum, std::memory_order_relaxed);
+  return true;
+}
+
 std::vector<double> latency_buckets_s() {
   std::vector<double> bounds;
   for (double b = 1e-6; b < 10.0; b *= 2.0) bounds.push_back(b);
@@ -116,6 +132,15 @@ Histogram& Registry::histogram(std::string_view name,
              .first;
   }
   return *it->second;
+}
+
+bool Registry::restore(const Snapshot& snap) {
+  for (const auto& [name, v] : snap.counters) counter(name).store(v);
+  for (const auto& [name, v] : snap.gauges) gauge(name).set(v);
+  for (const auto& [name, h] : snap.histograms) {
+    if (!histogram(name, h.bounds).store(h)) return false;
+  }
+  return true;
 }
 
 Snapshot Registry::snapshot() const {

@@ -59,6 +59,13 @@ class Counter {
     return shards_[shard].v.load(std::memory_order_relaxed);
   }
 
+  /// Checkpoint restore: replace the value (every shard zeroed, the total
+  /// stored into shard 0).  Not thread-safe against concurrent inc().
+  void store(std::uint64_t v) {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    shards_[0].v.store(v, std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(64) Shard {
     std::atomic<std::uint64_t> v{0};
@@ -105,6 +112,11 @@ class Histogram {
 
   [[nodiscard]] HistogramSnapshot snapshot() const;
 
+  /// Checkpoint restore: replace the contents from a snapshot.  Fails
+  /// (returns false, histogram untouched) when the snapshot's bounds do
+  /// not match this histogram's.  Not thread-safe against observe().
+  bool store(const HistogramSnapshot& snap);
+
  private:
   struct alignas(64) Shard {
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
@@ -142,6 +154,12 @@ class Registry {
 
   /// Point-in-time copy of every instrument.
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Checkpoint restore: overwrite (or register) every instrument named in
+  /// `snap` with its snapshot value.  Instruments not named keep their
+  /// current values.  Returns false if a histogram exists with different
+  /// bounds.  Callers must quiesce recording threads first.
+  bool restore(const Snapshot& snap);
 
  private:
   mutable std::mutex mutex_;

@@ -1,6 +1,7 @@
 #include "obs/snapshot.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <iomanip>
 
 #include "obs/json.hpp"
@@ -114,6 +115,94 @@ void Snapshot::render_json(std::ostream& out) const {
         << "}";
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+namespace {
+
+void save_string(ByteWriter& out, const std::string& s) {
+  out.u32le(static_cast<std::uint32_t>(s.size()));
+  out.raw(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                    s.size()));
+}
+
+bool restore_string(ByteReader& in, std::string& s) {
+  const std::uint32_t len = in.u32le();
+  if (len > in.remaining()) return false;
+  BytesView raw = in.raw(len);
+  if (!in.ok()) return false;
+  s.assign(reinterpret_cast<const char*>(raw.data()), raw.size());
+  return true;
+}
+
+}  // namespace
+
+void Snapshot::save_state(ByteWriter& out) const {
+  out.u64le(counters.size());
+  for (const auto& [name, v] : counters) {
+    save_string(out, name);
+    out.u64le(v);
+  }
+  out.u64le(gauges.size());
+  for (const auto& [name, v] : gauges) {
+    save_string(out, name);
+    out.u64le(static_cast<std::uint64_t>(v));
+  }
+  out.u64le(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    save_string(out, name);
+    out.u64le(h.bounds.size());
+    for (double b : h.bounds) out.u64le(std::bit_cast<std::uint64_t>(b));
+    out.u64le(h.buckets.size());
+    for (std::uint64_t c : h.buckets) out.u64le(c);
+    out.u64le(std::bit_cast<std::uint64_t>(h.sum));
+    out.u64le(h.count);
+  }
+}
+
+bool Snapshot::restore_state(ByteReader& in) {
+  counters.clear();
+  gauges.clear();
+  histograms.clear();
+  std::uint64_t n = in.u64le();
+  if (n > in.remaining() / 12) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!restore_string(in, name)) return false;
+    const std::uint64_t v = in.u64le();
+    if (!counters.emplace(std::move(name), v).second) return false;
+  }
+  n = in.u64le();
+  if (n > in.remaining() / 12) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!restore_string(in, name)) return false;
+    const auto v = static_cast<std::int64_t>(in.u64le());
+    if (!gauges.emplace(std::move(name), v).second) return false;
+  }
+  n = in.u64le();
+  if (n > in.remaining() / 28) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!restore_string(in, name)) return false;
+    HistogramSnapshot h;
+    std::uint64_t m = in.u64le();
+    if (m > in.remaining() / 8) return false;
+    h.bounds.reserve(static_cast<std::size_t>(m));
+    for (std::uint64_t j = 0; j < m; ++j) {
+      h.bounds.push_back(std::bit_cast<double>(in.u64le()));
+    }
+    m = in.u64le();
+    if (m > in.remaining() / 8) return false;
+    h.buckets.reserve(static_cast<std::size_t>(m));
+    for (std::uint64_t j = 0; j < m; ++j) h.buckets.push_back(in.u64le());
+    h.sum = std::bit_cast<double>(in.u64le());
+    h.count = in.u64le();
+    if (h.buckets.size() != h.bounds.size() + 1) return false;
+    if (!histograms.emplace(std::move(name), std::move(h)).second) {
+      return false;
+    }
+  }
+  return in.ok();
 }
 
 }  // namespace dtr::obs

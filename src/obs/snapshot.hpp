@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
+
 namespace dtr::obs {
 
 struct HistogramSnapshot {
@@ -52,6 +54,11 @@ struct Snapshot {
   /// Keys are sorted, doubles use shortest round-trip formatting, and the
   /// document ends with a newline.
   void render_json(std::ostream& out) const;
+
+  /// Checkpoint codec (doubles stored bit-exact, names sorted — maps give
+  /// a canonical order for free).
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 };
 
 }  // namespace dtr::obs

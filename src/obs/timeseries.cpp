@@ -196,4 +196,31 @@ void TimeSeriesRecorder::write_csv(std::ostream& out) const {
   }
 }
 
+void TimeSeriesRecorder::save_state(ByteWriter& out) const {
+  out.u64le(next_);
+  last_stored_.save_state(out);
+  out.u64le(samples_.size());
+  for (const Sample& s : samples_) {
+    out.u64le(s.time);
+    s.snapshot.save_state(out);
+  }
+}
+
+bool TimeSeriesRecorder::restore_state(ByteReader& in) {
+  next_ = in.u64le();
+  if (!last_stored_.restore_state(in)) return false;
+  samples_.clear();
+  const std::uint64_t n = in.u64le();
+  if (n > in.remaining() / 32) return false;
+  samples_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Sample s;
+    s.time = in.u64le();
+    if (!samples_.empty() && s.time <= samples_.back().time) return false;
+    if (!s.snapshot.restore_state(in)) return false;
+    samples_.push_back(std::move(s));
+  }
+  return in.ok();
+}
+
 }  // namespace dtr::obs

@@ -42,9 +42,11 @@ struct TimeSeriesOptions {
   std::vector<std::string> include_prefixes;
   /// Drop instruments whose name starts with one of these.  Defaults to
   /// the wall-clock / scheduling-dependent names that would break
-  /// byte-reproducibility.
-  std::vector<std::string> exclude_prefixes = {"span.", "pipeline.queue.",
-                                               "pipeline.merge."};
+  /// byte-reproducibility.  checkpoint.* is excluded so a resumed run's
+  /// series stays byte-identical to an uninterrupted run's (checkpointing
+  /// activity is operational, not part of the measured campaign).
+  std::vector<std::string> exclude_prefixes = {
+      "span.", "pipeline.queue.", "pipeline.merge.", "checkpoint."};
   /// Store a sample only when some included counter changed since the last
   /// stored sample — sparse mode for long fine-grained series (Figure 2's
   /// per-second losses: almost every second is all-zero deltas).  Deltas
@@ -102,6 +104,11 @@ class TimeSeriesRecorder {
   /// `name.delta`, gauges `name`, histograms `name.count`,
   /// `name.count.delta` and one `name.pXX` per configured quantile.
   void write_csv(std::ostream& out) const;
+
+  /// Checkpoint codec: boundary cursor, last stored snapshot and every
+  /// stored sample.  Options are rebuilt from the config, not serialized.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
 
  private:
   [[nodiscard]] bool included(const std::string& name) const;

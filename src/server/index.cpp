@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "common/strings.hpp"
 
@@ -485,6 +486,137 @@ std::vector<FileId> FileIndex::search(const proto::SearchExpr& expr,
   out.reserve(merged.size());
   for (const Posting& p : merged) out.push_back(p.id);
   return out;
+}
+
+void FileIndex::save_state(ByteWriter& out) const {
+  out.u64le(shards_.size());
+  out.u64le(next_seq_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard lk(cache_mutex_);
+    out.u64le(cache_stats_.hits);
+    out.u64le(cache_stats_.partial_hits);
+    out.u64le(cache_stats_.misses);
+    out.u64le(cache_stats_.evictions);
+  }
+
+  // Records in global first-publish order: the canonical answer order, and
+  // the order restore_state replays so per-shard posting lists come back
+  // seq-ascending without re-sorting.
+  struct Item {
+    std::uint64_t seq = 0;
+    const FileId* id = nullptr;
+    const FileRecord* rec = nullptr;
+  };
+  std::vector<Item> items;
+  for (const auto& shard : shards_) {
+    for (const auto& [seq, id] : shard->by_seq) {
+      auto it = shard->files.find(id);
+      if (it == shard->files.end()) continue;
+      items.push_back(Item{seq, &it->first, &it->second});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.seq < b.seq; });
+
+  out.u64le(items.size());
+  for (const Item& item : items) {
+    out.u64le(item.seq);
+    out.raw(BytesView(item.id->bytes.data(), item.id->bytes.size()));
+    out.u32le(static_cast<std::uint32_t>(item.rec->name.size()));
+    out.raw(BytesView(
+        reinterpret_cast<const std::uint8_t*>(item.rec->name.data()),
+        item.rec->name.size()));
+    out.u32le(item.rec->size);
+    out.u32le(static_cast<std::uint32_t>(item.rec->type.size()));
+    out.raw(BytesView(
+        reinterpret_cast<const std::uint8_t*>(item.rec->type.data()),
+        item.rec->type.size()));
+    out.u32le(static_cast<std::uint32_t>(item.rec->sources.size()));
+    for (const Source& src : item.rec->sources) {
+      out.u32le(src.client);
+      out.u16le(src.port);
+    }
+  }
+}
+
+bool FileIndex::restore_state(ByteReader& in) {
+  if (in.u64le() != shards_.size()) return false;
+  const std::uint64_t next_seq = in.u64le();
+  CacheStats cs;
+  cs.hits = in.u64le();
+  cs.partial_hits = in.u64le();
+  cs.misses = in.u64le();
+  cs.evictions = in.u64le();
+  const std::uint64_t count = in.u64le();
+  if (count > in.remaining() / 40) return false;
+
+  for (auto& shard : shards_) {
+    shard->files.clear();
+    shard->keywords.clear();
+    shard->by_client.clear();
+    shard->by_seq.clear();
+    shard->generation.store(0, std::memory_order_relaxed);
+    shard->file_count.store(0, std::memory_order_relaxed);
+    shard->source_count.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lk(cache_mutex_);
+    cache_.clear();
+    cache_lru_.clear();
+    cache_stats_ = cs;
+  }
+
+  std::uint64_t prev_seq = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t seq = in.u64le();
+    if (seq <= prev_seq || seq >= next_seq) return false;
+    prev_seq = seq;
+    FileId id;
+    BytesView id_bytes = in.raw(id.bytes.size());
+    if (!in.ok()) return false;
+    std::memcpy(id.bytes.data(), id_bytes.data(), id.bytes.size());
+
+    FileRecord rec;
+    rec.seq = seq;
+    const std::uint32_t name_len = in.u32le();
+    if (name_len > in.remaining()) return false;
+    BytesView name = in.raw(name_len);
+    rec.name.assign(reinterpret_cast<const char*>(name.data()), name.size());
+    rec.size = in.u32le();
+    const std::uint32_t type_len = in.u32le();
+    if (type_len > in.remaining()) return false;
+    BytesView type = in.raw(type_len);
+    rec.type.assign(reinterpret_cast<const char*>(type.data()), type.size());
+    const std::uint32_t n_sources = in.u32le();
+    if (n_sources > in.remaining() / 6) return false;
+    rec.sources.reserve(n_sources);
+    for (std::uint32_t s = 0; s < n_sources; ++s) {
+      Source src{in.u32le(), in.u16le()};
+      auto dup = std::find_if(
+          rec.sources.begin(), rec.sources.end(),
+          [&](const Source& o) { return o.client == src.client; });
+      if (dup != rec.sources.end()) return false;
+      rec.sources.push_back(src);
+    }
+    if (!in.ok()) return false;
+
+    Shard& shard = shard_for(id);
+    const std::string record_name = rec.name;
+    const std::vector<Source> record_sources = rec.sources;
+    if (!shard.files.emplace(id, std::move(rec)).second) return false;
+    for (const std::string& kw : tokenize_keywords(record_name)) {
+      shard.keywords[kw].push_back(Posting{seq, id});
+    }
+    shard.by_seq.emplace(seq, id);
+    shard.file_count.fetch_add(1, std::memory_order_relaxed);
+    for (const Source& src : record_sources) {
+      shard.by_client[src.client].push_back(id);
+      shard.source_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  next_seq_.store(next_seq, std::memory_order_relaxed);
+  update_all_gauges();
+  return in.ok();
 }
 
 FileIndex::CacheStats FileIndex::cache_stats() const {

@@ -148,6 +148,16 @@ class FileIndex {
   };
   [[nodiscard]] CacheStats cache_stats() const;
 
+  /// Checkpoint codec.  Records are written in global first-publish order
+  /// and restore re-derives every per-shard structure (postings, by_seq,
+  /// by_client) from them, so the restored index answers identically for
+  /// the same shard count.  The search cache is NOT serialized: restore
+  /// clears it, so a cache-enabled resumed run may report different
+  /// cache hit/miss counters than an uninterrupted one (answers are
+  /// unaffected).  Not thread-safe: quiesce before calling.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   /// One posting-list element: the file plus its canonical order key.
   struct Posting {

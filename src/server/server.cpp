@@ -216,4 +216,90 @@ std::vector<proto::Message> EdonkeyServer::handle(proto::ClientId client_ip,
   return answers;
 }
 
+namespace {
+
+/// Serialize an unordered client-keyed map sorted by key, so snapshot
+/// bytes don't depend on hash-table iteration order.
+template <typename V, typename Write>
+void save_client_map(ByteWriter& out,
+                     const std::unordered_map<proto::ClientId, V>& map,
+                     Write&& write_value) {
+  std::vector<proto::ClientId> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  out.u64le(keys.size());
+  for (proto::ClientId k : keys) {
+    out.u32le(k);
+    write_value(map.find(k)->second);
+  }
+}
+
+}  // namespace
+
+void EdonkeyServer::save_state(ByteWriter& out) const {
+  out.u64le(stats_.queries.load());
+  out.u64le(stats_.answers.load());
+  out.u64le(stats_.searches.load());
+  out.u64le(stats_.source_requests.load());
+  out.u64le(stats_.publishes.load());
+  out.u64le(stats_.published_files_accepted.load());
+  out.u64le(stats_.published_files_rejected.load());
+  out.u64le(stats_.unanswerable.load());
+  {
+    std::lock_guard lock(client_mutex_);
+    out.u32le(next_low_id_);
+    save_client_map(out, low_ids_,
+                    [&](proto::ClientId low) { out.u32le(low); });
+    save_client_map(out, seen_clients_, [&](SimTime t) { out.u64le(t); });
+    save_client_map(out, published_count_,
+                    [&](std::uint64_t n) { out.u64le(n); });
+  }
+  index_.save_state(out);
+}
+
+bool EdonkeyServer::restore_state(ByteReader& in) {
+  stats_.queries.store(in.u64le());
+  stats_.answers.store(in.u64le());
+  stats_.searches.store(in.u64le());
+  stats_.source_requests.store(in.u64le());
+  stats_.publishes.store(in.u64le());
+  stats_.published_files_accepted.store(in.u64le());
+  stats_.published_files_rejected.store(in.u64le());
+  stats_.unanswerable.store(in.u64le());
+  {
+    std::lock_guard lock(client_mutex_);
+    next_low_id_ = in.u32le();
+    if (next_low_id_ == 0 || next_low_id_ >= proto::kLowIdThreshold) {
+      return false;
+    }
+    low_ids_.clear();
+    seen_clients_.clear();
+    published_count_.clear();
+    std::uint64_t n = in.u64le();
+    if (n > in.remaining() / 8) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const proto::ClientId ip = in.u32le();
+      const proto::ClientId low = in.u32le();
+      if (low == 0 || low >= proto::kLowIdThreshold) return false;
+      if (!low_ids_.emplace(ip, low).second) return false;
+    }
+    n = in.u64le();
+    if (n > in.remaining() / 12) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const proto::ClientId ip = in.u32le();
+      const SimTime t = in.u64le();
+      if (!seen_clients_.emplace(ip, t).second) return false;
+    }
+    n = in.u64le();
+    if (n > in.remaining() / 12) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const proto::ClientId ip = in.u32le();
+      const std::uint64_t published = in.u64le();
+      if (!published_count_.emplace(ip, published).second) return false;
+    }
+  }
+  return index_.restore_state(in) && in.ok();
+}
+
 }  // namespace dtr::server

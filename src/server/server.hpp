@@ -105,6 +105,12 @@ class EdonkeyServer {
 
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const FileIndex& index() const { return index_; }
+
+  /// Checkpoint codec: traffic counters, client bookkeeping tables and the
+  /// nested file index.  Not thread-safe: quiesce before calling.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t user_count() const {
     std::lock_guard lock(client_mutex_);

@@ -97,6 +97,25 @@ Bytes BackgroundTraffic::make_tcp_frame(bool syn, Rng& rng) const {
   return net::encode_ethernet(frame);
 }
 
+void BackgroundTraffic::save_state(ByteWriter& out) const {
+  rng_.save_state(out);
+  out.u64le(next_syn_);
+  out.u64le(next_data_);
+  out.u8(burst_ ? 1 : 0);
+  out.u64le(state_end_);
+  out.u64le(emitted_);
+}
+
+bool BackgroundTraffic::restore_state(ByteReader& in) {
+  if (!rng_.restore_state(in)) return false;
+  next_syn_ = in.u64le();
+  next_data_ = in.u64le();
+  burst_ = in.u8() != 0;
+  state_end_ = in.u64le();
+  emitted_ = in.u64le();
+  return in.ok();
+}
+
 void BackgroundTraffic::run(const FrameSink& sink) {
   while (auto frame = next()) sink(*frame);
 }

@@ -54,6 +54,12 @@ class BackgroundTraffic {
   /// Number of frames emitted so far (next() + run() combined).
   [[nodiscard]] std::uint64_t frames_emitted() const { return emitted_; }
 
+  /// Checkpoint codec: RNG plus the generator cursors, so the resumed
+  /// stream continues with exactly the frames an uninterrupted run would
+  /// have produced next.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
  private:
   Bytes make_tcp_frame(bool syn, Rng& rng) const;
   void advance_mmpp_state();

@@ -175,8 +175,15 @@ std::size_t CampaignSimulator::taste_biased(std::uint32_t client_index,
 }
 
 void CampaignSimulator::run(const FrameSink& sink) {
-  schedule_sessions();
-  while (!queue_.empty()) {
+  run_until(~SimTime{0}, sink);
+}
+
+bool CampaignSimulator::run_until(SimTime until, const FrameSink& sink) {
+  if (!sessions_scheduled_) {
+    schedule_sessions();
+    sessions_scheduled_ = true;
+  }
+  while (!queue_.empty() && queue_.top().time < until) {
     Event ev = queue_.top();
     queue_.pop();
     // Frames generated by earlier events and timed before this event can no
@@ -184,7 +191,108 @@ void CampaignSimulator::run(const FrameSink& sink) {
     flush_frames(ev.time, sink);
     handle_event(ev);
   }
-  flush_frames(~SimTime{0}, sink);
+  if (queue_.empty()) {
+    flush_frames(~SimTime{0}, sink);
+  } else if (until > 0) {
+    // Events at or past `until` can only generate frames at or past it, so
+    // everything strictly earlier is safe to release (flush is inclusive).
+    flush_frames(until - 1, sink);
+  }
+  return !queue_.empty() || !frame_buffer_.empty();
+}
+
+void CampaignSimulator::save_state(ByteWriter& out) const {
+  rng_.save_state(out);
+  out.u64le(next_seq_);
+  out.u64le(next_frame_seq_);
+  out.u16le(next_ip_id_);
+  out.u8(sessions_scheduled_ ? 1 : 0);
+  out.u64le(truth_.client_messages);
+  out.u64le(truth_.server_messages);
+  out.u64le(truth_.faulted_datagrams);
+  out.u64le(truth_.frames);
+  out.u64le(truth_.ip_fragments);
+  for (std::uint64_t c : truth_.family_counts) out.u64le(c);
+  out.u64le(truth_.publishes);
+  out.u64le(truth_.searches);
+  out.u64le(truth_.source_requests);
+  out.u64le(truth_.stat_pings);
+
+  // Both priority queues are drained from a copy: (time, seq) is a total
+  // order, so re-pushing the elements on restore rebuilds an equivalent
+  // heap regardless of internal layout.
+  auto events = queue_;
+  out.u64le(events.size());
+  while (!events.empty()) {
+    const Event& e = events.top();
+    out.u64le(e.time);
+    out.u64le(e.seq);
+    out.u8(static_cast<std::uint8_t>(e.action));
+    out.u32le(e.client);
+    out.u32le(e.arg);
+    events.pop();
+  }
+  auto frames = frame_buffer_;
+  out.u64le(frames.size());
+  while (!frames.empty()) {
+    const PendingFrame& f = frames.top();
+    out.u64le(f.time);
+    out.u64le(f.seq);
+    out.u64le(f.bytes.size());
+    out.raw(f.bytes);
+    frames.pop();
+  }
+  server_.save_state(out);
+}
+
+bool CampaignSimulator::restore_state(ByteReader& in) {
+  if (!rng_.restore_state(in)) return false;
+  next_seq_ = in.u64le();
+  next_frame_seq_ = in.u64le();
+  next_ip_id_ = in.u16le();
+  sessions_scheduled_ = in.u8() != 0;
+  truth_.client_messages = in.u64le();
+  truth_.server_messages = in.u64le();
+  truth_.faulted_datagrams = in.u64le();
+  truth_.frames = in.u64le();
+  truth_.ip_fragments = in.u64le();
+  for (std::uint64_t& c : truth_.family_counts) c = in.u64le();
+  truth_.publishes = in.u64le();
+  truth_.searches = in.u64le();
+  truth_.source_requests = in.u64le();
+  truth_.stat_pings = in.u64le();
+
+  queue_ = {};
+  std::uint64_t n = in.u64le();
+  if (n > in.remaining() / 25) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Event e;
+    e.time = in.u64le();
+    e.seq = in.u64le();
+    const std::uint8_t action = in.u8();
+    if (action > static_cast<std::uint8_t>(Action::kSessionEnd)) return false;
+    e.action = static_cast<Action>(action);
+    e.client = in.u32le();
+    e.arg = in.u32le();
+    if (e.seq >= next_seq_ || e.client >= population_.size()) return false;
+    queue_.push(e);
+  }
+
+  frame_buffer_ = {};
+  n = in.u64le();
+  if (n > in.remaining() / 24) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PendingFrame f;
+    f.time = in.u64le();
+    f.seq = in.u64le();
+    const std::uint64_t len = in.u64le();
+    if (f.seq >= next_frame_seq_ || len > in.remaining()) return false;
+    BytesView bytes = in.raw(static_cast<std::size_t>(len));
+    if (!in.ok()) return false;
+    f.bytes.assign(bytes.begin(), bytes.end());
+    frame_buffer_.push(std::move(f));
+  }
+  return server_.restore_state(in) && in.ok();
 }
 
 void CampaignSimulator::handle_event(const Event& ev) {

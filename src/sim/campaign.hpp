@@ -90,6 +90,20 @@ class CampaignSimulator {
   /// non-decreasing time order.
   void run(const FrameSink& sink);
 
+  /// Run until the next event at or past `until`: processes every event
+  /// with time < until and releases every buffered frame that can no
+  /// longer be preceded.  Returns true while work remains.  Segmenting a
+  /// run with run_until produces the exact frame sequence run() does, so
+  /// a checkpoint taken between segments resumes byte-identically.
+  bool run_until(SimTime until, const FrameSink& sink);
+
+  /// Checkpoint codec: RNG, event queue, frame reorder buffer, ground
+  /// truth and the embedded server.  Structures derived purely from the
+  /// config (catalog, population, share lists, flash windows) are rebuilt
+  /// by the constructor and not serialized.
+  void save_state(ByteWriter& out) const;
+  bool restore_state(ByteReader& in);
+
   /// Register the embedded server's `server.index.*` instruments in
   /// `registry` (the simulator owns the server the campaign talks to).
   void bind_metrics(obs::Registry& registry) { server_.bind_metrics(registry); }
@@ -183,6 +197,7 @@ class CampaignSimulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_frame_seq_ = 0;
   std::uint16_t next_ip_id_ = 1;
+  bool sessions_scheduled_ = false;
   GroundTruth truth_;
   std::vector<SimTime> flash_windows_;
   // Pre-drawn distinct ask targets for kCapped52 clients (the peak-at-52

@@ -42,6 +42,11 @@ class FileIdStream {
 
   [[nodiscard]] const FileIdStreamConfig& config() const { return config_; }
 
+  /// Checkpoint codec: only the RNG cursor moves after construction (the
+  /// universe and the Zipf tables are derived from the config).
+  void save_state(ByteWriter& out) const { rng_.save_state(out); }
+  bool restore_state(ByteReader& in) { return rng_.restore_state(in); }
+
  private:
   FileIdStreamConfig config_;
   Rng rng_;
@@ -61,6 +66,10 @@ class ClientIdStream {
 
   [[nodiscard]] proto::ClientId universe_id(std::uint64_t index) const;
   proto::ClientId next();
+
+  /// Checkpoint codec (see FileIdStream::save_state).
+  void save_state(ByteWriter& out) const { rng_.save_state(out); }
+  bool restore_state(ByteReader& in) { return rng_.restore_state(in); }
 
  private:
   ClientIdStreamConfig config_;

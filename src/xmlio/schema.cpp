@@ -129,6 +129,11 @@ void DatasetWriter::finish() {
   writer_.close_all();
 }
 
+void DatasetWriter::resume(std::uint64_t events, std::uint64_t xml_elements) {
+  events_ = events;
+  if (events > 0) writer_.resume_inside_root("capture", xml_elements);
+}
+
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------

@@ -42,7 +42,17 @@ class DatasetWriter {
   /// Close the root element.  Called by the destructor if omitted.
   void finish();
 
+  /// Checkpoint resume: the owner has just replaced the output stream's
+  /// contents with a checkpointed prefix holding `events` complete <msg>
+  /// elements (`xml_elements` XML elements in total, nested ones
+  /// included); realign the writer's state with it.  With zero events the
+  /// freshly-constructed state already matches the prologue.
+  void resume(std::uint64_t events, std::uint64_t xml_elements);
+
   [[nodiscard]] std::uint64_t events_written() const { return events_; }
+  [[nodiscard]] std::uint64_t xml_elements_written() const {
+    return writer_.elements_written();
+  }
 
  private:
   XmlWriter writer_;

@@ -97,4 +97,12 @@ void XmlWriter::close_all() {
   if (pretty_) out_ << '\n';
 }
 
+void XmlWriter::resume_inside_root(std::string root, std::uint64_t elements) {
+  stack_.clear();
+  stack_.push_back(std::move(root));
+  tag_open_ = false;
+  has_children_ = false;
+  elements_ = elements;
+}
+
 }  // namespace dtr::xmlio

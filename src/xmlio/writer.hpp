@@ -34,6 +34,12 @@ class XmlWriter {
 
   void close_all();
 
+  /// Checkpoint resume: adopt the state of a writer whose stream already
+  /// holds an open root element `root` with at least one completed child
+  /// and `elements` elements written in total.  The caller restores the
+  /// stream contents separately; this realigns the internal cursor.
+  void resume_inside_root(std::string root, std::uint64_t elements);
+
   [[nodiscard]] std::size_t depth() const { return stack_.size(); }
   [[nodiscard]] std::uint64_t elements_written() const { return elements_; }
 

@@ -1,0 +1,376 @@
+// Checkpoint/resume differential oracle.
+//
+// The paper's campaign ran for ten weeks; the reproduction must survive
+// being stopped — or killed — at any boundary and resumed with *exactly*
+// the outputs of an uninterrupted run.  These tests assert that contract
+// end to end: a checkpointed run equals a plain run byte for byte, and a
+// run resumed from every snapshot it wrote equals both — across the XML
+// dataset, the series JSONL/CSV, the pcap file and the report counters.
+// Rejection paths (missing file, corruption, config mismatch, wrong worker
+// count) must fail cleanly before any subsystem state is touched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/campaign_runner.hpp"
+#include "core/checkpoint.hpp"
+#include "hash/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "workload/idstream.hpp"
+
+namespace dtr {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh scratch directory per test.
+fs::path scratch_dir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("ckpt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Bytes read_all(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+std::vector<fs::path> checkpoint_files(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Small enough to run many times, big enough to exercise fragmentation,
+/// flash crowds and buffer losses.
+core::RunnerConfig small_config(std::uint64_t seed) {
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(seed);
+  cfg.campaign.duration = 3 * kHour;
+  cfg.campaign.population.client_count = 60;
+  cfg.campaign.catalog.file_count = 400;
+  return cfg;
+}
+
+struct RunOptions {
+  std::size_t workers = 0;
+  bool background = false;
+  std::string pcap_path;
+  std::string checkpoint_dir;
+  std::string resume_from;
+};
+
+struct RunArtifacts {
+  std::string xml;
+  std::string series_jsonl;
+  std::string series_csv;
+  Bytes pcap;
+  core::CampaignReport report;
+};
+
+RunArtifacts run_campaign(std::uint64_t seed, const RunOptions& opt) {
+  core::RunnerConfig cfg = small_config(seed);
+  cfg.workers = opt.workers;
+  cfg.pcap_path = opt.pcap_path;
+  cfg.checkpoint_dir = opt.checkpoint_dir;
+  cfg.checkpoint_interval = kHour;
+  cfg.resume_from = opt.resume_from;
+  if (opt.background) {
+    sim::BackgroundConfig bg;
+    bg.syn_per_minute = 30.0;
+    bg.data_rate_quiet = 0.6;
+    bg.data_rate_burst = 8.0;
+    cfg.background = bg;
+  }
+
+  std::ostringstream xml;
+  cfg.xml_out = &xml;
+  obs::Registry registry;
+  cfg.metrics = &registry;
+  obs::TimeSeriesOptions series_options;
+  series_options.interval = 30 * kMinute;
+  obs::TimeSeriesRecorder series(registry, series_options);
+  cfg.series = &series;
+
+  core::CampaignRunner runner(cfg);
+  RunArtifacts art;
+  art.report = runner.run();
+  art.xml = xml.str();
+  {
+    std::ostringstream out;
+    series.write_jsonl(out);
+    art.series_jsonl = out.str();
+  }
+  {
+    std::ostringstream out;
+    series.write_csv(out);
+    art.series_csv = out.str();
+  }
+  if (!opt.pcap_path.empty()) art.pcap = read_all(opt.pcap_path);
+  return art;
+}
+
+void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
+  EXPECT_TRUE(a.report.pipeline.ok()) << a.report.pipeline.error;
+  EXPECT_TRUE(b.report.pipeline.ok()) << b.report.pipeline.error;
+  EXPECT_EQ(a.xml, b.xml);
+  EXPECT_EQ(a.series_jsonl, b.series_jsonl);
+  EXPECT_EQ(a.series_csv, b.series_csv);
+  EXPECT_EQ(a.pcap, b.pcap);
+  EXPECT_EQ(a.report.frames_captured, b.report.frames_captured);
+  EXPECT_EQ(a.report.frames_lost, b.report.frames_lost);
+  EXPECT_EQ(a.report.buffer_high_water, b.report.buffer_high_water);
+  EXPECT_EQ(a.report.loss_series.size(), b.report.loss_series.size());
+  EXPECT_EQ(a.report.truth.total_messages(), b.report.truth.total_messages());
+  EXPECT_EQ(a.report.truth.frames, b.report.truth.frames);
+  EXPECT_EQ(a.report.truth.ip_fragments, b.report.truth.ip_fragments);
+  EXPECT_EQ(a.report.truth.publishes, b.report.truth.publishes);
+  EXPECT_EQ(a.report.truth.searches, b.report.truth.searches);
+  EXPECT_EQ(a.report.pipeline.anonymised_events,
+            b.report.pipeline.anonymised_events);
+  EXPECT_EQ(a.report.pipeline.xml_events, b.report.pipeline.xml_events);
+  EXPECT_EQ(a.report.pipeline.decode.decoded, b.report.pipeline.decode.decoded);
+  EXPECT_EQ(a.report.pipeline.distinct_clients,
+            b.report.pipeline.distinct_clients);
+  EXPECT_EQ(a.report.pipeline.distinct_files,
+            b.report.pipeline.distinct_files);
+}
+
+// The core oracle: plain run == checkpointed run == run resumed from EVERY
+// snapshot the checkpointed run wrote (resuming from boundary k is exactly
+// "the process was killed at k").
+TEST(CheckpointRecovery, SerialResumeIsByteIdentical) {
+  const fs::path dir = scratch_dir("serial");
+  RunOptions plain;
+  plain.pcap_path = (dir / "plain.pcap").string();
+  const RunArtifacts baseline = run_campaign(11, plain);
+
+  RunOptions checkpointed;
+  checkpointed.pcap_path = (dir / "ckpt.pcap").string();
+  checkpointed.checkpoint_dir = (dir / "snaps").string();
+  const RunArtifacts with_ckpt = run_campaign(11, checkpointed);
+  expect_identical(baseline, with_ckpt);
+
+  // A 3 h campaign with a 1 h interval crosses at least the 1 h and 2 h
+  // boundaries; session tails past the nominal duration may add more.
+  const std::vector<fs::path> snaps = checkpoint_files(dir / "snaps");
+  ASSERT_GE(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].filename().string(), core::checkpoint_file_name(kHour));
+
+  for (const fs::path& snap : snaps) {
+    SCOPED_TRACE(snap.filename().string());
+    // Resume truncates and appends to the pcap; give it its own copy of
+    // the interrupted run's file.
+    const fs::path resumed_pcap = dir / ("resumed_" + snap.stem().string() +
+                                         ".pcap");
+    fs::copy_file(checkpointed.pcap_path, resumed_pcap,
+                  fs::copy_options::overwrite_existing);
+    RunOptions resume;
+    resume.pcap_path = resumed_pcap.string();
+    resume.resume_from = snap.string();
+    const RunArtifacts resumed = run_campaign(11, resume);
+    expect_identical(baseline, resumed);
+  }
+}
+
+// Same oracle with the background-traffic merge engaged: the snapshot must
+// carry the generator cursor and the one-frame merge lookahead.
+TEST(CheckpointRecovery, BackgroundResumeIsByteIdentical) {
+  const fs::path dir = scratch_dir("background");
+  RunOptions checkpointed;
+  checkpointed.background = true;
+  checkpointed.pcap_path = (dir / "ckpt.pcap").string();
+  checkpointed.checkpoint_dir = (dir / "snaps").string();
+  const RunArtifacts baseline = run_campaign(12, checkpointed);
+
+  const std::vector<fs::path> snaps = checkpoint_files(dir / "snaps");
+  ASSERT_FALSE(snaps.empty());
+  const fs::path resumed_pcap = dir / "resumed.pcap";
+  fs::copy_file(checkpointed.pcap_path, resumed_pcap,
+                fs::copy_options::overwrite_existing);
+  RunOptions resume;
+  resume.background = true;
+  resume.pcap_path = resumed_pcap.string();
+  resume.resume_from = snaps.front().string();
+  const RunArtifacts resumed = run_campaign(12, resume);
+  expect_identical(baseline, resumed);
+}
+
+// And with the order-preserving parallel pipeline: in-flight IP fragments
+// live in per-worker reassemblers, so the snapshot is worker-count-shaped.
+TEST(CheckpointRecovery, ParallelResumeIsByteIdentical) {
+  const fs::path dir = scratch_dir("parallel");
+  RunOptions checkpointed;
+  checkpointed.workers = 3;
+  checkpointed.pcap_path = (dir / "ckpt.pcap").string();
+  checkpointed.checkpoint_dir = (dir / "snaps").string();
+  const RunArtifacts baseline = run_campaign(13, checkpointed);
+
+  const std::vector<fs::path> snaps = checkpoint_files(dir / "snaps");
+  ASSERT_FALSE(snaps.empty());
+  const fs::path resumed_pcap = dir / "resumed.pcap";
+  fs::copy_file(checkpointed.pcap_path, resumed_pcap,
+                fs::copy_options::overwrite_existing);
+  RunOptions resume;
+  resume.workers = 3;
+  resume.pcap_path = resumed_pcap.string();
+  resume.resume_from = snaps.back().string();
+  const RunArtifacts resumed = run_campaign(13, resume);
+  expect_identical(baseline, resumed);
+}
+
+// ---- rejection paths -------------------------------------------------
+
+/// One checkpointed run shared by the rejection tests (none of them get as
+/// far as consuming its state).
+const fs::path& shared_snapshot() {
+  static const fs::path snap = [] {
+    const fs::path dir = scratch_dir("shared");
+    RunOptions opt;
+    opt.workers = 2;
+    opt.checkpoint_dir = (dir / "snaps").string();
+    const RunArtifacts art = run_campaign(14, opt);
+    EXPECT_TRUE(art.report.pipeline.ok()) << art.report.pipeline.error;
+    const std::vector<fs::path> snaps = checkpoint_files(dir / "snaps");
+    EXPECT_FALSE(snaps.empty());
+    return snaps.empty() ? fs::path() : snaps.front();
+  }();
+  return snap;
+}
+
+TEST(CheckpointRecovery, WorkerCountMismatchIsRejected) {
+  RunOptions resume;
+  resume.workers = 3;  // snapshot was written with 2
+  resume.resume_from = shared_snapshot().string();
+  const RunArtifacts art = run_campaign(14, resume);
+  EXPECT_FALSE(art.report.pipeline.ok());
+  EXPECT_NE(art.report.pipeline.error.find("worker count"), std::string::npos)
+      << art.report.pipeline.error;
+}
+
+TEST(CheckpointRecovery, ConfigMismatchIsRejected) {
+  RunOptions resume;
+  resume.workers = 2;
+  resume.resume_from = shared_snapshot().string();
+  const RunArtifacts art = run_campaign(15, resume);  // different seed
+  EXPECT_FALSE(art.report.pipeline.ok());
+  EXPECT_NE(art.report.pipeline.error.find("seed"), std::string::npos)
+      << art.report.pipeline.error;
+}
+
+TEST(CheckpointRecovery, MissingSnapshotIsRejected) {
+  RunOptions resume;
+  resume.resume_from =
+      (fs::path(::testing::TempDir()) / "no_such_snapshot.ckpt").string();
+  const RunArtifacts art = run_campaign(11, resume);
+  EXPECT_FALSE(art.report.pipeline.ok());
+  EXPECT_NE(art.report.pipeline.error.find("cannot resume"), std::string::npos)
+      << art.report.pipeline.error;
+}
+
+TEST(CheckpointRecovery, CorruptSnapshotIsRejected) {
+  const fs::path dir = scratch_dir("corrupt");
+  const fs::path snap = shared_snapshot();
+  ASSERT_FALSE(snap.empty());
+  Bytes bytes = read_all(snap);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x01;  // single bit flip, mid-file
+  const fs::path corrupt = dir / "corrupt.ckpt";
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  RunOptions resume;
+  resume.workers = 2;
+  resume.resume_from = corrupt.string();
+  const RunArtifacts art = run_campaign(14, resume);
+  EXPECT_FALSE(art.report.pipeline.ok());
+  EXPECT_NE(art.report.pipeline.error.find("checksum"), std::string::npos)
+      << art.report.pipeline.error;
+}
+
+// ---- container and codec units ---------------------------------------
+
+TEST(CheckpointRecovery, ContainerFileRoundtrip) {
+  const fs::path dir = scratch_dir("container");
+  core::CheckpointBuilder builder;
+  builder.add("alpha", Bytes{1, 2, 3});
+  builder.add("beta", Bytes{});
+  const std::string path = (dir / "round.ckpt").string();
+  ASSERT_EQ(builder.write_file(path), "");
+
+  std::string error;
+  auto view = core::CheckpointView::load(path, error);
+  ASSERT_TRUE(view.has_value()) << error;
+  EXPECT_EQ(view->section_count(), 2u);
+  ASSERT_NE(view->section("alpha"), nullptr);
+  EXPECT_EQ(*view->section("alpha"), (Bytes{1, 2, 3}));
+  ASSERT_NE(view->section("beta"), nullptr);
+  EXPECT_TRUE(view->section("beta")->empty());
+  EXPECT_EQ(view->section("gamma"), nullptr);
+  EXPECT_FALSE(view->reader("gamma").ok());
+}
+
+TEST(CheckpointRecovery, IdStreamsResumeMidStream) {
+  workload::FileIdStreamConfig fcfg;
+  fcfg.distinct_ids = 5'000;
+  workload::FileIdStream files(fcfg);
+  workload::ClientIdStreamConfig ccfg;
+  ccfg.distinct_clients = 5'000;
+  workload::ClientIdStream clients(ccfg);
+  for (int i = 0; i < 1'000; ++i) {
+    files.next();
+    clients.next();
+  }
+
+  ByteWriter out;
+  files.save_state(out);
+  clients.save_state(out);
+
+  workload::FileIdStream files2(fcfg);
+  workload::ClientIdStream clients2(ccfg);
+  ByteReader in(out.view());
+  ASSERT_TRUE(files2.restore_state(in));
+  ASSERT_TRUE(clients2.restore_state(in));
+  ASSERT_TRUE(in.ok());
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(files.next(), files2.next());
+    EXPECT_EQ(clients.next(), clients2.next());
+  }
+}
+
+// ---- golden pins -------------------------------------------------------
+//
+// End-to-end fingerprints of a tiny fixed-seed campaign.  These hashes pin
+// the whole chain — simulation, faults, capture loss, decode, anonymise,
+// XML formatting, series rendering — so any accidental behaviour change
+// shows up as a hash diff here before it silently shifts a figure.  They
+// must hold in every build type (the pipeline is integer/IEEE-exact).
+TEST(CheckpointRecovery, GoldenEndToEndPins) {
+  const fs::path dir = scratch_dir("golden");
+  RunOptions opt;
+  opt.pcap_path = (dir / "golden.pcap").string();
+  const RunArtifacts art = run_campaign(4242, opt);
+  ASSERT_TRUE(art.report.pipeline.ok()) << art.report.pipeline.error;
+
+  EXPECT_EQ(Sha256::digest(art.xml).hex(),
+            "cae9a34ca1820e6bbc3ca96dbae1931a818fcf66661fdb530f121c16d378a4c3");
+  EXPECT_EQ(Sha256::digest(art.series_jsonl).hex(),
+            "348d05c25a6e128d2a082eb3f843879f4fcad23500e3f47a0a576bdfc575f892");
+  EXPECT_EQ(Sha256::digest(BytesView(art.pcap)).hex(),
+            "c1169f26fb2be62861054e9f3f7aa90ed581ddb30ab4834ed8c14119c8585a61");
+}
+
+}  // namespace
+}  // namespace dtr

@@ -80,6 +80,84 @@ if(NOT rc_csv_cmp EQUAL 0)
   message(FATAL_ERROR "series CSV differs between same-seed runs")
 endif()
 
+# Checkpoint/resume through the CLI: a campaign writing periodic snapshots
+# must produce the same dataset and series as one resumed from the first
+# snapshot; missing and corrupt snapshot files must fail with a clean error.
+file(REMOVE_RECURSE ${WORKDIR}/smoke_ckpt)
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2 --xml smoke_ck.xml
+          --checkpoint-dir smoke_ckpt --checkpoint-interval-hours 1
+          --series-out smoke_ck_series.jsonl
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_ckpt)
+if(NOT rc_ckpt EQUAL 0)
+  message(FATAL_ERROR "checkpointing campaign failed: ${rc_ckpt}")
+endif()
+file(GLOB snapshots ${WORKDIR}/smoke_ckpt/checkpoint-*.ckpt)
+list(LENGTH snapshots snapshot_count)
+if(snapshot_count LESS 2)
+  message(FATAL_ERROR "expected 2 snapshots, found ${snapshot_count}")
+endif()
+list(SORT snapshots)
+list(GET snapshots 0 first_snapshot)
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2 --xml smoke_ck_resumed.xml
+          --resume-from ${first_snapshot}
+          --series-out smoke_ck_series_resumed.jsonl
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_resume)
+if(NOT rc_resume EQUAL 0)
+  message(FATAL_ERROR "resumed campaign failed: ${rc_resume}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/smoke_ck.xml ${WORKDIR}/smoke_ck_resumed.xml
+  RESULT_VARIABLE rc_xml_cmp)
+if(NOT rc_xml_cmp EQUAL 0)
+  message(FATAL_ERROR "resumed dataset differs from the uninterrupted run")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/smoke_ck_series.jsonl
+          ${WORKDIR}/smoke_ck_series_resumed.jsonl
+  RESULT_VARIABLE rc_ckseries_cmp)
+if(NOT rc_ckseries_cmp EQUAL 0)
+  message(FATAL_ERROR "resumed series differs from the uninterrupted run")
+endif()
+
+# Resume from a file that does not exist: clean nonzero exit.
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2
+          --resume-from ${WORKDIR}/smoke_ckpt/no-such-file.ckpt
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_missing
+  ERROR_VARIABLE err_missing)
+if(rc_missing EQUAL 0)
+  message(FATAL_ERROR "resume from a missing snapshot unexpectedly succeeded")
+endif()
+if(NOT err_missing MATCHES "cannot resume")
+  message(FATAL_ERROR "missing-snapshot error not reported: ${err_missing}")
+endif()
+
+# Resume from a corrupt file: clean nonzero exit, checksum/parse error.
+file(WRITE ${WORKDIR}/smoke_ckpt/corrupt.ckpt "DTRCKPT1 this is not a snapshot")
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2
+          --resume-from ${WORKDIR}/smoke_ckpt/corrupt.ckpt
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_corrupt
+  ERROR_VARIABLE err_corrupt)
+if(rc_corrupt EQUAL 0)
+  message(FATAL_ERROR "resume from a corrupt snapshot unexpectedly succeeded")
+endif()
+if(NOT err_corrupt MATCHES "checkpoint")
+  message(FATAL_ERROR "corrupt-snapshot error not reported: ${err_corrupt}")
+endif()
+
 execute_process(
   COMMAND ${DONKEYTRACE} analyze smoke.xml.dtz
   WORKING_DIRECTORY ${WORKDIR}

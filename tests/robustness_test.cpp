@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "hash/md5.hpp"
 #include "net/ethernet.hpp"
 #include "net/ipv4.hpp"
 #include "net/pcap.hpp"
@@ -191,6 +193,105 @@ TEST_P(FuzzSeeds, PcapReaderNeverCrashes) {
     net::PcapReader reader{BytesView(doc)};
     int records = 0;
     while (reader.next() && records < 100) ++records;
+  }
+}
+
+// ---- checkpoint snapshot loader ---------------------------------------
+//
+// The snapshot loader has the same contract as every wire decoder here: a
+// damaged file is rejected cleanly — with a reason, before any subsystem
+// state is touched — never crashed on.  (A ten-week campaign killed mid-
+// checkpoint leaves exactly these inputs behind.)
+
+/// A plausible multi-section snapshot to mutate.
+Bytes sample_checkpoint() {
+  core::CheckpointBuilder builder;
+  builder.add("meta", Bytes{1, 2, 3, 4, 5, 6, 7, 8});
+  builder.add("sim", Bytes(512, 0x5A));
+  builder.add("pipeline", Bytes(128, 0xC3));
+  builder.add("empty", Bytes{});
+  return builder.encode();
+}
+
+/// Parse must reject with a non-empty reason (and never crash).
+void expect_rejected(BytesView data) {
+  std::string error;
+  auto view = core::CheckpointView::parse(data, error);
+  EXPECT_FALSE(view.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointFuzz, ValidSnapshotParses) {
+  const Bytes data = sample_checkpoint();
+  std::string error;
+  auto view = core::CheckpointView::parse(data, error);
+  ASSERT_TRUE(view.has_value()) << error;
+  EXPECT_EQ(view->section_count(), 4u);
+}
+
+TEST(CheckpointFuzz, EveryTruncationIsRejected) {
+  const Bytes data = sample_checkpoint();
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    expect_rejected(BytesView(data.data(), cut));
+  }
+}
+
+TEST(CheckpointFuzz, EverySingleBitFlipIsRejected) {
+  // The trailing MD5 covers every preceding byte — and a flip inside the
+  // digest itself mismatches the recomputed one — so *no* single-bit
+  // corruption survives, including flips in the length fields that
+  // length-based validation alone would misparse.
+  const Bytes data = sample_checkpoint();
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = data;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      expect_rejected(mutated);
+    }
+  }
+}
+
+TEST(CheckpointFuzz, VersionBumpIsRejectedEvenWithValidChecksum) {
+  // A snapshot from a hypothetical future build: correct magic, correct
+  // digest, unknown version.  Must be refused by version, not checksum.
+  Bytes data = sample_checkpoint();
+  data[sizeof(core::kCheckpointMagic)] = 2;  // version u32le low byte
+  const std::size_t body = data.size() - 16;
+  const Digest128 digest = Md5::digest(BytesView(data.data(), body));
+  std::copy(digest.bytes.begin(), digest.bytes.end(), data.begin() +
+            static_cast<std::ptrdiff_t>(body));
+  std::string error;
+  EXPECT_FALSE(core::CheckpointView::parse(data, error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(CheckpointFuzz, BadMagicAndEmptyAndGarbageAreRejected) {
+  expect_rejected(BytesView{});
+  expect_rejected(Bytes(3, 'D'));
+  Bytes wrong_magic = sample_checkpoint();
+  wrong_magic[0] = 'X';
+  expect_rejected(wrong_magic);
+}
+
+TEST_P(FuzzSeeds, CheckpointParserNeverCrashesOnGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk = random_bytes(rng, 700);
+    std::string error;
+    auto view = core::CheckpointView::parse(junk, error);
+    // Random bytes essentially never carry a valid trailing MD5.
+    EXPECT_FALSE(view.has_value());
+  }
+  // Garbage behind a valid header prefix exercises the section-table walk.
+  const Bytes valid = sample_checkpoint();
+  for (int i = 0; i < 500; ++i) {
+    Bytes doc = valid;
+    const std::size_t mutations = 1 + rng.below(16);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      doc[rng.below(doc.size())] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    std::string error;
+    (void)core::CheckpointView::parse(doc, error);  // must not crash
   }
 }
 

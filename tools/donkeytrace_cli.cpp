@@ -43,6 +43,13 @@ commands:
               [--workers N] (N>1: parallel decode pipeline)
               [--server-shards N] (index shards, power of two; default 4)
               [--search-cache N] (LRU search-cache entries; default 0 = off)
+              [--checkpoint-dir DIR] (periodic resumable snapshots, one
+                                      file per boundary)
+              [--checkpoint-interval-hours H] (boundary spacing in
+                                      simulated hours; default 168 = 1 week)
+              [--resume-from FILE] (continue an interrupted campaign from
+                                      a snapshot; outputs are byte-identical
+                                      to an uninterrupted run)
   decode      replay a pcap file through the offline decoder
               --pcap PATH [--xml PATH[.dtz]]
               [--server-ip A.B.C.D] [--server-port P]
@@ -307,6 +314,12 @@ int cmd_campaign(const cli::Args& args) {
   cfg.campaign.server.search_cache_entries = args.get_u64("search-cache", 0);
   cfg.workers = args.get_u64("workers", 0);
   cfg.pcap_path = args.get("pcap");
+  cfg.checkpoint_dir = args.get("checkpoint-dir");
+  cfg.resume_from = args.get("resume-from");
+  const double ckpt_hours = args.get_f64("checkpoint-interval-hours", 0.0);
+  if (ckpt_hours > 0.0) {
+    cfg.checkpoint_interval = static_cast<SimTime>(ckpt_hours * kHour);
+  }
   if (args.has("background")) {
     sim::BackgroundConfig bg;
     bg.syn_per_minute = args.get_f64("syn-per-minute", 60.0);
