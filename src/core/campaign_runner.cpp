@@ -239,6 +239,9 @@ CampaignReport CampaignRunner::run() {
     parallel_config.metrics = config_.metrics;
     parallel_config.log = config_.log;
     parallel_config.flight = config_.flight;
+    parallel_config.batch_frames = config_.batch_frames;
+    parallel_config.buffer_pool = config_.buffer_pool;
+    parallel_config.writer_offload = config_.writer_offload;
     parallel_ = std::make_unique<ParallelCapturePipeline>(parallel_config);
     engine.set_sink(
         [this](const sim::TimedFrame& frame) { parallel_->push(frame); });

@@ -33,6 +33,13 @@ struct RunnerConfig {
   /// Decode worker threads: 0 or 1 = serial CapturePipeline, >1 = the
   /// order-preserving ParallelCapturePipeline (same output, more cores).
   std::size_t workers = 0;
+  /// Parallel data-plane tuning (ignored for serial runs; see
+  /// ParallelPipelineConfig).  None of these affect the output bytes, so
+  /// none join the checkpoint fingerprint: a campaign checkpointed with
+  /// one batch size may resume with another.
+  std::size_t batch_frames = 16;
+  bool buffer_pool = true;
+  bool writer_offload = true;
   /// Optional metrics registry: when set, the capture buffer, the server
   /// index, and every pipeline stage register their instruments there.
   obs::Registry* metrics = nullptr;

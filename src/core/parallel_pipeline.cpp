@@ -1,6 +1,6 @@
 #include "core/parallel_pipeline.hpp"
 
-#include <chrono>
+#include <algorithm>
 
 #include "common/rng.hpp"
 #include "core/server_pool.hpp"
@@ -25,48 +25,74 @@ void accumulate(decode::DecodeStats& total, const decode::DecodeStats& part) {
   total.undecoded_effective += part.undecoded_effective;
 }
 
+/// Free-list retention caps.  In-flight object counts are already bounded
+/// by the queue capacities, so these are backstops, not working limits.
+constexpr std::size_t kMaxRetainedBatches = 4096;
+
 }  // namespace
 
 ParallelCapturePipeline::ParallelCapturePipeline(
     const ParallelPipelineConfig& config)
     : config_(config),
-      merge_queue_(config.queue_capacity * std::max<std::size_t>(
-                                               1, config.workers)),
+      batch_frames_(std::max<std::size_t>(1, config.batch_frames)),
+      in_capacity_batches_(
+          std::max<std::size_t>(2, config.queue_capacity / batch_frames_)),
+      frame_pool_(config.buffer_pool, kMaxRetainedBatches),
+      result_pool_(config.buffer_pool, kMaxRetainedBatches),
+      chunk_pool_(config.buffer_pool, config.writer_queue_chunks + 8),
+      merge_queue_(in_capacity_batches_ *
+                   std::max<std::size_t>(1, config.workers)),
       clients_(anon::DirectClientTable::PageMode::kPaged),
       files_(config.fileid_index_byte_0, config.fileid_index_byte_1),
       anonymiser_(clients_, files_) {
   if (config_.xml_out != nullptr) {
+    // The prologue is written here, on the constructing thread; the writer
+    // thread only touches the stream after a chunk arrives, and thread
+    // creation below orders these writes before it.
     xml_ = std::make_unique<xmlio::DatasetWriter>(*config_.xml_out);
+    if (config_.writer_offload) {
+      writer_queue_ = std::make_unique<BoundedQueue<EventChunk>>(
+          std::max<std::size_t>(1, config_.writer_queue_chunks));
+    }
   }
 
   const std::size_t n = std::max<std::size_t>(1, config_.workers);
   workers_.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
     auto worker = std::make_unique<Worker>();
-    worker->in =
-        std::make_unique<BoundedQueue<SequencedFrame>>(config_.queue_capacity);
+    worker->in = std::make_unique<BoundedQueue<FrameBatch>>(
+        in_capacity_batches_);
     worker->decoder = std::make_unique<decode::FrameDecoder>(
-        config_.server_ip, config_.server_port,
-        [wp = worker.get()](decode::DecodedMessage&& msg) {
-          wp->scratch.push_back(std::move(msg));
-        });
+        config_.server_ip, config_.server_port, decode::MessageSink{});
     workers_.push_back(std::move(worker));
   }
   // Bind before any thread starts: instrument pointers must be visible to
   // the workers without extra synchronisation.
   if (config_.metrics != nullptr) bind_metrics(*config_.metrics);
+  frame_pool_.bind_metrics(metrics_.pool_hits, metrics_.pool_misses);
+  result_pool_.bind_metrics(metrics_.pool_hits, metrics_.pool_misses);
+  chunk_pool_.bind_metrics(metrics_.pool_hits, metrics_.pool_misses);
   for (auto& worker : workers_) {
     worker->decoder->bind_telemetry(config_.log, config_.flight);
   }
   anonymiser_.bind_telemetry(config_.log);
   DTR_LOG_INFO(config_.log, "pipeline", 0,
-               "parallel pipeline up (" << n << " workers, queue "
-                                        << config_.queue_capacity
-                                        << " per worker)");
+               "parallel pipeline up (" << n << " workers, batch "
+                                        << batch_frames_ << " frames, queue "
+                                        << in_capacity_batches_
+                                        << " batches per worker, pool "
+                                        << (config_.buffer_pool ? "on" : "off")
+                                        << ", writer "
+                                        << (writer_queue_ ? "offloaded"
+                                                          : "inline")
+                                        << ")");
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   }
   merge_thread_ = std::thread([this] { merge_loop(); });
+  if (writer_queue_) {
+    writer_thread_ = std::thread([this] { writer_loop(); });
+  }
 }
 
 ParallelCapturePipeline::~ParallelCapturePipeline() {
@@ -89,23 +115,78 @@ std::size_t ParallelCapturePipeline::route(const sim::TimedFrame& frame) const {
 
 void ParallelCapturePipeline::push(const sim::TimedFrame& frame) {
   obs::inc(metrics_.frames);
-  std::size_t target = route(frame);
-  if (config_.flight != nullptr &&
-      workers_[target]->in->size() >= config_.queue_capacity) {
-    // The routed worker is not keeping up: this push is about to block.
-    obs::record(config_.flight, obs::FlightEvent::kStageStall, frame.time,
-                workers_[target]->in->size(), target);
+  const std::size_t target = route(frame);
+  Worker& worker = *workers_[target];
+  // An idle gap in simulated time flushes the open batch: batch boundaries
+  // must depend only on the input stream (count + time), never on wall
+  // clock, or batch shapes — and their histograms — would go
+  // nondeterministic.
+  if (worker.open.used > 0 &&
+      frame.time > worker.open_last_time + config_.batch_time_gap) {
+    flush_open_batch(target);
   }
-  workers_[target]->in->push(SequencedFrame{next_seq_++, frame});
+  worker.open.add(next_seq_++, frame);
+  worker.open_last_time = frame.time;
+  if (worker.open.used >= batch_frames_) flush_open_batch(target);
+}
+
+void ParallelCapturePipeline::flush_open_batch(std::size_t target) {
+  Worker& worker = *workers_[target];
+  if (worker.open.used == 0) return;
+  if (config_.flight != nullptr &&
+      worker.in->size() >= in_capacity_batches_) {
+    // The routed worker is not keeping up: this hand-off is about to block.
+    obs::record(config_.flight, obs::FlightEvent::kStageStall,
+                worker.open_last_time, worker.in->size(), target);
+  }
+  const std::size_t frames = worker.open.used;
+  obs::observe(metrics_.batch_frames, static_cast<double>(frames));
+  if (!worker.in->push(std::move(worker.open))) note_dropped(frames, "frames");
+  worker.open = frame_pool_.acquire();
+  worker.open.reset();
 }
 
 void ParallelCapturePipeline::flush() {
   // next_seq_ is only written by the pushing thread — which is the only
   // thread allowed to call flush(), so reading it unsynchronised is fine.
-  while (results_merged_.load(std::memory_order_acquire) < next_seq_) {
-    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  for (std::size_t w = 0; w < workers_.size(); ++w) flush_open_batch(w);
+  const std::uint64_t frames = next_seq_;
+  {
+    std::unique_lock lock(quiesce_mutex_);
+    quiesce_cv_.wait(lock, [&] {
+      return results_merged_.load(std::memory_order_acquire) >= frames;
+    });
+  }
+  if (writer_queue_) {
+    // The merger has handed off its last open chunk (it flushes at every
+    // drain-cycle end), so anonymised_events_ is final for this prefix;
+    // now wait for the writer thread to retire it all.
+    const std::uint64_t events =
+        anonymised_events_.load(std::memory_order_acquire);
+    std::unique_lock lock(quiesce_mutex_);
+    quiesce_cv_.wait(lock, [&] {
+      return writer_events_done_.load(std::memory_order_acquire) >= events;
+    });
   }
   if (config_.replay != nullptr) config_.replay->drain();
+}
+
+void ParallelCapturePipeline::notify_quiesce() {
+  {
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+  }
+  quiesce_cv_.notify_all();
+}
+
+void ParallelCapturePipeline::note_dropped(std::size_t count,
+                                           const char* what) {
+  obs::inc(metrics_.dropped_on_close, count);
+  if (!dropped_logged_.exchange(true)) {
+    DTR_LOG_WARN(config_.log, "pipeline", 0,
+                 "queue closed during shutdown: "
+                     << count << ' ' << what
+                     << " dropped (further drops counted, not logged)");
+  }
 }
 
 void ParallelCapturePipeline::fail(const char* stage, SimTime time,
@@ -120,40 +201,72 @@ void ParallelCapturePipeline::fail(const char* stage, SimTime time,
 
 void ParallelCapturePipeline::worker_loop(Worker& worker) {
   bool failed = false;
-  while (auto item = worker.in->pop()) {
-    if (!failed) {
-      try {
-        obs::SpanTimer span(metrics_.decode_span);
-        worker.decoder->push(item->frame);
-        worker.last_time = item->frame.time;
-      } catch (const std::exception& e) {
-        failed = true;
-        fail("decode", item->frame.time, e.what());
-        worker.scratch.clear();
+  while (auto batch = worker.in->pop()) {
+    ResultBatch result = result_pool_.acquire();
+    result.reset();
+    for (std::size_t i = 0; i < batch->used; ++i) {
+      SequencedFrame& sf = batch->slots[i];
+      const std::size_t before = result.messages.size();
+      if (!failed) {
+        try {
+          obs::SpanTimer span(metrics_.decode_span);
+          worker.decoder->decode_into(sf.frame, result.messages);
+          worker.last_time = sf.frame.time;
+        } catch (const std::exception& e) {
+          failed = true;
+          fail("decode", sf.frame.time, e.what());
+          result.messages.resize(before);  // drop the half-decoded frame
+        }
       }
+      // One entry per frame even after a failure — the merger needs a
+      // contiguous sequence to stay live (and flush() counts on it).
+      result.seqs.push_back(sf.seq);
+      result.counts.push_back(
+          static_cast<std::uint32_t>(result.messages.size() - before));
     }
-    // One result per frame even after a failure — the merger needs a
-    // contiguous sequence to stay live (and flush() counts on it).
-    WorkerResult result;
-    result.seq = item->seq;
-    result.messages = std::move(worker.scratch);
-    worker.scratch.clear();
+    batch->reset();
+    frame_pool_.release(std::move(*batch));
+    const std::size_t frames = result.seqs.size();
     obs::observe(metrics_.batch_messages,
                  static_cast<double>(result.messages.size()));
-    merge_queue_.push(std::move(result));
+    if (!merge_queue_.push(std::move(result))) note_dropped(frames, "results");
   }
   if (!failed) worker.decoder->finish(worker.last_time);
 }
 
 void ParallelCapturePipeline::merge_loop() {
-  std::map<std::uint64_t, WorkerResult> pending;
+  // Min-heap of partially consumed result batches keyed by their front
+  // sequence number.  Each batch is internally an ascending run, so the
+  // heap holds at most one entry per in-flight batch — far fewer nodes
+  // than the per-frame map it replaces.
+  auto later = [](const PendingBatch& a, const PendingBatch& b) {
+    return a.front_seq() > b.front_seq();
+  };
+  std::vector<PendingBatch> heap;
+  std::vector<ResultBatch> backlog;
   std::uint64_t next_expected = 0;
   bool failed = false;
+  EventChunk chunk;  // open XML hand-off chunk (writer offload only)
 
-  auto process = [&](WorkerResult& result) {
+  auto hand_off_chunk = [&] {
+    if (!writer_queue_ || chunk.empty()) return;
+    const std::size_t events = chunk.size();
+    if (!writer_queue_->push(std::move(chunk))) {
+      note_dropped(events, "events");
+      // Keep the quiescence accounting alive even on this shutdown path.
+      writer_events_done_.fetch_add(events, std::memory_order_release);
+    }
+    chunk = chunk_pool_.acquire();
+    chunk.clear();
+  };
+
+  // The order-sensitive stage, one frame's messages at a time.
+  auto process_frame = [&](PendingBatch& cur) {
+    const std::uint32_t count = cur.batch.counts[cur.frame];
     if (!failed) {
       try {
-        for (decode::DecodedMessage& msg : result.messages) {
+        for (std::uint32_t i = 0; i < count; ++i) {
+          decode::DecodedMessage& msg = cur.batch.messages[cur.msg + i];
           obs::SpanTimer span(metrics_.anonymise_span);
           obs::inc(metrics_.messages);
           const bool from_client = msg.dst_ip == config_.server_ip &&
@@ -161,10 +274,15 @@ void ParallelCapturePipeline::merge_loop() {
           const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
           anon::AnonEvent event =
               anonymiser_.anonymise(msg.time, peer_ip, msg.message);
-          ++anonymised_events_;
+          anonymised_events_.fetch_add(1, std::memory_order_relaxed);
           stats_.consume(event);
           if (config_.extra_sink) config_.extra_sink(event);
-          if (xml_) xml_->write(event);
+          if (writer_queue_) {
+            chunk.push_back(std::move(event));
+            if (chunk.size() >= config_.writer_chunk_events) hand_off_chunk();
+          } else if (xml_) {
+            xml_->write(event);
+          }
           if (config_.replay != nullptr && from_client) {
             config_.replay->submit(ServerQuery{msg.src_ip, msg.src_port,
                                                std::move(msg.message),
@@ -174,39 +292,88 @@ void ParallelCapturePipeline::merge_loop() {
       } catch (const std::exception& e) {
         failed = true;  // keep consuming results so flush() never hangs
         const SimTime when =
-            result.messages.empty() ? 0 : result.messages.front().time;
+            count == 0 ? 0 : cur.batch.messages[cur.msg].time;
         fail("anonymise", when, e.what());
       }
     }
+    cur.msg += count;
+    ++cur.frame;
     results_merged_.fetch_add(1, std::memory_order_release);
   };
 
-  while (auto result = merge_queue_.pop()) {
+  auto drain_contiguous = [&] {
+    while (!heap.empty() && heap.front().front_seq() == next_expected) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      PendingBatch cur = std::move(heap.back());
+      heap.pop_back();
+      for (;;) {
+        process_frame(cur);
+        ++next_expected;
+        if (cur.frame == cur.batch.seqs.size()) {
+          cur.batch.reset();
+          result_pool_.release(std::move(cur.batch));
+          break;
+        }
+        if (cur.batch.seqs[cur.frame] != next_expected) {
+          // A gap inside this worker's stream: another worker owns the
+          // next frame.  Park the cursor and wait for it.
+          heap.push_back(std::move(cur));
+          std::push_heap(heap.begin(), heap.end(), later);
+          break;
+        }
+      }
+    }
+  };
+
+  while (merge_queue_.pop_all(backlog)) {
     obs::set(metrics_.merge_queue_depth,
              static_cast<std::int64_t>(merge_queue_.size()));
-    if (result->seq == next_expected) {
-      process(*result);
-      ++next_expected;
-      // Drain whatever became contiguous.
-      auto it = pending.begin();
-      while (it != pending.end() && it->first == next_expected) {
-        process(it->second);
-        ++next_expected;
-        it = pending.erase(it);
-      }
-    } else {
-      pending.emplace(result->seq, std::move(*result));
+    for (ResultBatch& result : backlog) {
+      heap.push_back(PendingBatch{std::move(result)});
+      std::push_heap(heap.begin(), heap.end(), later);
     }
-    obs::set(metrics_.merge_pending, static_cast<std::int64_t>(pending.size()));
+    backlog.clear();
+    drain_contiguous();
+    obs::set(metrics_.merge_pending, static_cast<std::int64_t>(heap.size()));
+    // End of drain cycle: hand the open chunk to the writer — a checkpoint
+    // quiesce must find the full anonymised prefix on its way to the XML
+    // stream, never parked here — and wake any flush() waiter.
+    hand_off_chunk();
+    notify_quiesce();
   }
-  // Queue closed and drained: everything is contiguous by construction.
-  for (auto& [seq, result] : pending) process(result);
+  // Queue closed and drained: everything left is contiguous.
+  drain_contiguous();
   obs::set(metrics_.merge_pending, 0);
+  hand_off_chunk();
+  notify_quiesce();
+}
+
+void ParallelCapturePipeline::writer_loop() {
+  bool failed = false;
+  while (auto chunk = writer_queue_->pop()) {
+    obs::set(metrics_.writer_queue_depth,
+             static_cast<std::int64_t>(writer_queue_->size()));
+    if (!failed) {
+      try {
+        obs::SpanTimer span(metrics_.write_span);
+        for (const anon::AnonEvent& event : *chunk) xml_->write(event);
+      } catch (const std::exception& e) {
+        failed = true;  // keep retiring chunks so flush() never hangs
+        fail("write", chunk->empty() ? 0 : chunk->front().time, e.what());
+      }
+    }
+    obs::inc(metrics_.writer_chunks);
+    obs::inc(metrics_.writer_events, chunk->size());
+    writer_events_done_.fetch_add(chunk->size(), std::memory_order_release);
+    chunk->clear();
+    chunk_pool_.release(std::move(*chunk));
+    notify_quiesce();
+  }
 }
 
 void ParallelCapturePipeline::save_state(ByteWriter& out) const {
   out.u64le(workers_.size());
-  out.u64le(anonymised_events_);
+  out.u64le(anonymised_events_.load(std::memory_order_acquire));
   out.u64le(xml_ ? xml_->events_written() : 0);
   out.u64le(xml_ ? xml_->xml_elements_written() : 0);
   clients_.save_state(out);
@@ -221,10 +388,15 @@ void ParallelCapturePipeline::save_state(ByteWriter& out) const {
 
 bool ParallelCapturePipeline::restore_state(ByteReader& in) {
   if (in.u64le() != workers_.size()) return false;
-  anonymised_events_ = in.u64le();
+  anonymised_events_.store(in.u64le(), std::memory_order_release);
   const std::uint64_t xml_events = in.u64le();
   const std::uint64_t xml_elements = in.u64le();
   if (xml_) xml_->resume(xml_events, xml_elements);
+  // The restored events are already on the stream (the owner re-seeded the
+  // XML prefix), so the writer ledger starts even with the anonymise
+  // ledger — flush() compares the two.
+  writer_events_done_.store(anonymised_events_.load(std::memory_order_relaxed),
+                            std::memory_order_release);
   if (!clients_.restore_state(in)) return false;
   if (!files_.restore_state(in)) return false;
   if (!anonymiser_.restore_state(in)) return false;
@@ -239,12 +411,21 @@ bool ParallelCapturePipeline::restore_state(ByteReader& in) {
 void ParallelCapturePipeline::bind_metrics(obs::Registry& registry) {
   metrics_.frames = &registry.counter("pipeline.frames");
   metrics_.messages = &registry.counter("pipeline.messages");
+  metrics_.dropped_on_close = &registry.counter("pipeline.dropped_on_close");
+  metrics_.pool_hits = &registry.counter("pipeline.pool.hits");
+  metrics_.pool_misses = &registry.counter("pipeline.pool.misses");
+  metrics_.writer_chunks = &registry.counter("pipeline.writer.chunks");
+  metrics_.writer_events = &registry.counter("pipeline.writer.events");
   metrics_.merge_queue_depth = &registry.gauge("pipeline.queue.merge");
   metrics_.merge_pending = &registry.gauge("pipeline.merge.pending");
+  metrics_.writer_queue_depth = &registry.gauge("pipeline.queue.writer");
+  metrics_.batch_frames =
+      &registry.histogram("pipeline.batch.frames", obs::size_buckets());
   metrics_.batch_messages =
       &registry.histogram("pipeline.batch.messages", obs::size_buckets());
   metrics_.decode_span = &registry.histogram("span.decode.seconds");
   metrics_.anonymise_span = &registry.histogram("span.anonymise.seconds");
+  metrics_.write_span = &registry.histogram("span.write.seconds");
   for (auto& worker : workers_) worker->decoder->bind_metrics(registry);
   anonymiser_.bind_metrics(registry);
   stats_.bind_metrics(registry);
@@ -253,24 +434,31 @@ void ParallelCapturePipeline::bind_metrics(obs::Registry& registry) {
 PipelineResult ParallelCapturePipeline::finish() {
   if (!finished_) {
     finished_ = true;
+    for (std::size_t w = 0; w < workers_.size(); ++w) flush_open_batch(w);
     for (auto& worker : workers_) worker->in->close();
     for (auto& worker : workers_) worker->thread.join();
     merge_queue_.close();
     merge_thread_.join();
+    if (writer_queue_) {
+      // The merger handed off its last chunk before exiting; close after
+      // it so nothing is stranded.
+      writer_queue_->close();
+      writer_thread_.join();
+    }
     if (config_.replay != nullptr) config_.replay->drain();
     if (xml_) xml_->finish();
     for (auto& worker : workers_) {
       accumulate(total_decode_, worker->decoder->stats());
     }
     DTR_LOG_INFO(config_.log, "pipeline", 0,
-                 "parallel pipeline drained (" << anonymised_events_
-                                               << " events anonymised)");
+                 "parallel pipeline drained ("
+                     << anonymised_events_.load() << " events anonymised)");
   }
   PipelineResult result;
   result.decode = total_decode_;
   result.distinct_clients = anonymiser_.distinct_clients();
   result.distinct_files = anonymiser_.distinct_files();
-  result.anonymised_events = anonymised_events_;
+  result.anonymised_events = anonymised_events_.load();
   result.xml_events = xml_ ? xml_->events_written() : 0;
   {
     std::lock_guard<std::mutex> lock(error_mutex_);

@@ -9,17 +9,39 @@
 //     identity, so all fragments of one packet meet in the same worker's
 //     private reassembler.  No shared mutable state between workers.
 //   * SEQUENCE: every frame carries a global sequence number; a worker
-//     emits exactly one result per frame (zero or more decoded messages).
-//   * MERGE: a single merger restores sequence order with a pending-result
-//     buffer and feeds the single-threaded anonymise/accumulate stage.
+//     emits exactly one (seq, message count) entry per frame, batched.
+//   * MERGE: a single merger restores sequence order with a min-heap of
+//     pending batches and runs the order-sensitive stage (anonymise ->
+//     stats -> extra_sink -> replay submit).
 //
-// The output is bit-identical to the serial pipeline for any worker count
-// and any thread interleaving — asserted by tests, not just claimed.
+// Three throughput devices keep synchronisation and allocation off the
+// per-frame path while leaving the output bytes untouched:
+//
+//   * MICRO-BATCHING: the pushing thread accumulates a small run of frames
+//     per worker (flushed by count or simulated-time gap) and hands the
+//     whole run through the queue in one push; workers likewise emit one
+//     ResultBatch per frame batch, with all decoded messages back to back
+//     in a single vector.  N lock round-trips collapse into one.  Batch
+//     formation happens entirely on the pushing thread, so batch shapes —
+//     unlike queue depths — are deterministic for a fixed input.
+//   * BUFFER POOLING: batches, their frame byte buffers and their message
+//     vectors recycle through free-list pools (core/pool.hpp); in steady
+//     state the hot path re-uses warm heap capacity instead of allocating.
+//   * WRITER OFFLOAD: the merger no longer formats XML; it hands chunks of
+//     anonymised events to a dedicated DatasetWriter thread over a bounded
+//     queue.  The merger flushes its open chunk at the end of every drain
+//     cycle, so a flush()-quiesce (wait for results_merged, then for the
+//     writer to catch up) always leaves the XML stream byte-complete —
+//     which is what keeps checkpoint/resume byte-identical.
+//
+// The output is bit-identical to the serial pipeline for any worker count,
+// batch size, pool setting and thread interleaving — asserted by tests,
+// not just claimed.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +53,7 @@
 #include "anon/client_table.hpp"
 #include "anon/fileid_store.hpp"
 #include "core/pipeline.hpp"
+#include "core/pool.hpp"
 #include "core/queue.hpp"
 #include "decode/decoder.hpp"
 #include "sim/frames.hpp"
@@ -41,7 +64,7 @@ struct ParallelPipelineConfig {
   std::uint32_t server_ip = 0xC0A80001;
   std::uint16_t server_port = 4665;
   std::size_t workers = 2;
-  std::size_t queue_capacity = 8192;   // per worker
+  std::size_t queue_capacity = 8192;   // per worker, in frames
   unsigned fileid_index_byte_0 = 5;
   unsigned fileid_index_byte_1 = 11;
   std::ostream* xml_out = nullptr;
@@ -59,6 +82,15 @@ struct ParallelPipelineConfig {
   /// client->server queries are resubmitted, in merge order, to a live
   /// reference EdonkeyServer.  flush()/finish() drain it.
   ServerWorkerPool* replay = nullptr;
+  /// Data-plane tuning.  Output bytes are identical for ANY setting here —
+  /// pinned by the differential tests — so these trade only throughput
+  /// against latency/memory.
+  std::size_t batch_frames = 16;     ///< frames per worker micro-batch
+  SimTime batch_time_gap = kSecond;  ///< flush an open batch across idle gaps
+  bool buffer_pool = true;           ///< recycle batch/message/frame buffers
+  bool writer_offload = true;        ///< dedicated XML dataset-writer thread
+  std::size_t writer_chunk_events = 256;  ///< events per writer hand-off
+  std::size_t writer_queue_chunks = 64;   ///< writer queue bound (chunks)
 };
 
 class ParallelCapturePipeline {
@@ -72,12 +104,15 @@ class ParallelCapturePipeline {
   void push(const sim::TimedFrame& frame);
   PipelineResult finish();
 
-  /// Quiesce to the current intake boundary: block the pushing thread
-  /// until every frame pushed so far has been decoded, merged back into
-  /// sequence order and anonymised.  Workers emit exactly one result per
-  /// frame and the merger anonymises inside its in-order processing, so
-  /// results_merged == frames_pushed means full quiescence.  Call only
-  /// between pushes (same contract as CapturePipeline::flush()).
+  /// Quiesce to the current intake boundary: flush the open per-worker
+  /// batches, then block the pushing thread until every frame pushed so
+  /// far has been decoded, merged back into sequence order and anonymised
+  /// — and, with writer offload, until the writer thread has drained every
+  /// event chunk the merger handed it.  Workers emit exactly one result
+  /// per frame and the merger flushes its open chunk at the end of every
+  /// drain cycle, so the two waits together mean the XML stream holds the
+  /// complete pushed prefix.  Call only between pushes (same contract as
+  /// CapturePipeline::flush()).
   void flush();
 
   [[nodiscard]] const analysis::CampaignStats& stats() const { return stats_; }
@@ -87,7 +122,8 @@ class ParallelCapturePipeline {
   /// count is part of the snapshot: in-flight IP fragments live in the
   /// per-worker reassemblers frames are routed to by flow hash modulo the
   /// worker count, so restoring into a pipeline with a different worker
-  /// count is rejected.
+  /// count is rejected.  Batch/pool/writer settings are NOT part of the
+  /// snapshot — they don't affect the output bytes.
   void save_state(ByteWriter& out) const;
   bool restore_state(ByteReader& in);
 
@@ -96,39 +132,106 @@ class ParallelCapturePipeline {
     std::uint64_t seq = 0;
     sim::TimedFrame frame;
   };
-  struct WorkerResult {
-    std::uint64_t seq = 0;
-    std::vector<decode::DecodedMessage> messages;
+
+  /// A pushing-thread-built run of consecutive (in routing, not in global
+  /// sequence) frames for one worker.  Slots are reused in place — add()
+  /// assigns into an existing frame's byte buffer — so a recycled batch's
+  /// Bytes never re-allocate in steady state.
+  struct FrameBatch {
+    std::vector<SequencedFrame> slots;
+    std::size_t used = 0;
+
+    void add(std::uint64_t seq, const sim::TimedFrame& frame) {
+      if (used == slots.size()) slots.emplace_back();
+      SequencedFrame& slot = slots[used];
+      slot.seq = seq;
+      slot.frame.time = frame.time;
+      slot.frame.bytes.assign(frame.bytes.begin(), frame.bytes.end());
+      ++used;
+    }
+    void reset() { used = 0; }  // keeps slots and their byte buffers warm
   };
+
+  /// One worker's decode output for one FrameBatch: per-frame sequence
+  /// numbers and message counts, plus every decoded message back to back
+  /// in a single reusable vector.  seqs within a batch ascend (the pushing
+  /// thread assigns them in order), which is what lets the merger treat a
+  /// batch as a sorted run.
+  struct ResultBatch {
+    std::vector<std::uint64_t> seqs;
+    std::vector<std::uint32_t> counts;  // messages per frame, same index
+    std::vector<decode::DecodedMessage> messages;
+
+    void reset() {
+      seqs.clear();
+      counts.clear();
+      messages.clear();
+    }
+  };
+
+  /// Cursor over a partially consumed ResultBatch in the merge heap.
+  struct PendingBatch {
+    ResultBatch batch;
+    std::size_t frame = 0;  // next unconsumed index into seqs/counts
+    std::size_t msg = 0;    // next unconsumed index into messages
+
+    [[nodiscard]] std::uint64_t front_seq() const { return batch.seqs[frame]; }
+  };
+
+  using EventChunk = std::vector<anon::AnonEvent>;
+
   struct Worker {
-    std::unique_ptr<BoundedQueue<SequencedFrame>> in;
+    std::unique_ptr<BoundedQueue<FrameBatch>> in;
     std::unique_ptr<decode::FrameDecoder> decoder;
-    std::vector<decode::DecodedMessage> scratch;
     std::thread thread;
     SimTime last_time = 0;
+    // Pushing-thread-only state: the open (unflushed) micro-batch.
+    FrameBatch open;
+    SimTime open_last_time = 0;
   };
 
   /// Stable frame -> worker routing that keeps IP fragments together.
   std::size_t route(const sim::TimedFrame& frame) const;
 
+  void flush_open_batch(std::size_t target);
   void worker_loop(Worker& worker);
   void merge_loop();
+  void writer_loop();
+  /// Unconditional lock+notify of the quiesce cv — cheap (once per drain
+  /// cycle / writer chunk, not per frame) and immune to the missed-wakeup
+  /// race an "is anyone waiting?" flag check would reintroduce.
+  void notify_quiesce();
+  void note_dropped(std::size_t count, const char* what);
   void bind_metrics(obs::Registry& registry);
   void fail(const char* stage, SimTime time, const std::string& what);
 
   struct Metrics {
     obs::Counter* frames = nullptr;
     obs::Counter* messages = nullptr;
+    obs::Counter* dropped_on_close = nullptr;
+    obs::Counter* pool_hits = nullptr;
+    obs::Counter* pool_misses = nullptr;
+    obs::Counter* writer_chunks = nullptr;
+    obs::Counter* writer_events = nullptr;
     obs::Gauge* merge_queue_depth = nullptr;
     obs::Gauge* merge_pending = nullptr;
+    obs::Gauge* writer_queue_depth = nullptr;
+    obs::Histogram* batch_frames = nullptr;
     obs::Histogram* batch_messages = nullptr;
     obs::Histogram* decode_span = nullptr;
     obs::Histogram* anonymise_span = nullptr;
+    obs::Histogram* write_span = nullptr;
   };
 
   ParallelPipelineConfig config_;
+  std::size_t batch_frames_ = 16;       // normalized (>= 1)
+  std::size_t in_capacity_batches_ = 0; // per-worker queue bound, in batches
+  ObjectPool<FrameBatch> frame_pool_;
+  ObjectPool<ResultBatch> result_pool_;
+  ObjectPool<EventChunk> chunk_pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  BoundedQueue<WorkerResult> merge_queue_;
+  BoundedQueue<ResultBatch> merge_queue_;
+  std::unique_ptr<BoundedQueue<EventChunk>> writer_queue_;  // offload only
 
   anon::DirectClientTable clients_;
   anon::BucketedFileIdStore files_;
@@ -136,14 +239,21 @@ class ParallelCapturePipeline {
   analysis::CampaignStats stats_;
   std::unique_ptr<xmlio::DatasetWriter> xml_;
   Metrics metrics_;
-  std::uint64_t anonymised_events_ = 0;
+  std::atomic<std::uint64_t> anonymised_events_{0};
 
   std::thread merge_thread_;
+  std::thread writer_thread_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t workers_done_ = 0;  // guarded by merge queue close protocol
   /// Results fully processed by the merger (one per pushed frame); with
-  /// next_seq_ it forms the flush() quiescence test.
+  /// next_seq_ it forms the first half of the flush() quiescence test.
   std::atomic<std::uint64_t> results_merged_{0};
+  /// Events the writer thread has retired (second half of the quiescence
+  /// test: the merger increments anonymised_events_ before handing the
+  /// chunk off, the writer increments this after writing it).
+  std::atomic<std::uint64_t> writer_events_done_{0};
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+  std::atomic<bool> dropped_logged_{false};
   std::mutex error_mutex_;
   std::string error_;  // first failure wins; guarded by error_mutex_
   bool finished_ = false;

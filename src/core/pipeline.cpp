@@ -16,12 +16,10 @@ CapturePipeline::CapturePipeline(const PipelineConfig& config)
   if (config_.xml_out != nullptr) {
     xml_ = std::make_unique<xmlio::DatasetWriter>(*config_.xml_out);
   }
+  // The decode loop collects messages via decode_into() and hands them to
+  // the message queue in per-drain batches; no per-message sink needed.
   decoder_ = std::make_unique<decode::FrameDecoder>(
-      config_.server_ip, config_.server_port,
-      [this](decode::DecodedMessage&& msg) {
-        messages_enqueued_.fetch_add(1, std::memory_order_relaxed);
-        message_queue_.push(std::move(msg));
-      });
+      config_.server_ip, config_.server_port, decode::MessageSink{});
   // Bind before the worker threads exist so instrument pointers are
   // published by the thread constructors' synchronisation.
   if (config_.metrics != nullptr) bind_metrics(*config_.metrics);
@@ -48,7 +46,7 @@ void CapturePipeline::push(const sim::TimedFrame& frame) {
                 frame_queue_.size());
   }
   frames_pushed_.fetch_add(1, std::memory_order_relaxed);
-  frame_queue_.push(frame);
+  if (!frame_queue_.push(frame)) note_dropped(1, "frames");
   obs::set(metrics_.frame_queue_depth,
            static_cast<std::int64_t>(frame_queue_.size()));
 }
@@ -67,6 +65,16 @@ void CapturePipeline::flush() {
   if (config_.replay != nullptr) config_.replay->drain();
 }
 
+void CapturePipeline::note_dropped(std::size_t count, const char* what) {
+  obs::inc(metrics_.dropped_on_close, count);
+  if (!dropped_logged_.exchange(true)) {
+    DTR_LOG_WARN(config_.log, "pipeline", 0,
+                 "queue closed during shutdown: "
+                     << count << ' ' << what
+                     << " dropped (further drops counted, not logged)");
+  }
+}
+
 void CapturePipeline::fail(const char* stage, SimTime time,
                            const std::string& what) {
   {
@@ -79,18 +87,35 @@ void CapturePipeline::fail(const char* stage, SimTime time,
 
 void CapturePipeline::decode_loop() {
   bool failed = false;
-  while (auto frame = frame_queue_.pop()) {
-    if (!failed) {
-      try {
-        obs::SpanTimer span(metrics_.decode_span);
-        decoder_->push(*frame);
-        last_time_ = frame->time;
-      } catch (const std::exception& e) {
-        failed = true;  // keep draining so upstream push()/flush() never hang
-        fail("decode", frame->time, e.what());
+  std::vector<sim::TimedFrame> frames;
+  std::vector<decode::DecodedMessage> scratch;
+  while (frame_queue_.pop_all(frames)) {
+    obs::set(metrics_.frame_queue_depth,
+             static_cast<std::int64_t>(frame_queue_.size()));
+    for (const sim::TimedFrame& frame : frames) {
+      if (!failed) {
+        try {
+          obs::SpanTimer span(metrics_.decode_span);
+          decoder_->decode_into(frame, scratch);
+          last_time_ = frame.time;
+        } catch (const std::exception& e) {
+          failed = true;  // keep draining so upstream push()/flush() never hang
+          fail("decode", frame.time, e.what());
+        }
       }
     }
-    frames_decoded_.fetch_add(1, std::memory_order_release);
+    if (!scratch.empty()) {
+      // Count before the hand-off and before the frame counter below:
+      // flush() reads messages_enqueued_ only once frames_decoded_ has
+      // caught up, so this order keeps its two-phase wait exact.
+      const std::size_t produced = scratch.size();
+      messages_enqueued_.fetch_add(produced, std::memory_order_release);
+      if (message_queue_.push_all(scratch) != produced) {
+        note_dropped(produced, "messages");
+      }
+    }
+    frames_decoded_.fetch_add(frames.size(), std::memory_order_release);
+    frames.clear();
   }
   if (!failed) decoder_->finish(last_time_);
   message_queue_.close();
@@ -98,38 +123,42 @@ void CapturePipeline::decode_loop() {
 
 void CapturePipeline::anonymise_loop() {
   bool failed = false;
-  while (auto msg = message_queue_.pop()) {
-    if (!failed) {
-      try {
-        obs::SpanTimer span(metrics_.anonymise_span);
-        obs::inc(metrics_.messages);
-        obs::set(metrics_.message_queue_depth,
-                 static_cast<std::int64_t>(message_queue_.size()));
-        // The dialog's client side: whoever is not the server.
-        const bool from_client = msg->dst_ip == config_.server_ip &&
-                                 msg->dst_port == config_.server_port;
-        const std::uint32_t peer_ip = from_client ? msg->src_ip : msg->dst_ip;
+  std::vector<decode::DecodedMessage> batch;
+  while (message_queue_.pop_all(batch)) {
+    obs::set(metrics_.message_queue_depth,
+             static_cast<std::int64_t>(message_queue_.size()));
+    for (decode::DecodedMessage& msg : batch) {
+      if (!failed) {
+        try {
+          obs::SpanTimer span(metrics_.anonymise_span);
+          obs::inc(metrics_.messages);
+          // The dialog's client side: whoever is not the server.
+          const bool from_client = msg.dst_ip == config_.server_ip &&
+                                   msg.dst_port == config_.server_port;
+          const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
 
-        anon::AnonEvent event =
-            anonymiser_.anonymise(msg->time, peer_ip, msg->message);
-        ++anonymised_events_;
-        stats_.consume(event);
-        if (config_.extra_sink) config_.extra_sink(event);
-        if (xml_) xml_->write(event);
-        if (config_.keep_events) events_.push_back(std::move(event));
-        if (config_.replay != nullptr && from_client) {
-          // The anonymised event is already extracted; the decoded message
-          // itself is free to move into the shadow-serving pool.
-          config_.replay->submit(ServerQuery{msg->src_ip, msg->src_port,
-                                             std::move(msg->message),
-                                             msg->time});
+          anon::AnonEvent event =
+              anonymiser_.anonymise(msg.time, peer_ip, msg.message);
+          ++anonymised_events_;
+          stats_.consume(event);
+          if (config_.extra_sink) config_.extra_sink(event);
+          if (xml_) xml_->write(event);
+          if (config_.keep_events) events_.push_back(std::move(event));
+          if (config_.replay != nullptr && from_client) {
+            // The anonymised event is already extracted; the decoded message
+            // itself is free to move into the shadow-serving pool.
+            config_.replay->submit(ServerQuery{msg.src_ip, msg.src_port,
+                                               std::move(msg.message),
+                                               msg.time});
+          }
+        } catch (const std::exception& e) {
+          failed = true;  // keep draining so flush() never hangs
+          fail("anonymise", msg.time, e.what());
         }
-      } catch (const std::exception& e) {
-        failed = true;  // keep draining so flush() never hangs
-        fail("anonymise", msg->time, e.what());
       }
     }
-    messages_done_.fetch_add(1, std::memory_order_release);
+    messages_done_.fetch_add(batch.size(), std::memory_order_release);
+    batch.clear();
   }
 }
 
@@ -161,6 +190,7 @@ bool CapturePipeline::restore_state(ByteReader& in) {
 void CapturePipeline::bind_metrics(obs::Registry& registry) {
   metrics_.frames = &registry.counter("pipeline.frames");
   metrics_.messages = &registry.counter("pipeline.messages");
+  metrics_.dropped_on_close = &registry.counter("pipeline.dropped_on_close");
   metrics_.frame_queue_depth = &registry.gauge("pipeline.queue.frames");
   metrics_.message_queue_depth = &registry.gauge("pipeline.queue.messages");
   metrics_.decode_span = &registry.histogram("span.decode.seconds");

@@ -136,12 +136,14 @@ class CapturePipeline {
  private:
   void decode_loop();
   void anonymise_loop();
+  void note_dropped(std::size_t count, const char* what);
   void bind_metrics(obs::Registry& registry);
   void fail(const char* stage, SimTime time, const std::string& what);
 
   struct Metrics {
     obs::Counter* frames = nullptr;
     obs::Counter* messages = nullptr;
+    obs::Counter* dropped_on_close = nullptr;
     obs::Gauge* frame_queue_depth = nullptr;
     obs::Gauge* message_queue_depth = nullptr;
     obs::Histogram* decode_span = nullptr;
@@ -172,6 +174,7 @@ class CapturePipeline {
   std::atomic<std::uint64_t> messages_enqueued_{0};
   std::atomic<std::uint64_t> messages_done_{0};
 
+  std::atomic<bool> dropped_logged_{false};
   std::mutex error_mutex_;
   std::string error_;  // first failure wins; guarded by error_mutex_
 

@@ -1,0 +1,78 @@
+// Free-list object pool for the pipeline data plane.
+//
+// The batched pipelines shuttle container objects (frame batches, decoded-
+// message vectors, anonymised-event chunks) between threads at a high rate;
+// constructing them fresh each time puts an allocation — and later a free
+// on a *different* thread — on the hot path.  The pool recycles them
+// instead: release() parks an object after the owner reset() its logical
+// contents (vector capacity survives, so a recycled batch's buffers are
+// already warm), acquire() hands it back out.  Disabled, it degenerates to
+// plain construction; the differential tests run both ways, because pooling
+// must never change the output bytes.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dtr::core {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool(bool enabled, std::size_t max_retained)
+      : enabled_(enabled), max_retained_(max_retained) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Instrument with shared hit/miss counters (several pools may bind the
+  /// same pair; either may be null).  Call before any thread uses the pool.
+  void bind_metrics(obs::Counter* hits, obs::Counter* misses) {
+    hits_ = hits;
+    misses_ = misses;
+  }
+
+  /// A recycled object when one is parked, a fresh T{} otherwise.  The
+  /// caller owns it until release().
+  [[nodiscard]] T acquire() {
+    if (enabled_) {
+      std::unique_lock lock(mutex_);
+      if (!free_.empty()) {
+        T obj = std::move(free_.back());
+        free_.pop_back();
+        lock.unlock();
+        obs::inc(hits_);
+        return obj;
+      }
+    }
+    obs::inc(misses_);
+    return T{};
+  }
+
+  /// Park `obj` for reuse (the caller must have reset its logical contents
+  /// first).  Beyond max_retained — or with pooling disabled — the object
+  /// is simply destroyed.
+  void release(T&& obj) {
+    if (!enabled_) return;
+    std::lock_guard lock(mutex_);
+    if (free_.size() < max_retained_) free_.push_back(std::move(obj));
+  }
+
+  [[nodiscard]] std::size_t retained() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  const bool enabled_;
+  const std::size_t max_retained_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  mutable std::mutex mutex_;
+  std::vector<T> free_;
+};
+
+}  // namespace dtr::core

@@ -12,6 +12,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace dtr::core {
 
@@ -47,6 +48,54 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Enqueue every element of `items` (moved out of the vector), blocking
+  /// while the queue is full.  Elements are admitted in chunks as capacity
+  /// frees up — one lock round-trip per chunk instead of one per element —
+  /// so a vector larger than the queue's capacity still goes through.
+  /// Returns the number of elements enqueued; anything short of
+  /// items.size() means the queue was closed mid-push and the remainder
+  /// was dropped (shutdown path only).  `items` is left empty either way.
+  std::size_t push_all(std::vector<T>& items) {
+    std::size_t pushed = 0;
+    {
+      std::unique_lock lock(mutex_);
+      while (pushed < items.size()) {
+        not_full_.wait(
+            lock, [this] { return items_.size() < capacity_ || closed_; });
+        if (closed_) break;
+        while (pushed < items.size() && items_.size() < capacity_) {
+          items_.push_back(std::move(items[pushed]));
+          ++pushed;
+        }
+        // Wake consumers before (possibly) blocking for the next chunk:
+        // they are what frees the capacity this loop is waiting on.
+        not_empty_.notify_all();
+      }
+    }
+    if (pushed > 0) not_empty_.notify_all();
+    items.clear();
+    return pushed;
+  }
+
+  /// Blocks while the queue is empty, then moves *every* queued element
+  /// onto the back of `out` in FIFO order — the whole backlog in one lock
+  /// round-trip.  Returns false (appending nothing) once the queue is
+  /// closed and drained.
+  bool pop_all(std::vector<T>& out) {
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      if (items_.empty()) return false;
+      out.reserve(out.size() + items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return true;
   }
 
   /// Wake all waiters; pending items remain poppable.

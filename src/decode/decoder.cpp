@@ -61,6 +61,16 @@ void FrameDecoder::push(const sim::TimedFrame& frame) {
   handle_ip(*whole, frame.time);
 }
 
+void FrameDecoder::decode_into(const sim::TimedFrame& frame,
+                               std::vector<DecodedMessage>& out) {
+  struct Redirect {  // exception-safe: push() may throw through us
+    FrameDecoder* decoder;
+    ~Redirect() { decoder->batch_out_ = nullptr; }
+  } redirect{this};
+  batch_out_ = &out;
+  push(frame);
+}
+
 void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
   auto udp = net::decode_udp(packet.payload, packet.src, packet.dst);
   if (!udp) {
@@ -101,7 +111,7 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
   obs::inc(metrics_.messages);
   obs::inc(metrics_.by_family[static_cast<std::size_t>(
       proto::family_of(*result.message))]);
-  if (sink_) {
+  if (batch_out_ != nullptr || sink_) {
     DecodedMessage out;
     out.time = time;
     out.src_ip = packet.src;
@@ -109,7 +119,11 @@ void FrameDecoder::handle_ip(const net::Ipv4Packet& packet, SimTime time) {
     out.dst_ip = packet.dst;
     out.dst_port = udp->dst_port;
     out.message = std::move(*result.message);
-    sink_(std::move(out));
+    if (batch_out_ != nullptr) {
+      batch_out_->push_back(std::move(out));
+    } else {
+      sink_(std::move(out));
+    }
   }
 }
 

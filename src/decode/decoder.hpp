@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "net/ethernet.hpp"
@@ -77,6 +78,14 @@ class FrameDecoder {
 
   void push(const sim::TimedFrame& frame);
 
+  /// Decode one frame appending its messages to `out` instead of calling
+  /// the sink — the batched pipelines decode whole frame runs into one
+  /// reusable message vector, so the per-message std::function indirection
+  /// disappears from the hot path.  Reassembly completions triggered by
+  /// this frame land in `out` too (same attribution the sink path has).
+  void decode_into(const sim::TimedFrame& frame,
+                   std::vector<DecodedMessage>& out);
+
   /// Flush reassembly timeouts (call at end of stream).
   void finish(SimTime now);
 
@@ -130,6 +139,7 @@ class FrameDecoder {
   std::uint32_t server_ip_;
   std::uint16_t server_port_;
   MessageSink sink_;
+  std::vector<DecodedMessage>* batch_out_ = nullptr;  // set during decode_into
   net::Ipv4Reassembler reassembler_;
   DecodeStats stats_;
   Metrics metrics_;

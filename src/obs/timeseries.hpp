@@ -44,9 +44,15 @@ struct TimeSeriesOptions {
   /// the wall-clock / scheduling-dependent names that would break
   /// byte-reproducibility.  checkpoint.* is excluded so a resumed run's
   /// series stays byte-identical to an uninterrupted run's (checkpointing
-  /// activity is operational, not part of the measured campaign).
+  /// activity is operational, not part of the measured campaign);
+  /// pipeline.pool.* (free-list hit/miss) and pipeline.writer.* (offload
+  /// chunk shapes) depend on thread scheduling the same way queue depths
+  /// do.  pipeline.batch.* stays IN the series: batch formation happens on
+  /// the pushing thread from input count/time alone, so batch shapes are
+  /// deterministic.
   std::vector<std::string> exclude_prefixes = {
-      "span.", "pipeline.queue.", "pipeline.merge.", "checkpoint."};
+      "span.",           "pipeline.queue.", "pipeline.merge.",
+      "pipeline.pool.",  "pipeline.writer.", "checkpoint."};
   /// Store a sample only when some included counter changed since the last
   /// stored sample — sparse mode for long fine-grained series (Figure 2's
   /// per-second losses: almost every second is all-zero deltas).  Deltas

@@ -2,30 +2,41 @@
 
 namespace dtr::xmlio {
 
-std::string xml_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&':
-        out += "&amp;";
-        break;
-      case '<':
-        out += "&lt;";
-        break;
-      case '>':
-        out += "&gt;";
-        break;
-      case '"':
-        out += "&quot;";
-        break;
-      case '\'':
-        out += "&apos;";
-        break;
-      default:
-        out.push_back(c);
-    }
+namespace {
+
+constexpr std::string_view kEscapable = "&<>\"'";
+
+std::string_view entity_for(char c) {
+  switch (c) {
+    case '&':
+      return "&amp;";
+    case '<':
+      return "&lt;";
+    case '>':
+      return "&gt;";
+    case '"':
+      return "&quot;";
+    default:
+      return "&apos;";
   }
+}
+
+}  // namespace
+
+std::string xml_escape(std::string_view s) {
+  // Fast path: scan first, and when nothing needs escaping hand back the
+  // input as-is — one copy, no growth reallocations.
+  std::size_t pos = s.find_first_of(kEscapable);
+  if (pos == std::string_view::npos) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 8);
+  while (pos != std::string_view::npos) {
+    out.append(s.substr(0, pos));
+    out.append(entity_for(s[pos]));
+    s.remove_prefix(pos + 1);
+    pos = s.find_first_of(kEscapable);
+  }
+  out.append(s);
   return out;
 }
 
@@ -61,8 +72,24 @@ XmlWriter& XmlWriter::open(std::string_view name) {
   return *this;
 }
 
+void XmlWriter::write_escaped(std::string_view s) {
+  std::size_t pos = s.find_first_of(kEscapable);
+  if (pos == std::string_view::npos) {
+    out_ << s;  // common case: straight through, no temporary
+    return;
+  }
+  while (pos != std::string_view::npos) {
+    out_ << s.substr(0, pos) << entity_for(s[pos]);
+    s.remove_prefix(pos + 1);
+    pos = s.find_first_of(kEscapable);
+  }
+  out_ << s;
+}
+
 XmlWriter& XmlWriter::attr(std::string_view name, std::string_view value) {
-  out_ << ' ' << name << "=\"" << xml_escape(value) << '"';
+  out_ << ' ' << name << "=\"";
+  write_escaped(value);
+  out_ << '"';
   return *this;
 }
 
@@ -73,7 +100,7 @@ XmlWriter& XmlWriter::attr(std::string_view name, std::uint64_t value) {
 
 XmlWriter& XmlWriter::text(std::string_view content) {
   finish_open_tag();
-  out_ << xml_escape(content);
+  write_escaped(content);
   has_children_ = true;  // suppress indentation before the closing tag
   return *this;
 }

@@ -16,6 +16,8 @@
 namespace dtr::xmlio {
 
 /// Escape the five XML special characters in attribute/text context.
+/// Returns the input unchanged (one copy, no growth) when nothing needs
+/// escaping — the overwhelmingly common case for this dataset.
 std::string xml_escape(std::string_view s);
 
 class XmlWriter {
@@ -46,6 +48,9 @@ class XmlWriter {
  private:
   void finish_open_tag();
   void indent();
+  /// Stream `s` with XML escaping, without materialising a temporary
+  /// string (attr/text are on the dataset writer's hot path).
+  void write_escaped(std::string_view s);
 
   std::ostream& out_;
   bool pretty_;

@@ -190,9 +190,25 @@ TEST_P(Seeds, ParallelMetricsReconcileAcrossWorkerCounts) {
     obs::Registry registry;
     RunResult run = run_parallel(campaign_config(GetParam()), workers, registry);
     expect_reconciled(run, "parallel");
-    EXPECT_EQ(run.metrics.histograms.at("pipeline.batch.messages").count,
-              run.frames_pushed)
-        << "one batch observation per frame";
+    // Micro-batch accounting: one message-batch observation per frame
+    // batch, every frame in exactly one batch, every decoded message in
+    // exactly one batch.
+    const obs::HistogramSnapshot& frames_hist =
+        run.metrics.histograms.at("pipeline.batch.frames");
+    const obs::HistogramSnapshot& messages_hist =
+        run.metrics.histograms.at("pipeline.batch.messages");
+    EXPECT_EQ(frames_hist.count, messages_hist.count);
+    EXPECT_EQ(frames_hist.sum, static_cast<double>(run.frames_pushed));
+    EXPECT_EQ(messages_hist.sum,
+              static_cast<double>(run.result.anonymised_events));
+    // Pool accounting: exactly one frame-batch and one result-batch
+    // acquisition per batch (the hit/miss *split* is scheduling-dependent,
+    // the total is not; no XML sink here, so the chunk pool stays idle).
+    EXPECT_EQ(run.metrics.counter("pipeline.pool.hits") +
+                  run.metrics.counter("pipeline.pool.misses"),
+              2 * frames_hist.count);
+    // A clean run never pushes into a closed queue.
+    EXPECT_EQ(run.metrics.counter("pipeline.dropped_on_close"), 0u);
   }
 }
 
@@ -291,18 +307,31 @@ struct SeriesRun {
   std::vector<obs::TimeSeriesRecorder::Sample> samples;
   std::string jsonl;
   std::string csv;
+  std::string xml;
 };
 
-SeriesRun run_with_series(std::uint64_t seed, std::size_t workers) {
+struct DataPlaneTuning {
+  std::size_t batch_frames = 16;
+  bool buffer_pool = true;
+  bool writer_offload = true;
+};
+
+SeriesRun run_with_series(std::uint64_t seed, std::size_t workers,
+                          DataPlaneTuning tuning = {}) {
   core::RunnerConfig cfg;
   cfg.campaign = campaign_config(seed);
   cfg.workers = workers;
+  cfg.batch_frames = tuning.batch_frames;
+  cfg.buffer_pool = tuning.buffer_pool;
+  cfg.writer_offload = tuning.writer_offload;
   obs::Registry registry;
   obs::TimeSeriesOptions options;
   options.interval = 30 * kMinute;
   obs::TimeSeriesRecorder series(registry, options);
   cfg.metrics = &registry;
   cfg.series = &series;
+  std::ostringstream xml;
+  cfg.xml_out = &xml;
 
   core::CampaignRunner runner(cfg);
   core::CampaignReport report = runner.run();
@@ -316,6 +345,7 @@ SeriesRun run_with_series(std::uint64_t seed, std::size_t workers) {
   std::ostringstream csv;
   series.write_csv(csv);
   run.csv = csv.str();
+  run.xml = xml.str();
   return run;
 }
 
@@ -356,6 +386,39 @@ TEST(SeriesReconcile, SameSeedRunsAreByteIdentical) {
   SeriesRun pb = run_with_series(32, 3);
   EXPECT_EQ(pa.jsonl, pb.jsonl);
   EXPECT_EQ(pa.csv, pb.csv);
+  EXPECT_EQ(pa.xml, pb.xml);
+}
+
+// The data-plane tuning knobs (micro-batch size, buffer pooling, writer
+// offload) trade throughput for latency/memory — never output bytes.  One
+// serial reference; every parallel tuning must reproduce its XML dataset
+// byte for byte and its counter series sample by sample.
+TEST(SeriesReconcile, BatchSizeAndPoolingNeverChangeTheBytes) {
+  const SeriesRun serial = run_with_series(33, 0);
+  ASSERT_FALSE(serial.xml.empty());
+
+  std::vector<DataPlaneTuning> tunings;
+  for (std::size_t batch : {std::size_t{1}, std::size_t{16}, std::size_t{256}}) {
+    for (bool pool : {true, false}) {
+      tunings.push_back(DataPlaneTuning{batch, pool, true});
+    }
+  }
+  // The merge thread writing XML inline (no offload thread) must match too.
+  tunings.push_back(DataPlaneTuning{16, true, false});
+
+  for (const DataPlaneTuning& tuning : tunings) {
+    SCOPED_TRACE(::testing::Message()
+                 << "batch=" << tuning.batch_frames << " pool="
+                 << tuning.buffer_pool << " offload=" << tuning.writer_offload);
+    SeriesRun parallel = run_with_series(33, 3, tuning);
+    EXPECT_EQ(parallel.xml, serial.xml);
+    ASSERT_EQ(parallel.samples.size(), serial.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      EXPECT_EQ(parallel.samples[i].snapshot.counters,
+                serial.samples[i].snapshot.counters)
+          << "sample " << i;
+    }
+  }
 }
 
 // --- Server-stage reconciliation (the sharded index, PR 3) --------------

@@ -78,6 +78,60 @@ TEST(BoundedQueue, ManyProducersOneConsumer) {
   EXPECT_EQ(seen.size(), 4u * per_producer);
 }
 
+TEST(BoundedQueue, PushAllPopAllRoundTrip) {
+  BoundedQueue<int> q(10);
+  std::vector<int> in = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.push_all(in), 5u);
+  EXPECT_TRUE(in.empty());
+  std::vector<int> out;
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedQueue, PushAllLargerThanCapacityGoesThroughInChunks) {
+  BoundedQueue<int> q(4);  // smaller than the batch below
+  std::vector<int> in;
+  for (int i = 0; i < 100; ++i) in.push_back(i);
+  std::size_t pushed = 0;
+  std::thread producer([&] { pushed = q.push_all(in); });
+  std::vector<int> out;
+  while (out.size() < 100) ASSERT_TRUE(q.pop_all(out));
+  producer.join();
+  EXPECT_EQ(pushed, 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(BoundedQueue, PopAllAppendsAndDrainsBacklog) {
+  BoundedQueue<int> q(10);
+  q.push(1);
+  q.push(2);
+  std::vector<int> out = {0};  // pop_all appends, never clears
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, PushAllReportsShortfallOnClose) {
+  BoundedQueue<int> q(10);
+  q.close();
+  std::vector<int> in = {1, 2, 3};
+  EXPECT_EQ(q.push_all(in), 0u);
+  EXPECT_TRUE(in.empty());
+  std::vector<int> out;
+  EXPECT_FALSE(q.pop_all(out));  // closed and drained
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BoundedQueue, PopAllReturnsPendingItemsAfterClose) {
+  BoundedQueue<int> q(10);
+  q.push(7);
+  q.close();
+  std::vector<int> out;
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, std::vector<int>{7});
+  EXPECT_FALSE(q.pop_all(out));
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end campaign
 // ---------------------------------------------------------------------------
