@@ -17,26 +17,62 @@ void AnonSearchExpr::collect_tokens(std::vector<StringToken>& out) const {
   if (right) right->collect_tokens(out);
 }
 
-StringToken Anonymiser::hash_string(std::string_view s) {
-  return Md5::digest(s);
-}
+StringToken anon_hash_string(std::string_view s) { return Md5::digest(s); }
 
-AnonFileMeta Anonymiser::anonymise_meta(const proto::TagList& tags) {
+AnonFileMeta anon_meta(const proto::TagList& tags) {
   AnonFileMeta meta;
   if (auto name = proto::tag_string(tags, proto::TagName::kFileName)) {
-    meta.name = hash_string(*name);
+    meta.name = anon_hash_string(*name);
   }
   if (auto size = proto::tag_u32(tags, proto::TagName::kFileSize)) {
     // Bytes -> kilobytes, rounding up so no nonempty file becomes 0 KB.
     meta.size_kb = (*size + 1023) / 1024;
   }
   if (auto type = proto::tag_string(tags, proto::TagName::kFileType)) {
-    meta.type = hash_string(*type);
+    meta.type = anon_hash_string(*type);
   }
   if (auto avail = proto::tag_u32(tags, proto::TagName::kAvailability)) {
     meta.availability = *avail;
   }
   return meta;
+}
+
+AnonSearchExprPtr anon_expr(const proto::SearchExpr& e) {
+  auto out = std::make_unique<AnonSearchExpr>();
+  out->kind = e.kind;
+  switch (e.kind) {
+    case proto::SearchExpr::Kind::kBool:
+      out->op = e.op;
+      if (e.left) out->left = anon_expr(*e.left);
+      if (e.right) out->right = anon_expr(*e.right);
+      break;
+    case proto::SearchExpr::Kind::kKeyword:
+      out->token = anon_hash_string(e.text);
+      break;
+    case proto::SearchExpr::Kind::kMetaString:
+      out->token = anon_hash_string(e.text);
+      out->tag_token = anon_hash_string(e.tag_name);
+      break;
+    case proto::SearchExpr::Kind::kMetaNumeric: {
+      out->tag_token = anon_hash_string(e.tag_name);
+      bool is_size =
+          e.tag_name.size() == 1 &&
+          static_cast<std::uint8_t>(e.tag_name[0]) ==
+              static_cast<std::uint8_t>(proto::TagName::kFileSize);
+      out->number = is_size ? (e.number + 1023) / 1024 : e.number;
+      out->cmp = e.cmp;
+      break;
+    }
+  }
+  return out;
+}
+
+StringToken Anonymiser::hash_string(std::string_view s) {
+  return anon_hash_string(s);
+}
+
+AnonFileMeta Anonymiser::anonymise_meta(const proto::TagList& tags) {
+  return anon_meta(tags);
 }
 
 AnonFileEntry Anonymiser::anonymise_entry(const proto::FileEntry& e) {
@@ -49,33 +85,7 @@ AnonFileEntry Anonymiser::anonymise_entry(const proto::FileEntry& e) {
 }
 
 AnonSearchExprPtr Anonymiser::anonymise_expr(const proto::SearchExpr& e) {
-  auto out = std::make_unique<AnonSearchExpr>();
-  out->kind = e.kind;
-  switch (e.kind) {
-    case proto::SearchExpr::Kind::kBool:
-      out->op = e.op;
-      if (e.left) out->left = anonymise_expr(*e.left);
-      if (e.right) out->right = anonymise_expr(*e.right);
-      break;
-    case proto::SearchExpr::Kind::kKeyword:
-      out->token = hash_string(e.text);
-      break;
-    case proto::SearchExpr::Kind::kMetaString:
-      out->token = hash_string(e.text);
-      out->tag_token = hash_string(e.tag_name);
-      break;
-    case proto::SearchExpr::Kind::kMetaNumeric: {
-      out->tag_token = hash_string(e.tag_name);
-      bool is_size =
-          e.tag_name.size() == 1 &&
-          static_cast<std::uint8_t>(e.tag_name[0]) ==
-              static_cast<std::uint8_t>(proto::TagName::kFileSize);
-      out->number = is_size ? (e.number + 1023) / 1024 : e.number;
-      out->cmp = e.cmp;
-      break;
-    }
-  }
-  return out;
+  return anon_expr(e);
 }
 
 AnonEvent Anonymiser::anonymise(SimTime time, proto::ClientId peer_ip,
@@ -170,6 +180,108 @@ void Anonymiser::bind_metrics(obs::Registry& registry) {
   metrics_.file_lookups = &registry.counter("anon.file_lookups");
   metrics_.clients_distinct = &registry.gauge("anon.clients.distinct");
   metrics_.files_distinct = &registry.gauge("anon.files.distinct");
+}
+
+std::optional<AnonEvent> ReadOnlyAnonymiser::try_anonymise(
+    SimTime time, proto::ClientId peer_ip, const proto::Message& msg,
+    Tally& tally) const {
+  // Resolver mirroring Anonymiser's anon_client/anon_file call-for-call, so
+  // the tally matches what a serial run counts for this message.  On a miss
+  // we keep visiting (and keep counting) instead of bailing out early; the
+  // caller discards the tally anyway and misses are the rare case.
+  struct Resolver {
+    const ClientAnonymiser& clients;
+    const FileIdAnonymiser& files;
+    Tally& tally;
+    bool missed = false;
+
+    AnonClientId client(proto::ClientId id) {
+      ++tally.client_lookups;
+      const AnonClientId v = clients.lookup(id);
+      if (v == kClientNotSeen) missed = true;
+      return v;
+    }
+    AnonFileId file(const FileId& id) {
+      ++tally.file_lookups;
+      const AnonFileId v = files.lookup(id);
+      if (v == kFileNotSeen) missed = true;
+      return v;
+    }
+    AnonFileEntry entry(const proto::FileEntry& e) {
+      AnonFileEntry out;
+      out.file = file(e.file_id);
+      out.provider = client(e.client_id);
+      out.port = e.port;
+      out.meta = anon_meta(e.tags);
+      return out;
+    }
+  };
+
+  struct Visitor {
+    Resolver& r;
+
+    AnonMessage operator()(const proto::ServStatReq&) { return AServStatReq{}; }
+    AnonMessage operator()(const proto::ServStatRes& m) {
+      return AServStatRes{m.users, m.files};
+    }
+    AnonMessage operator()(const proto::ServerDescReq&) {
+      return AServerDescReq{};
+    }
+    AnonMessage operator()(const proto::ServerDescRes& m) {
+      return AServerDescRes{anon_hash_string(m.name),
+                            anon_hash_string(m.description)};
+    }
+    AnonMessage operator()(const proto::GetServerList&) {
+      return AGetServerList{};
+    }
+    AnonMessage operator()(const proto::ServerList& m) {
+      return AServerList{static_cast<std::uint32_t>(m.servers.size())};
+    }
+    AnonMessage operator()(const proto::FileSearchReq& m) {
+      AFileSearchReq out;
+      out.expr = anon_expr(*m.expr);
+      return out;
+    }
+    AnonMessage operator()(const proto::FileSearchRes& m) {
+      AFileSearchRes out;
+      out.results.reserve(m.results.size());
+      for (const auto& e : m.results) out.results.push_back(r.entry(e));
+      return out;
+    }
+    AnonMessage operator()(const proto::GetSourcesReq& m) {
+      AGetSourcesReq out;
+      out.files.reserve(m.file_ids.size());
+      for (const auto& id : m.file_ids) out.files.push_back(r.file(id));
+      return out;
+    }
+    AnonMessage operator()(const proto::FoundSourcesRes& m) {
+      AFoundSourcesRes out;
+      out.file = r.file(m.file_id);
+      out.sources.reserve(m.sources.size());
+      for (const auto& s : m.sources) {
+        out.sources.push_back(AnonEndpoint{r.client(s.ip), s.port});
+      }
+      return out;
+    }
+    AnonMessage operator()(const proto::PublishReq& m) {
+      APublishReq out;
+      out.files.reserve(m.files.size());
+      for (const auto& e : m.files) out.files.push_back(r.entry(e));
+      return out;
+    }
+    AnonMessage operator()(const proto::PublishAck& m) {
+      return APublishAck{m.accepted};
+    }
+  };
+
+  Resolver resolver{clients_, files_, tally};
+  AnonEvent ev;
+  ev.time = time;
+  ev.peer = resolver.client(peer_ip);
+  ev.is_query = proto::is_query(msg);
+  ev.message = std::visit(Visitor{resolver}, msg);
+  if (resolver.missed) return std::nullopt;
+  return ev;
 }
 
 }  // namespace dtr::anon

@@ -133,6 +133,13 @@ struct AnonEvent {
   AnonMessage message;
 };
 
+// Table-free pieces of the scheme, shared by the inserting Anonymiser and
+// the read-only worker-side variant: string hashing and precision reduction
+// never touch the order-of-appearance tables.
+StringToken anon_hash_string(std::string_view s);
+AnonFileMeta anon_meta(const proto::TagList& tags);
+AnonSearchExprPtr anon_expr(const proto::SearchExpr& e);
+
 /// Applies the anonymisation scheme, sharing the clientID table and fileID
 /// store across the whole capture (order-of-appearance must be global).
 class Anonymiser {
@@ -206,6 +213,39 @@ class Anonymiser {
   obs::Logger* log_ = nullptr;
   std::uint64_t next_client_milestone_ = 1;
   std::uint64_t next_file_milestone_ = 1;
+};
+
+/// Optimistic anonymisation against tables some other thread inserts into:
+/// every ID is resolved with non-inserting lookup(), and the whole message
+/// is abandoned (nullopt) when any ID has not been assigned yet.  Pipeline
+/// workers use this to anonymise messages whose IDs are already known,
+/// leaving first-sight assignment — and therefore the dense numbering — to
+/// the merge thread's Anonymiser.
+///
+/// The tally mirrors exactly the lookups the inserting Anonymiser would
+/// count for the same message, so callers can keep `anon.client_lookups` /
+/// `anon.file_lookups` identical to a serial run by committing it only when
+/// try_anonymise succeeds.
+class ReadOnlyAnonymiser {
+ public:
+  struct Tally {
+    std::uint64_t client_lookups = 0;
+    std::uint64_t file_lookups = 0;
+  };
+
+  ReadOnlyAnonymiser(const ClientAnonymiser& clients,
+                     const FileIdAnonymiser& files)
+      : clients_(clients), files_(files) {}
+
+  /// nullopt when the message references any not-yet-assigned ID; `tally`
+  /// is filled either way but only meaningful on success.
+  std::optional<AnonEvent> try_anonymise(SimTime time, proto::ClientId peer_ip,
+                                         const proto::Message& msg,
+                                         Tally& tally) const;
+
+ private:
+  const ClientAnonymiser& clients_;
+  const FileIdAnonymiser& files_;
 };
 
 }  // namespace dtr::anon

@@ -242,6 +242,7 @@ CampaignReport CampaignRunner::run() {
     parallel_config.batch_frames = config_.batch_frames;
     parallel_config.buffer_pool = config_.buffer_pool;
     parallel_config.writer_offload = config_.writer_offload;
+    parallel_config.anon_shards = config_.anon_shards;
     parallel_ = std::make_unique<ParallelCapturePipeline>(parallel_config);
     engine.set_sink(
         [this](const sim::TimedFrame& frame) { parallel_->push(frame); });

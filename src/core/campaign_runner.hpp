@@ -40,6 +40,13 @@ struct RunnerConfig {
   std::size_t batch_frames = 16;
   bool buffer_pool = true;
   bool writer_offload = true;
+  /// Anonymisation table shards (clamped to a power of two in [1, 64]).
+  /// Dense IDs are assigned by the merge thread in sequence order, so the
+  /// shard count never changes the output — it only spreads lock-free
+  /// lookup state for the workers' optimistic pass.  Like the knobs above
+  /// it stays out of the checkpoint fingerprint: a campaign may resume
+  /// with a different shard count.
+  std::size_t anon_shards = 8;
   /// Optional metrics registry: when set, the capture buffer, the server
   /// index, and every pipeline stage register their instruments there.
   obs::Registry* metrics = nullptr;

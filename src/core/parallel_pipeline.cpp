@@ -1,9 +1,11 @@
 #include "core/parallel_pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/rng.hpp"
 #include "core/server_pool.hpp"
+#include "xmlio/schema.hpp"
 
 namespace dtr::core {
 
@@ -40,18 +42,18 @@ ParallelCapturePipeline::ParallelCapturePipeline(
       frame_pool_(config.buffer_pool, kMaxRetainedBatches),
       result_pool_(config.buffer_pool, kMaxRetainedBatches),
       chunk_pool_(config.buffer_pool, config.writer_queue_chunks + 8),
-      merge_queue_(in_capacity_batches_ *
-                   std::max<std::size_t>(1, config.workers)),
-      clients_(anon::DirectClientTable::PageMode::kPaged),
-      files_(config.fileid_index_byte_0, config.fileid_index_byte_1),
-      anonymiser_(clients_, files_) {
+      clients_(config.anon_shards),
+      files_(config.anon_shards, config.fileid_index_byte_0,
+             config.fileid_index_byte_1),
+      anonymiser_(clients_, files_),
+      read_anonymiser_(clients_, files_) {
   if (config_.xml_out != nullptr) {
     // The prologue is written here, on the constructing thread; the writer
     // thread only touches the stream after a chunk arrives, and thread
     // creation below orders these writes before it.
     xml_ = std::make_unique<xmlio::DatasetWriter>(*config_.xml_out);
     if (config_.writer_offload) {
-      writer_queue_ = std::make_unique<BoundedQueue<EventChunk>>(
+      writer_ring_ = std::make_unique<SpscRing<XmlChunk>>(
           std::max<std::size_t>(1, config_.writer_queue_chunks));
     }
   }
@@ -60,8 +62,9 @@ ParallelCapturePipeline::ParallelCapturePipeline(
   workers_.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
     auto worker = std::make_unique<Worker>();
-    worker->in = std::make_unique<BoundedQueue<FrameBatch>>(
-        in_capacity_batches_);
+    worker->in = std::make_unique<SpscRing<FrameBatch>>(in_capacity_batches_);
+    worker->out = std::make_unique<SpscRing<ResultBatch>>(in_capacity_batches_);
+    worker->out->bind_consumer_signal(&merge_signal_);
     worker->decoder = std::make_unique<decode::FrameDecoder>(
         config_.server_ip, config_.server_port, decode::MessageSink{});
     workers_.push_back(std::move(worker));
@@ -73,24 +76,31 @@ ParallelCapturePipeline::ParallelCapturePipeline(
   result_pool_.bind_metrics(metrics_.pool_hits, metrics_.pool_misses);
   chunk_pool_.bind_metrics(metrics_.pool_hits, metrics_.pool_misses);
   for (auto& worker : workers_) {
+    worker->in->bind_metrics(metrics_.push_parks, metrics_.worker_parks);
+    worker->out->bind_metrics(metrics_.worker_parks, nullptr);
     worker->decoder->bind_telemetry(config_.log, config_.flight);
+  }
+  if (writer_ring_) {
+    writer_ring_->bind_metrics(metrics_.merge_parks, metrics_.writer_parks);
   }
   anonymiser_.bind_telemetry(config_.log);
   DTR_LOG_INFO(config_.log, "pipeline", 0,
-               "parallel pipeline up (" << n << " workers, batch "
+               "parallel pipeline up (" << n << " workers, "
+                                        << clients_.shard_count()
+                                        << " anon shards, batch "
                                         << batch_frames_ << " frames, queue "
                                         << in_capacity_batches_
                                         << " batches per worker, pool "
                                         << (config_.buffer_pool ? "on" : "off")
                                         << ", writer "
-                                        << (writer_queue_ ? "offloaded"
-                                                          : "inline")
+                                        << (writer_ring_ ? "offloaded"
+                                                         : "inline")
                                         << ")");
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   }
   merge_thread_ = std::thread([this] { merge_loop(); });
-  if (writer_queue_) {
+  if (writer_ring_) {
     writer_thread_ = std::thread([this] { writer_loop(); });
   }
 }
@@ -134,7 +144,7 @@ void ParallelCapturePipeline::flush_open_batch(std::size_t target) {
   Worker& worker = *workers_[target];
   if (worker.open.used == 0) return;
   if (config_.flight != nullptr &&
-      worker.in->size() >= in_capacity_batches_) {
+      worker.in->size() >= worker.in->capacity()) {
     // The routed worker is not keeping up: this hand-off is about to block.
     obs::record(config_.flight, obs::FlightEvent::kStageStall,
                 worker.open_last_time, worker.in->size(), target);
@@ -157,7 +167,7 @@ void ParallelCapturePipeline::flush() {
       return results_merged_.load(std::memory_order_acquire) >= frames;
     });
   }
-  if (writer_queue_) {
+  if (writer_ring_) {
     // The merger has handed off its last open chunk (it flushes at every
     // drain-cycle end), so anonymised_events_ is final for this prefix;
     // now wait for the writer thread to retire it all.
@@ -199,6 +209,55 @@ void ParallelCapturePipeline::fail(const char* stage, SimTime time,
   DTR_LOG_ERROR(config_.log, stage, time, "stage failed: " << what);
 }
 
+void ParallelCapturePipeline::optimistic_pass(ResultBatch& result) {
+  const std::size_t n = result.messages.size();
+  result.prepared.assign(n, 0);
+  result.events.resize(n);
+  result.xml_len.assign(n, 0);
+  result.xml_elems.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const decode::DecodedMessage& msg = result.messages[i];
+    const bool from_client = msg.dst_ip == config_.server_ip &&
+                             msg.dst_port == config_.server_port;
+    const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
+    anon::ReadOnlyAnonymiser::Tally tally;
+    const std::size_t xml_before = result.xml.size();
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      auto event = read_anonymiser_.try_anonymise(msg.time, peer_ip,
+                                                  msg.message, tally);
+      if (!event) continue;  // unseen ID: the merger runs the slow path
+      if (xml_) {
+        const std::uint64_t elems = xmlio::render_event(*event, result.xml);
+        result.xml_len[i] =
+            static_cast<std::uint32_t>(result.xml.size() - xml_before);
+        result.xml_elems[i] = static_cast<std::uint32_t>(elems);
+      }
+      result.events[i] = std::move(*event);
+      result.prepared[i] = 1;
+      // Commit instrumentation only for completed fast-path messages, so
+      // the anon.* totals stay exactly equal to a serial run's (deferred
+      // messages are counted by the merge-side Anonymiser instead).  The
+      // span is measured by hand because SpanTimer observes even when the
+      // attempt abandons.
+      obs::inc(metrics_.anon_client_lookups, tally.client_lookups);
+      obs::inc(metrics_.anon_file_lookups, tally.file_lookups);
+      obs::inc(metrics_.anon_events);
+      obs::observe(metrics_.anonymise_span,
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+    } catch (const std::exception&) {
+      // Pre-rendering is best-effort: leave the message for the merge-side
+      // slow path, whose failure handling is authoritative.
+      result.xml.resize(xml_before);
+      result.xml_len[i] = 0;
+      result.xml_elems[i] = 0;
+      result.prepared[i] = 0;
+    }
+  }
+}
+
 void ParallelCapturePipeline::worker_loop(Worker& worker) {
   bool failed = false;
   while (auto batch = worker.in->pop()) {
@@ -226,12 +285,22 @@ void ParallelCapturePipeline::worker_loop(Worker& worker) {
     }
     batch->reset();
     frame_pool_.release(std::move(*batch));
+    if (!failed) {
+      optimistic_pass(result);
+    } else {
+      result.prepared.assign(result.messages.size(), 0);
+      result.events.resize(result.messages.size());
+      result.xml_len.assign(result.messages.size(), 0);
+      result.xml_elems.assign(result.messages.size(), 0);
+    }
     const std::size_t frames = result.seqs.size();
     obs::observe(metrics_.batch_messages,
                  static_cast<double>(result.messages.size()));
-    if (!merge_queue_.push(std::move(result))) note_dropped(frames, "results");
+    if (!worker.out->push(std::move(result))) note_dropped(frames, "results");
   }
   if (!failed) worker.decoder->finish(worker.last_time);
+  // The merger exits once every worker's out ring is closed and drained.
+  worker.out->close();
 }
 
 void ParallelCapturePipeline::merge_loop() {
@@ -246,43 +315,85 @@ void ParallelCapturePipeline::merge_loop() {
   std::vector<ResultBatch> backlog;
   std::uint64_t next_expected = 0;
   bool failed = false;
-  EventChunk chunk;  // open XML hand-off chunk (writer offload only)
+  XmlChunk chunk;  // open XML hand-off chunk (writer offload only)
 
   auto hand_off_chunk = [&] {
-    if (!writer_queue_ || chunk.empty()) return;
-    const std::size_t events = chunk.size();
-    if (!writer_queue_->push(std::move(chunk))) {
+    if (!writer_ring_ || chunk.events == 0) return;
+    const std::uint64_t events = chunk.events;
+    if (!writer_ring_->push(std::move(chunk))) {
       note_dropped(events, "events");
       // Keep the quiescence accounting alive even on this shutdown path.
       writer_events_done_.fetch_add(events, std::memory_order_release);
     }
     chunk = chunk_pool_.acquire();
-    chunk.clear();
+    chunk.reset();
   };
 
-  // The order-sensitive stage, one frame's messages at a time.
+  // Route one finished event's bytes to the XML stream: pre-rendered bytes
+  // splice straight through, slow-path events render here (rare).
+  auto emit_fast = [&](const anon::AnonEvent& event, std::string_view bytes,
+                       std::uint32_t elements) {
+    (void)event;
+    if (writer_ring_) {
+      chunk.bytes.append(bytes);
+      chunk.events += 1;
+      chunk.elements += elements;
+      if (chunk.events >= config_.writer_chunk_events) hand_off_chunk();
+    } else if (xml_) {
+      xml_->write_rendered(bytes, 1, elements);
+    }
+  };
+  auto emit_slow = [&](const anon::AnonEvent& event) {
+    if (writer_ring_) {
+      chunk.elements += xmlio::render_event(event, chunk.bytes);
+      chunk.events += 1;
+      if (chunk.events >= config_.writer_chunk_events) hand_off_chunk();
+    } else if (xml_) {
+      xml_->write(event);
+    }
+  };
+
+  // The order-sensitive stage, one frame's messages at a time.  Fast-path
+  // messages arrive finished from the worker; everything else goes through
+  // the inserting Anonymiser — which is where dense IDs are assigned, in
+  // strict sequence order, making the numbering independent of shard and
+  // worker counts.
   auto process_frame = [&](PendingBatch& cur) {
     const std::uint32_t count = cur.batch.counts[cur.frame];
     if (!failed) {
       try {
         for (std::uint32_t i = 0; i < count; ++i) {
-          decode::DecodedMessage& msg = cur.batch.messages[cur.msg + i];
-          obs::SpanTimer span(metrics_.anonymise_span);
+          const std::size_t mi = cur.msg + i;
+          decode::DecodedMessage& msg = cur.batch.messages[mi];
           obs::inc(metrics_.messages);
           const bool from_client = msg.dst_ip == config_.server_ip &&
                                    msg.dst_port == config_.server_port;
-          const std::uint32_t peer_ip = from_client ? msg.src_ip : msg.dst_ip;
-          anon::AnonEvent event =
-              anonymiser_.anonymise(msg.time, peer_ip, msg.message);
-          anonymised_events_.fetch_add(1, std::memory_order_relaxed);
-          stats_.consume(event);
-          if (config_.extra_sink) config_.extra_sink(event);
-          if (writer_queue_) {
-            chunk.push_back(std::move(event));
-            if (chunk.size() >= config_.writer_chunk_events) hand_off_chunk();
-          } else if (xml_) {
-            xml_->write(event);
+          const std::uint32_t len = cur.batch.xml_len[mi];
+          if (cur.batch.prepared[mi] != 0) {
+            obs::inc(metrics_.fast_events);
+            anon::AnonEvent& event = cur.batch.events[mi];
+            anonymised_events_.fetch_add(1, std::memory_order_relaxed);
+            stats_.consume(event);
+            if (config_.extra_sink) config_.extra_sink(event);
+            if (xml_) {
+              emit_fast(event,
+                        std::string_view(cur.batch.xml.data() + cur.xml_off,
+                                         len),
+                        cur.batch.xml_elems[mi]);
+            }
+          } else {
+            obs::SpanTimer span(metrics_.anonymise_span);
+            obs::inc(metrics_.deferred_events);
+            const std::uint32_t peer_ip =
+                from_client ? msg.src_ip : msg.dst_ip;
+            anon::AnonEvent event =
+                anonymiser_.anonymise(msg.time, peer_ip, msg.message);
+            anonymised_events_.fetch_add(1, std::memory_order_relaxed);
+            stats_.consume(event);
+            if (config_.extra_sink) config_.extra_sink(event);
+            if (xml_) emit_slow(event);
           }
+          cur.xml_off += len;
           if (config_.replay != nullptr && from_client) {
             config_.replay->submit(ServerQuery{msg.src_ip, msg.src_port,
                                                std::move(msg.message),
@@ -325,9 +436,43 @@ void ParallelCapturePipeline::merge_loop() {
     }
   };
 
-  while (merge_queue_.pop_all(backlog)) {
-    obs::set(metrics_.merge_queue_depth,
-             static_cast<std::int64_t>(merge_queue_.size()));
+  auto update_shard_gauges = [&] {
+    if (metrics_.shard_clients_max == nullptr) return;
+    std::int64_t cmax = 0;
+    for (std::size_t s = 0; s < clients_.shard_count(); ++s) {
+      cmax = std::max(cmax,
+                      static_cast<std::int64_t>(clients_.shard_distinct(s)));
+    }
+    std::int64_t fmax = 0;
+    for (std::size_t s = 0; s < files_.shard_count(); ++s) {
+      fmax = std::max(fmax,
+                      static_cast<std::int64_t>(files_.shard_distinct(s)));
+    }
+    obs::set(metrics_.shard_clients_max, cmax);
+    obs::set(metrics_.shard_files_max, fmax);
+  };
+
+  for (;;) {
+    // Fan-in sleep protocol: announce intent, scan every worker ring, and
+    // only park when nothing arrived AND something can still arrive.
+    const RingSignal::Epoch seen = merge_signal_.prepare();
+    std::size_t got = 0;
+    for (auto& worker : workers_) got += worker->out->pop_all(backlog);
+    if (got == 0) {
+      bool all_drained = true;
+      for (auto& worker : workers_) all_drained &= worker->out->drained();
+      if (all_drained) {
+        merge_signal_.cancel();
+        break;
+      }
+      obs::inc(metrics_.merge_parks);
+      merge_signal_.wait(seen);
+      continue;
+    }
+    merge_signal_.cancel();
+    std::size_t depth = 0;
+    for (auto& worker : workers_) depth += worker->out->size();
+    obs::set(metrics_.merge_queue_depth, static_cast<std::int64_t>(depth));
     for (ResultBatch& result : backlog) {
       heap.push_back(PendingBatch{std::move(result)});
       std::push_heap(heap.begin(), heap.end(), later);
@@ -335,37 +480,39 @@ void ParallelCapturePipeline::merge_loop() {
     backlog.clear();
     drain_contiguous();
     obs::set(metrics_.merge_pending, static_cast<std::int64_t>(heap.size()));
+    update_shard_gauges();
     // End of drain cycle: hand the open chunk to the writer — a checkpoint
     // quiesce must find the full anonymised prefix on its way to the XML
     // stream, never parked here — and wake any flush() waiter.
     hand_off_chunk();
     notify_quiesce();
   }
-  // Queue closed and drained: everything left is contiguous.
+  // All rings closed and drained: everything left is contiguous.
   drain_contiguous();
   obs::set(metrics_.merge_pending, 0);
+  update_shard_gauges();
   hand_off_chunk();
   notify_quiesce();
 }
 
 void ParallelCapturePipeline::writer_loop() {
   bool failed = false;
-  while (auto chunk = writer_queue_->pop()) {
+  while (auto chunk = writer_ring_->pop()) {
     obs::set(metrics_.writer_queue_depth,
-             static_cast<std::int64_t>(writer_queue_->size()));
+             static_cast<std::int64_t>(writer_ring_->size()));
     if (!failed) {
       try {
         obs::SpanTimer span(metrics_.write_span);
-        for (const anon::AnonEvent& event : *chunk) xml_->write(event);
+        xml_->write_rendered(chunk->bytes, chunk->events, chunk->elements);
       } catch (const std::exception& e) {
         failed = true;  // keep retiring chunks so flush() never hangs
-        fail("write", chunk->empty() ? 0 : chunk->front().time, e.what());
+        fail("write", 0, e.what());
       }
     }
     obs::inc(metrics_.writer_chunks);
-    obs::inc(metrics_.writer_events, chunk->size());
-    writer_events_done_.fetch_add(chunk->size(), std::memory_order_release);
-    chunk->clear();
+    obs::inc(metrics_.writer_events, chunk->events);
+    writer_events_done_.fetch_add(chunk->events, std::memory_order_release);
+    chunk->reset();
     chunk_pool_.release(std::move(*chunk));
     notify_quiesce();
   }
@@ -416,9 +563,25 @@ void ParallelCapturePipeline::bind_metrics(obs::Registry& registry) {
   metrics_.pool_misses = &registry.counter("pipeline.pool.misses");
   metrics_.writer_chunks = &registry.counter("pipeline.writer.chunks");
   metrics_.writer_events = &registry.counter("pipeline.writer.events");
+  // Same instruments the Anonymiser binds: striped counters merge the
+  // worker-side fast-path increments with the merge-side slow path.
+  metrics_.anon_events = &registry.counter("anon.events");
+  metrics_.anon_client_lookups = &registry.counter("anon.client_lookups");
+  metrics_.anon_file_lookups = &registry.counter("anon.file_lookups");
+  metrics_.fast_events = &registry.counter("anon.shard.fast_events");
+  metrics_.deferred_events = &registry.counter("anon.shard.deferred_events");
+  metrics_.push_parks = &registry.counter("pipeline.ring.parks.push");
+  metrics_.worker_parks = &registry.counter("pipeline.ring.parks.worker");
+  metrics_.merge_parks = &registry.counter("pipeline.ring.parks.merge");
+  metrics_.writer_parks = &registry.counter("pipeline.ring.parks.writer");
   metrics_.merge_queue_depth = &registry.gauge("pipeline.queue.merge");
   metrics_.merge_pending = &registry.gauge("pipeline.merge.pending");
   metrics_.writer_queue_depth = &registry.gauge("pipeline.queue.writer");
+  metrics_.shard_count = &registry.gauge("anon.shard.count");
+  metrics_.shard_clients_max = &registry.gauge("anon.shard.clients.max");
+  metrics_.shard_files_max = &registry.gauge("anon.shard.files.max");
+  obs::set(metrics_.shard_count,
+           static_cast<std::int64_t>(clients_.shard_count()));
   metrics_.batch_frames =
       &registry.histogram("pipeline.batch.frames", obs::size_buckets());
   metrics_.batch_messages =
@@ -437,12 +600,13 @@ PipelineResult ParallelCapturePipeline::finish() {
     for (std::size_t w = 0; w < workers_.size(); ++w) flush_open_batch(w);
     for (auto& worker : workers_) worker->in->close();
     for (auto& worker : workers_) worker->thread.join();
-    merge_queue_.close();
+    // Workers close their out rings on exit; the merger drains them all
+    // and stops once every ring reports drained.
     merge_thread_.join();
-    if (writer_queue_) {
+    if (writer_ring_) {
       // The merger handed off its last chunk before exiting; close after
       // it so nothing is stranded.
-      writer_queue_->close();
+      writer_ring_->close();
       writer_thread_.join();
     }
     if (config_.replay != nullptr) config_.replay->drain();

@@ -11,8 +11,26 @@
 //   * SEQUENCE: every frame carries a global sequence number; a worker
 //     emits exactly one (seq, message count) entry per frame, batched.
 //   * MERGE: a single merger restores sequence order with a min-heap of
-//     pending batches and runs the order-sensitive stage (anonymise ->
-//     stats -> extra_sink -> replay submit).
+//     pending batches and runs the order-sensitive stage.
+//
+// Anonymisation itself is parallel (the change that broke the merge-thread
+// bottleneck): workers optimistically anonymise each decoded message with
+// read-only lookups against the sharded tables (anon/sharded.hpp) and
+// pre-render its XML bytes.  The merge thread stays the only *writer* of
+// the tables and processes frames strictly in sequence order, so:
+//
+//   * a message whose every ID resolves on the worker produces the exact
+//     event and bytes a serial run would — all its IDs were assigned at
+//     earlier sequence numbers, and assignment order is merge-side only;
+//   * a message touching any unseen ID is abandoned by the worker and the
+//     merger runs the full inserting Anonymiser on it (the first-sight
+//     slow path), which is precisely the serial behaviour.
+//
+// Dense IDs therefore depend only on publish order — never on shard count,
+// worker count or interleaving — and the merger shrinks to ID assignment
+// for first-sighted messages, ledger bookkeeping and splicing pre-rendered
+// chunks.  Output bytes are pinned identical to serial by the differential
+// tests.
 //
 // Three throughput devices keep synchronisation and allocation off the
 // per-frame path while leaving the output bytes untouched:
@@ -27,16 +45,21 @@
 //   * BUFFER POOLING: batches, their frame byte buffers and their message
 //     vectors recycle through free-list pools (core/pool.hpp); in steady
 //     state the hot path re-uses warm heap capacity instead of allocating.
-//   * WRITER OFFLOAD: the merger no longer formats XML; it hands chunks of
-//     anonymised events to a dedicated DatasetWriter thread over a bounded
-//     queue.  The merger flushes its open chunk at the end of every drain
-//     cycle, so a flush()-quiesce (wait for results_merged, then for the
-//     writer to catch up) always leaves the XML stream byte-complete —
-//     which is what keeps checkpoint/resume byte-identical.
+//   * SPSC RINGS: every hand-off (pusher->worker, worker->merge,
+//     merge->writer) is a single-producer/single-consumer ring
+//     (core/spsc_ring.hpp) — two atomic ops in the common case instead of
+//     a mutex round-trip.  The merger sleeps on one shared RingSignal that
+//     fans in all worker output rings.
+//   * WRITER OFFLOAD: the merger does not stream XML; it hands chunks of
+//     pre-rendered bytes to a dedicated writer thread.  The merger flushes
+//     its open chunk at the end of every drain cycle, so a flush()-quiesce
+//     (wait for results_merged, then for the writer to catch up) always
+//     leaves the XML stream byte-complete — which is what keeps
+//     checkpoint/resume byte-identical.
 //
 // The output is bit-identical to the serial pipeline for any worker count,
-// batch size, pool setting and thread interleaving — asserted by tests,
-// not just claimed.
+// shard count, batch size, pool setting and thread interleaving — asserted
+// by tests, not just claimed.
 #pragma once
 
 #include <atomic>
@@ -50,11 +73,10 @@
 
 #include "analysis/campaign_stats.hpp"
 #include "anon/anonymiser.hpp"
-#include "anon/client_table.hpp"
-#include "anon/fileid_store.hpp"
+#include "anon/sharded.hpp"
 #include "core/pipeline.hpp"
 #include "core/pool.hpp"
-#include "core/queue.hpp"
+#include "core/spsc_ring.hpp"
 #include "decode/decoder.hpp"
 #include "sim/frames.hpp"
 
@@ -67,6 +89,10 @@ struct ParallelPipelineConfig {
   std::size_t queue_capacity = 8192;   // per worker, in frames
   unsigned fileid_index_byte_0 = 5;
   unsigned fileid_index_byte_1 = 11;
+  /// Shards for the anonymisation tables (clamped to a power of two in
+  /// [1, 64]).  Purely a concurrency/observability knob: dense IDs, output
+  /// bytes and checkpoint bytes are identical for every value.
+  std::size_t anon_shards = 8;
   std::ostream* xml_out = nullptr;
   std::function<void(const anon::AnonEvent&)> extra_sink;
   /// Optional metrics registry (see PipelineConfig::metrics).  All workers
@@ -108,22 +134,27 @@ class ParallelCapturePipeline {
   /// batches, then block the pushing thread until every frame pushed so
   /// far has been decoded, merged back into sequence order and anonymised
   /// — and, with writer offload, until the writer thread has drained every
-  /// event chunk the merger handed it.  Workers emit exactly one result
-  /// per frame and the merger flushes its open chunk at the end of every
-  /// drain cycle, so the two waits together mean the XML stream holds the
+  /// chunk the merger handed it.  Workers emit exactly one result per
+  /// frame and the merger flushes its open chunk at the end of every drain
+  /// cycle, so the two waits together mean the XML stream holds the
   /// complete pushed prefix.  Call only between pushes (same contract as
   /// CapturePipeline::flush()).
   void flush();
 
   [[nodiscard]] const analysis::CampaignStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t anon_shards() const {
+    return clients_.shard_count();
+  }
 
   /// Checkpoint codec (same contract as CapturePipeline's).  The worker
   /// count is part of the snapshot: in-flight IP fragments live in the
   /// per-worker reassemblers frames are routed to by flow hash modulo the
   /// worker count, so restoring into a pipeline with a different worker
-  /// count is rejected.  Batch/pool/writer settings are NOT part of the
-  /// snapshot — they don't affect the output bytes.
+  /// count is rejected.  Batch/pool/writer settings and the anonymiser
+  /// shard count are NOT part of the snapshot — they don't affect the
+  /// output bytes (the sharded tables serialise exactly like the serial
+  /// pipeline's unsharded ones).
   void save_state(ByteWriter& out) const;
   bool restore_state(ByteReader& in);
 
@@ -152,36 +183,64 @@ class ParallelCapturePipeline {
     void reset() { used = 0; }  // keeps slots and their byte buffers warm
   };
 
-  /// One worker's decode output for one FrameBatch: per-frame sequence
-  /// numbers and message counts, plus every decoded message back to back
-  /// in a single reusable vector.  seqs within a batch ascend (the pushing
-  /// thread assigns them in order), which is what lets the merger treat a
-  /// batch as a sorted run.
+  /// One worker's output for one FrameBatch: per-frame sequence numbers
+  /// and message counts, every decoded message back to back in a single
+  /// reusable vector, and — for messages whose IDs all resolved on the
+  /// worker — the finished AnonEvent plus its pre-rendered XML bytes.
+  /// seqs within a batch ascend (the pushing thread assigns them in
+  /// order), which is what lets the merger treat a batch as a sorted run.
   struct ResultBatch {
     std::vector<std::uint64_t> seqs;
     std::vector<std::uint32_t> counts;  // messages per frame, same index
     std::vector<decode::DecodedMessage> messages;
+    // Optimistic worker anonymisation, one slot per message.  prepared[i]
+    // set means events[i] is the finished event and xml holds xml_len[i]
+    // bytes (xml_elems[i] elements) for it; otherwise the merger runs the
+    // inserting slow path on messages[i].
+    std::vector<std::uint8_t> prepared;
+    std::vector<anon::AnonEvent> events;
+    std::vector<std::uint32_t> xml_len;
+    std::vector<std::uint32_t> xml_elems;
+    std::string xml;  // concatenated rendered bytes, batch order
 
     void reset() {
       seqs.clear();
       counts.clear();
       messages.clear();
+      prepared.clear();
+      events.clear();
+      xml_len.clear();
+      xml_elems.clear();
+      xml.clear();
     }
   };
 
   /// Cursor over a partially consumed ResultBatch in the merge heap.
   struct PendingBatch {
     ResultBatch batch;
-    std::size_t frame = 0;  // next unconsumed index into seqs/counts
-    std::size_t msg = 0;    // next unconsumed index into messages
+    std::size_t frame = 0;    // next unconsumed index into seqs/counts
+    std::size_t msg = 0;      // next unconsumed index into messages
+    std::size_t xml_off = 0;  // next unconsumed byte of batch.xml
 
     [[nodiscard]] std::uint64_t front_seq() const { return batch.seqs[frame]; }
   };
 
-  using EventChunk = std::vector<anon::AnonEvent>;
+  /// Writer hand-off: pre-rendered bytes plus the ledger deltas they carry.
+  struct XmlChunk {
+    std::string bytes;
+    std::uint64_t events = 0;
+    std::uint64_t elements = 0;
+
+    void reset() {
+      bytes.clear();
+      events = 0;
+      elements = 0;
+    }
+  };
 
   struct Worker {
-    std::unique_ptr<BoundedQueue<FrameBatch>> in;
+    std::unique_ptr<SpscRing<FrameBatch>> in;
+    std::unique_ptr<SpscRing<ResultBatch>> out;
     std::unique_ptr<decode::FrameDecoder> decoder;
     std::thread thread;
     SimTime last_time = 0;
@@ -195,6 +254,8 @@ class ParallelCapturePipeline {
 
   void flush_open_batch(std::size_t target);
   void worker_loop(Worker& worker);
+  /// The worker-side optimistic anonymise + XML pre-render pass.
+  void optimistic_pass(ResultBatch& result);
   void merge_loop();
   void writer_loop();
   /// Unconditional lock+notify of the quiesce cv — cheap (once per drain
@@ -213,9 +274,23 @@ class ParallelCapturePipeline {
     obs::Counter* pool_misses = nullptr;
     obs::Counter* writer_chunks = nullptr;
     obs::Counter* writer_events = nullptr;
+    // Worker fast path mirrors of the Anonymiser's anon.* instruments,
+    // committed only for messages that complete optimistically.
+    obs::Counter* anon_events = nullptr;
+    obs::Counter* anon_client_lookups = nullptr;
+    obs::Counter* anon_file_lookups = nullptr;
+    obs::Counter* fast_events = nullptr;      // anon.shard.fast_events
+    obs::Counter* deferred_events = nullptr;  // anon.shard.deferred_events
+    obs::Counter* push_parks = nullptr;
+    obs::Counter* worker_parks = nullptr;
+    obs::Counter* merge_parks = nullptr;
+    obs::Counter* writer_parks = nullptr;
     obs::Gauge* merge_queue_depth = nullptr;
     obs::Gauge* merge_pending = nullptr;
     obs::Gauge* writer_queue_depth = nullptr;
+    obs::Gauge* shard_count = nullptr;
+    obs::Gauge* shard_clients_max = nullptr;
+    obs::Gauge* shard_files_max = nullptr;
     obs::Histogram* batch_frames = nullptr;
     obs::Histogram* batch_messages = nullptr;
     obs::Histogram* decode_span = nullptr;
@@ -228,14 +303,15 @@ class ParallelCapturePipeline {
   std::size_t in_capacity_batches_ = 0; // per-worker queue bound, in batches
   ObjectPool<FrameBatch> frame_pool_;
   ObjectPool<ResultBatch> result_pool_;
-  ObjectPool<EventChunk> chunk_pool_;
+  ObjectPool<XmlChunk> chunk_pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  BoundedQueue<ResultBatch> merge_queue_;
-  std::unique_ptr<BoundedQueue<EventChunk>> writer_queue_;  // offload only
+  RingSignal merge_signal_;  // fans in every worker's out ring
+  std::unique_ptr<SpscRing<XmlChunk>> writer_ring_;  // offload only
 
-  anon::DirectClientTable clients_;
-  anon::BucketedFileIdStore files_;
-  anon::Anonymiser anonymiser_;
+  anon::ShardedClientTable clients_;
+  anon::ShardedFileIdStore files_;
+  anon::Anonymiser anonymiser_;            // merge-side inserting slow path
+  anon::ReadOnlyAnonymiser read_anonymiser_;  // worker-side fast path
   analysis::CampaignStats stats_;
   std::unique_ptr<xmlio::DatasetWriter> xml_;
   Metrics metrics_;

@@ -49,10 +49,14 @@ struct TimeSeriesOptions {
   /// chunk shapes) depend on thread scheduling the same way queue depths
   /// do.  pipeline.batch.* stays IN the series: batch formation happens on
   /// the pushing thread from input count/time alone, so batch shapes are
-  /// deterministic.
+  /// deterministic.  pipeline.ring.* (SPSC park counts) and anon.shard.*
+  /// (fast/deferred split, per-shard occupancy) are scheduling-dependent
+  /// for the same reason: how many messages take the optimistic worker
+  /// path depends on thread interleaving even though the output does not.
   std::vector<std::string> exclude_prefixes = {
       "span.",           "pipeline.queue.", "pipeline.merge.",
-      "pipeline.pool.",  "pipeline.writer.", "checkpoint."};
+      "pipeline.pool.",  "pipeline.writer.", "checkpoint.",
+      "pipeline.ring.",  "anon.shard."};
   /// Store a sample only when some included counter changed since the last
   /// stored sample — sparse mode for long fine-grained series (Figure 2's
   /// per-second losses: almost every second is all-zero deltas).  Deltas

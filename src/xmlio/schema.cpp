@@ -25,7 +25,76 @@ const char* kind_name(const anon::AnonMessage& m) {
   return std::visit(Visitor{}, m);
 }
 
-void write_expr(XmlWriter& w, const anon::AnonSearchExpr& e) {
+// Renders the same bytes XmlWriter produces in non-pretty mode, but into a
+// std::string — pipeline workers pre-serialise <msg> elements with this and
+// the merge thread splices them via DatasetWriter::write_rendered.
+class StringEventWriter {
+ public:
+  explicit StringEventWriter(std::string& out) : out_(out) {}
+
+  StringEventWriter& open(std::string_view name) {
+    finish_open_tag();
+    out_ += '<';
+    out_.append(name);
+    stack_.push_back(name);
+    tag_open_ = true;
+    ++elements_;
+    return *this;
+  }
+
+  StringEventWriter& attr(std::string_view name, std::string_view value) {
+    out_ += ' ';
+    out_.append(name);
+    out_ += "=\"";
+    xml_escape_append(value, out_);
+    out_ += '"';
+    return *this;
+  }
+
+  StringEventWriter& attr(std::string_view name, std::uint64_t value) {
+    out_ += ' ';
+    out_.append(name);
+    out_ += "=\"";
+    char buf[20];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    out_.append(buf, static_cast<std::size_t>(ptr - buf));
+    out_ += '"';
+    return *this;
+  }
+
+  StringEventWriter& close() {
+    const std::string_view name = stack_.back();
+    stack_.pop_back();
+    if (tag_open_) {
+      out_ += "/>";
+      tag_open_ = false;
+    } else {
+      out_ += "</";
+      out_.append(name);
+      out_ += '>';
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t elements() const { return elements_; }
+
+ private:
+  void finish_open_tag() {
+    if (tag_open_) {
+      out_ += '>';
+      tag_open_ = false;
+    }
+  }
+
+  std::string& out_;
+  // Element names in this schema are string literals; views are safe.
+  std::vector<std::string_view> stack_;
+  bool tag_open_ = false;
+  std::uint64_t elements_ = 0;
+};
+
+template <typename W>
+void write_expr(W& w, const anon::AnonSearchExpr& e) {
   using Kind = proto::SearchExpr::Kind;
   switch (e.kind) {
     case Kind::kBool: {
@@ -57,7 +126,8 @@ void write_expr(XmlWriter& w, const anon::AnonSearchExpr& e) {
   }
 }
 
-void write_file_entry(XmlWriter& w, const anon::AnonFileEntry& f) {
+template <typename W>
+void write_file_entry(W& w, const anon::AnonFileEntry& f) {
   w.open("f").attr("id", f.file).attr("prov", f.provider);
   if (f.port != 0) w.attr("port", f.port);
   if (f.meta.name) w.attr("name", f.meta.name->hex());
@@ -67,8 +137,9 @@ void write_file_entry(XmlWriter& w, const anon::AnonFileEntry& f) {
   w.close();
 }
 
+template <typename W>
 struct BodyWriter {
-  XmlWriter& w;
+  W& w;
 
   void operator()(const anon::AServStatReq&) {}
   void operator()(const anon::AServStatRes& m) {
@@ -100,6 +171,19 @@ struct BodyWriter {
   void operator()(const anon::APublishAck& m) { w.attr("n", m.accepted); }
 };
 
+template <typename W>
+void write_msg(W& w, const anon::AnonEvent& event) {
+  w.open("msg")
+      .attr("t", event.time)
+      .attr("peer", event.peer)
+      .attr("dir", event.is_query ? "q" : "a")
+      .attr("kind", kind_name(event.message));
+  // Attribute-carrying bodies must write attrs before children; BodyWriter
+  // follows that order internally.
+  std::visit(BodyWriter<W>{w}, event.message);
+  w.close();
+}
+
 }  // namespace
 
 DatasetWriter::DatasetWriter(std::ostream& out, bool pretty)
@@ -111,16 +195,21 @@ DatasetWriter::DatasetWriter(std::ostream& out, bool pretty)
 DatasetWriter::~DatasetWriter() { finish(); }
 
 void DatasetWriter::write(const anon::AnonEvent& event) {
-  writer_.open("msg")
-      .attr("t", event.time)
-      .attr("peer", event.peer)
-      .attr("dir", event.is_query ? "q" : "a")
-      .attr("kind", kind_name(event.message));
-  // Attribute-carrying bodies must write attrs before children; BodyWriter
-  // follows that order internally.
-  std::visit(BodyWriter{writer_}, event.message);
-  writer_.close();
+  write_msg(writer_, event);
   ++events_;
+}
+
+void DatasetWriter::write_rendered(std::string_view bytes,
+                                   std::uint64_t events,
+                                   std::uint64_t xml_elements) {
+  writer_.write_raw(bytes, xml_elements);
+  events_ += events;
+}
+
+std::uint64_t render_event(const anon::AnonEvent& event, std::string& out) {
+  StringEventWriter w(out);
+  write_msg(w, event);
+  return w.elements();
 }
 
 void DatasetWriter::finish() {

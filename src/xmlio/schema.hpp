@@ -39,6 +39,13 @@ class DatasetWriter {
 
   void write(const anon::AnonEvent& event);
 
+  /// Splice `events` pre-rendered <msg> elements (`xml_elements` XML
+  /// elements in total) produced by render_event().  Byte-for-byte
+  /// equivalent to calling write() on the same events when the writer is
+  /// non-pretty — the pipeline's parallel fast path.
+  void write_rendered(std::string_view bytes, std::uint64_t events,
+                      std::uint64_t xml_elements);
+
   /// Close the root element.  Called by the destructor if omitted.
   void finish();
 
@@ -59,6 +66,13 @@ class DatasetWriter {
   bool finished_ = false;
   std::uint64_t events_ = 0;
 };
+
+/// Append the exact bytes DatasetWriter::write(event) would emit on a
+/// non-pretty writer; returns the number of XML elements rendered (the
+/// <msg> itself plus nested children).  Position-independent: non-pretty
+/// output has no indentation, so chunks render on any thread and splice in
+/// any order.
+std::uint64_t render_event(const anon::AnonEvent& event, std::string& out);
 
 /// Streams AnonEvents back out of a dataset document.
 class DatasetReader {

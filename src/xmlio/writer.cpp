@@ -40,6 +40,17 @@ std::string xml_escape(std::string_view s) {
   return out;
 }
 
+void xml_escape_append(std::string_view s, std::string& out) {
+  std::size_t pos = s.find_first_of(kEscapable);
+  while (pos != std::string_view::npos) {
+    out.append(s.substr(0, pos));
+    out.append(entity_for(s[pos]));
+    s.remove_prefix(pos + 1);
+    pos = s.find_first_of(kEscapable);
+  }
+  out.append(s);
+}
+
 XmlWriter::XmlWriter(std::ostream& out, bool pretty)
     : out_(out), pretty_(pretty) {}
 
@@ -102,6 +113,15 @@ XmlWriter& XmlWriter::text(std::string_view content) {
   finish_open_tag();
   write_escaped(content);
   has_children_ = true;  // suppress indentation before the closing tag
+  return *this;
+}
+
+XmlWriter& XmlWriter::write_raw(std::string_view bytes,
+                                std::uint64_t elements) {
+  finish_open_tag();
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  has_children_ = true;
+  elements_ += elements;
   return *this;
 }
 

@@ -20,6 +20,11 @@ namespace dtr::xmlio {
 /// escaping — the overwhelmingly common case for this dataset.
 std::string xml_escape(std::string_view s);
 
+/// Append `s` to `out` with XML escaping, no temporary in the common
+/// nothing-to-escape case.  Shared by XmlWriter and the pre-rendering
+/// string writer in schema.cpp.
+void xml_escape_append(std::string_view s, std::string& out);
+
 class XmlWriter {
  public:
   /// The writer does not own the stream; it must outlive the writer.
@@ -33,6 +38,13 @@ class XmlWriter {
   XmlWriter& attr(std::string_view name, std::uint64_t value);
   XmlWriter& text(std::string_view content);
   XmlWriter& close();       ///< close the innermost open element
+
+  /// Splice `bytes` — a pre-rendered run of complete sibling elements in
+  /// non-pretty form — at the current position, accounting `elements` of
+  /// them.  Only valid on a non-pretty writer with an element open (the
+  /// deferred '>' is emitted first); the parallel pipeline uses this to
+  /// write worker-rendered <msg> chunks without re-walking the event model.
+  XmlWriter& write_raw(std::string_view bytes, std::uint64_t elements);
 
   void close_all();
 

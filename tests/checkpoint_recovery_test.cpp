@@ -64,6 +64,7 @@ core::RunnerConfig small_config(std::uint64_t seed) {
 
 struct RunOptions {
   std::size_t workers = 0;
+  std::size_t anon_shards = 8;
   bool background = false;
   std::string pcap_path;
   std::string checkpoint_dir;
@@ -81,6 +82,7 @@ struct RunArtifacts {
 RunArtifacts run_campaign(std::uint64_t seed, const RunOptions& opt) {
   core::RunnerConfig cfg = small_config(seed);
   cfg.workers = opt.workers;
+  cfg.anon_shards = opt.anon_shards;
   cfg.pcap_path = opt.pcap_path;
   cfg.checkpoint_dir = opt.checkpoint_dir;
   cfg.checkpoint_interval = kHour;
@@ -227,6 +229,39 @@ TEST(CheckpointRecovery, ParallelResumeIsByteIdentical) {
   resume.resume_from = snaps.back().string();
   const RunArtifacts resumed = run_campaign(13, resume);
   expect_identical(baseline, resumed);
+}
+
+// The anonymiser shard count is a pure concurrency knob: the sharded
+// tables snapshot to the same bytes as the unsharded ones and the knob is
+// deliberately left out of the config fingerprint, so a campaign
+// checkpointed under one shard count resumes under another — byte for
+// byte.  (Contrast with the worker count, which shapes the snapshot and
+// is rejected on mismatch below.)
+TEST(CheckpointRecovery, ResumeWithDifferentShardCountIsByteIdentical) {
+  const fs::path dir = scratch_dir("shards");
+  RunOptions checkpointed;
+  checkpointed.workers = 3;
+  checkpointed.anon_shards = 8;
+  checkpointed.pcap_path = (dir / "ckpt.pcap").string();
+  checkpointed.checkpoint_dir = (dir / "snaps").string();
+  const RunArtifacts baseline = run_campaign(16, checkpointed);
+
+  const std::vector<fs::path> snaps = checkpoint_files(dir / "snaps");
+  ASSERT_FALSE(snaps.empty());
+  for (std::size_t shards : {std::size_t{1}, std::size_t{16}}) {
+    SCOPED_TRACE(::testing::Message() << "resume with anon_shards=" << shards);
+    const fs::path resumed_pcap =
+        dir / ("resumed_" + std::to_string(shards) + ".pcap");
+    fs::copy_file(checkpointed.pcap_path, resumed_pcap,
+                  fs::copy_options::overwrite_existing);
+    RunOptions resume;
+    resume.workers = 3;
+    resume.anon_shards = shards;
+    resume.pcap_path = resumed_pcap.string();
+    resume.resume_from = snaps.back().string();
+    const RunArtifacts resumed = run_campaign(16, resume);
+    expect_identical(baseline, resumed);
+  }
 }
 
 // ---- rejection paths -------------------------------------------------

@@ -314,6 +314,7 @@ struct DataPlaneTuning {
   std::size_t batch_frames = 16;
   bool buffer_pool = true;
   bool writer_offload = true;
+  std::size_t anon_shards = 8;
 };
 
 SeriesRun run_with_series(std::uint64_t seed, std::size_t workers,
@@ -324,6 +325,7 @@ SeriesRun run_with_series(std::uint64_t seed, std::size_t workers,
   cfg.batch_frames = tuning.batch_frames;
   cfg.buffer_pool = tuning.buffer_pool;
   cfg.writer_offload = tuning.writer_offload;
+  cfg.anon_shards = tuning.anon_shards;
   obs::Registry registry;
   obs::TimeSeriesOptions options;
   options.interval = 30 * kMinute;
@@ -411,6 +413,29 @@ TEST(SeriesReconcile, BatchSizeAndPoolingNeverChangeTheBytes) {
                  << "batch=" << tuning.batch_frames << " pool="
                  << tuning.buffer_pool << " offload=" << tuning.writer_offload);
     SeriesRun parallel = run_with_series(33, 3, tuning);
+    EXPECT_EQ(parallel.xml, serial.xml);
+    ASSERT_EQ(parallel.samples.size(), serial.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      EXPECT_EQ(parallel.samples[i].snapshot.counters,
+                serial.samples[i].snapshot.counters)
+          << "sample " << i;
+    }
+  }
+}
+
+// The anonymiser shard count spreads the workers' lock-free lookup tables;
+// dense IDs are still assigned by the merge thread in strict sequence
+// order, so the shard count must never reach the output: XML byte for
+// byte, counter series sample by sample, against the serial reference.
+TEST(SeriesReconcile, AnonShardCountNeverChangesTheBytes) {
+  const SeriesRun serial = run_with_series(34, 0);
+  ASSERT_FALSE(serial.xml.empty());
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    SCOPED_TRACE(::testing::Message() << "anon_shards=" << shards);
+    DataPlaneTuning tuning;
+    tuning.anon_shards = shards;
+    SeriesRun parallel = run_with_series(34, 3, tuning);
     EXPECT_EQ(parallel.xml, serial.xml);
     ASSERT_EQ(parallel.samples.size(), serial.samples.size());
     for (std::size_t i = 0; i < serial.samples.size(); ++i) {

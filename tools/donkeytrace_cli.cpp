@@ -41,6 +41,8 @@ commands:
               --seed N --clients N --files N --hours H
               --xml PATH[.dtz] --pcap PATH --background
               [--workers N] (N>1: parallel decode pipeline)
+              [--anon-shards N] (anonymiser table shards, power of two;
+                                      default 8; never changes output)
               [--server-shards N] (index shards, power of two; default 4)
               [--search-cache N] (LRU search-cache entries; default 0 = off)
               [--checkpoint-dir DIR] (periodic resumable snapshots, one
@@ -313,6 +315,7 @@ int cmd_campaign(const cli::Args& args) {
   cfg.campaign.server.index_shards = args.get_u64("server-shards", 4);
   cfg.campaign.server.search_cache_entries = args.get_u64("search-cache", 0);
   cfg.workers = args.get_u64("workers", 0);
+  cfg.anon_shards = args.get_u64("anon-shards", 8);
   cfg.pcap_path = args.get("pcap");
   cfg.checkpoint_dir = args.get("checkpoint-dir");
   cfg.resume_from = args.get("resume-from");
