@@ -22,16 +22,14 @@
 // practice it should exceed it).  Below 4 hardware threads the floor is
 // reported but advisory: parallel overhead on an oversubscribed core is
 // real, not a regression.
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <new>
 #include <ostream>
+#include <sstream>
 #include <streambuf>
 #include <string>
 #include <thread>
@@ -40,59 +38,17 @@
 #include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "obs/resource.hpp"
 #include "sim/background.hpp"
 #include "sim/campaign.hpp"
 
-// ---------------------------------------------------------------------------
-// Global allocation counters: every operator new in the process ticks them,
-// so the per-run deltas count the pipeline's hot-path allocations (the
-// pooling claim is "steady state allocates nothing", and this measures it).
-// ---------------------------------------------------------------------------
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-std::atomic<std::uint64_t> g_alloc_bytes{0};
-
-void* counted_alloc(std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
-  void* p = std::malloc(n == 0 ? 1 : n);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-void* counted_alloc_aligned(std::size_t n, std::size_t align) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
-  void* p = nullptr;
-  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
-                     n == 0 ? 1 : n) != 0) {
-    throw std::bad_alloc();
-  }
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
-void* operator new(std::size_t n, std::align_val_t a) {
-  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
-}
-void* operator new[](std::size_t n, std::align_val_t a) {
-  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
+// Global allocation counting: every operator new in the process ticks the
+// shared obs counters, so the per-run deltas count the pipeline's hot-path
+// allocations (the pooling claim is "steady state allocates nothing", and
+// this measures it).  The counting operators live in obs/alloc_counting.hpp
+// (one TU per binary); this bench is that TU.
+#include "obs/alloc_counting.hpp"
 
 namespace {
 
@@ -202,7 +158,8 @@ struct RunStats {
 };
 
 RunStats run_once(const std::vector<sim::TimedFrame>& frames,
-                  const RunSpec& spec) {
+                  const RunSpec& spec, obs::Registry* metrics = nullptr,
+                  obs::Profiler* profiler = nullptr) {
   CountingNullBuf xml_buf;
   std::ostream xml(&xml_buf);
   RunStats stats;
@@ -211,16 +168,18 @@ RunStats run_once(const std::vector<sim::TimedFrame>& frames,
   if (spec.workers == 0) {
     core::PipelineConfig cfg;
     cfg.xml_out = &xml;
+    cfg.metrics = metrics;
+    cfg.profiler = profiler;
     core::CapturePipeline pipeline(cfg);
-    const std::uint64_t allocs0 = g_allocs.load();
-    const std::uint64_t bytes0 = g_alloc_bytes.load();
+    const std::uint64_t allocs0 = obs::allocation_count();
+    const std::uint64_t bytes0 = obs::allocation_bytes();
     const auto t0 = std::chrono::steady_clock::now();
     for (const sim::TimedFrame& frame : frames) pipeline.push(frame);
     result = pipeline.finish();
     const auto t1 = std::chrono::steady_clock::now();
     stats.seconds = std::chrono::duration<double>(t1 - t0).count();
-    stats.allocs = g_allocs.load() - allocs0;
-    stats.alloc_bytes = g_alloc_bytes.load() - bytes0;
+    stats.allocs = obs::allocation_count() - allocs0;
+    stats.alloc_bytes = obs::allocation_bytes() - bytes0;
   } else {
     core::ParallelPipelineConfig cfg;
     cfg.workers = spec.workers;
@@ -229,16 +188,18 @@ RunStats run_once(const std::vector<sim::TimedFrame>& frames,
     cfg.writer_offload = spec.writer_offload;
     cfg.anon_shards = spec.anon_shards;
     cfg.xml_out = &xml;
+    cfg.metrics = metrics;
+    cfg.profiler = profiler;
     core::ParallelCapturePipeline pipeline(cfg);
-    const std::uint64_t allocs0 = g_allocs.load();
-    const std::uint64_t bytes0 = g_alloc_bytes.load();
+    const std::uint64_t allocs0 = obs::allocation_count();
+    const std::uint64_t bytes0 = obs::allocation_bytes();
     const auto t0 = std::chrono::steady_clock::now();
     for (const sim::TimedFrame& frame : frames) pipeline.push(frame);
     result = pipeline.finish();
     const auto t1 = std::chrono::steady_clock::now();
     stats.seconds = std::chrono::duration<double>(t1 - t0).count();
-    stats.allocs = g_allocs.load() - allocs0;
-    stats.alloc_bytes = g_alloc_bytes.load() - bytes0;
+    stats.allocs = obs::allocation_count() - allocs0;
+    stats.alloc_bytes = obs::allocation_bytes() - bytes0;
   }
 
   stats.messages = result.anonymised_events;
@@ -391,20 +352,74 @@ int run_bench(bool smoke, const std::string& out_path) {
   return ok ? 0 : 1;
 }
 
+// --profile-out: one 4-worker batched run with the pipeline profiler and
+// the resource sampler attached, ending in the bottleneck report (text to
+// stderr, JSON to FILE).  This is the "which stage is saturated" follow-up
+// question the throughput numbers alone cannot answer.
+int run_profiled(bool smoke, const std::string& profile_path) {
+  const sim::CampaignConfig cfg = corpus_config(smoke);
+  const std::vector<sim::TimedFrame> frames =
+      build_corpus(cfg, background_config(smoke, cfg.duration));
+  std::cerr << "corpus: " << frames.size() << " frames (seed " << cfg.seed
+            << ", " << (smoke ? "smoke" : "full") << " mode, profiled)\n";
+
+  obs::Registry registry;
+  obs::Profiler profiler;
+  obs::ResourceSamplerOptions opts;
+  opts.interval = std::chrono::milliseconds(smoke ? 10 : 50);
+  opts.counters = {"pipeline.frames", "pipeline.messages", "anon.events"};
+  opts.gauges = {{"pipeline.queue.merge", ""}, {"pipeline.queue.writer", ""}};
+  obs::ResourceSampler sampler(&registry, opts);
+
+  RunSpec spec{"parallel-4w-batched-profiled", 4, 128, true, true};
+  sampler.start();
+  const RunStats stats = run_once(frames, spec, &registry, &profiler);
+  sampler.stop();
+  if (!stats.error.empty()) {
+    std::cerr << spec.name << " failed: " << stats.error << "\n";
+    return 1;
+  }
+  std::cerr << spec.name << ": " << fmt_double(stats.seconds) << " s, "
+            << stats.messages << " messages, " << stats.allocs << " allocs\n";
+
+  const obs::BottleneckReport report =
+      obs::build_bottleneck_report(profiler, &sampler);
+  report.render_text(std::cerr);
+  std::ostringstream json;
+  report.render_json(json);
+  if (!obs::json_valid(json.str())) {
+    std::cerr << "internal error: emitted invalid JSON\n";
+    return 2;
+  }
+  std::ofstream out(profile_path, std::ios::binary);
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "cannot write " << profile_path << "\n";
+    return 2;
+  }
+  std::cerr << "wrote " << profile_path << " (bottleneck report)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_pipeline.json";
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     } else {
-      std::cerr << "usage: pipeline_throughput [--smoke] [--out FILE]\n";
+      std::cerr << "usage: pipeline_throughput [--smoke] [--out FILE] "
+                   "[--profile-out FILE]\n";
       return 2;
     }
   }
+  if (!profile_path.empty()) return run_profiled(smoke, profile_path);
   return run_bench(smoke, out_path);
 }

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace dtr::anon {
 
 std::size_t clamp_shard_count(std::size_t shards) {
@@ -149,14 +151,24 @@ AnonFileId ShardedFileIdStore::anonymise(const FileId& id) {
     return e.id < key;
   };
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    // try_lock first: the uncontended path must stay clock-free even on a
+    // profiled thread (see obs/profiler.hpp's hot-path contract).
+    std::shared_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      obs::ProfScope prof(obs::ThreadState::kLockWait);
+      lock.lock();
+    }
     auto it = std::lower_bound(bucket.begin(), bucket.end(), id, by_id);
     if (it != bucket.end() && it->id == id) return it->anon;
   }
   // Single writer: nothing can have inserted between the two locks.
   const AnonFileId v = next_.load(std::memory_order_relaxed);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    std::unique_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      obs::ProfScope prof(obs::ThreadState::kLockWait);
+      lock.lock();
+    }
     auto it = std::lower_bound(bucket.begin(), bucket.end(), id, by_id);
     bucket.insert(it, Entry{id, v});
   }
@@ -169,7 +181,11 @@ AnonFileId ShardedFileIdStore::lookup(const FileId& id) const {
   const std::size_t bucket_index = bucket_of(id);
   const Shard& shard = shards_[shard_of_bucket(bucket_index)];
   const auto& bucket = buckets_[bucket_index];
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    obs::ProfScope prof(obs::ThreadState::kLockWait);
+    lock.lock();
+  }
   auto it = std::lower_bound(
       bucket.begin(), bucket.end(), id,
       [](const Entry& e, const FileId& key) { return e.id < key; });

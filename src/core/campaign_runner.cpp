@@ -1,6 +1,7 @@
 #include "core/campaign_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 
@@ -243,6 +244,7 @@ CampaignReport CampaignRunner::run() {
     parallel_config.buffer_pool = config_.buffer_pool;
     parallel_config.writer_offload = config_.writer_offload;
     parallel_config.anon_shards = config_.anon_shards;
+    parallel_config.profiler = config_.profiler;
     parallel_ = std::make_unique<ParallelCapturePipeline>(parallel_config);
     engine.set_sink(
         [this](const sim::TimedFrame& frame) { parallel_->push(frame); });
@@ -256,6 +258,7 @@ CampaignReport CampaignRunner::run() {
     pipeline_config.metrics = config_.metrics;
     pipeline_config.log = config_.log;
     pipeline_config.flight = config_.flight;
+    pipeline_config.profiler = config_.profiler;
     pipeline_ = std::make_unique<CapturePipeline>(pipeline_config);
     engine.set_sink(
         [this](const sim::TimedFrame& frame) { pipeline_->push(frame); });
@@ -353,6 +356,10 @@ CampaignReport CampaignRunner::run() {
   // stage-and-rename; a failure leaves any previous snapshot intact and
   // the run continues — the next boundary tries again).
   auto write_checkpoint = [&](SimTime boundary) {
+    // Wall-clock the whole snapshot (serialise + write + rename): the
+    // profiler's checkpoint-cost series answers "what does a snapshot cost
+    // the campaign per boundary".
+    const auto ckpt_t0 = std::chrono::steady_clock::now();
     CheckpointBuilder builder;
     {
       ByteWriter w;
@@ -422,6 +429,12 @@ CampaignReport CampaignRunner::run() {
       obs::inc(ckpt_writes);
       obs::inc(ckpt_bytes, ec ? 0 : size);
       obs::set(ckpt_last_time, static_cast<std::int64_t>(boundary));
+      obs::note_checkpoint(
+          config_.profiler, boundary,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        ckpt_t0)
+              .count(),
+          ec ? 0 : size);
       obs::record(config_.flight, obs::FlightEvent::kCheckpointWrite, boundary,
                   boundary, size);
       DTR_LOG_INFO(config_.log, "checkpoint", boundary,

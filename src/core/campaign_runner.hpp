@@ -56,6 +56,12 @@ struct RunnerConfig {
   /// Optional flight recorder for post-mortem event dumps (must outlive
   /// run(); may be null).
   obs::FlightRecorder* flight = nullptr;
+  /// Optional pipeline profiler (must outlive run(); may be null).  Handed
+  /// to the pipeline so its threads attribute their time, and fed the wall
+  /// cost + size of every checkpoint snapshot.  Deliberately NOT part of
+  /// the checkpoint fingerprint: a profiled run may resume an unprofiled
+  /// snapshot and vice versa, with byte-identical outputs.
+  obs::Profiler* profiler = nullptr;
   /// Optional time-series recorder sampling `metrics` at its interval
   /// boundaries (simulated time).  Must be built over the same registry as
   /// `metrics`; the runner calls finish() on it after the pipeline drains.

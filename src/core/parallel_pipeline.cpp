@@ -62,6 +62,7 @@ ParallelCapturePipeline::ParallelCapturePipeline(
   workers_.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
     auto worker = std::make_unique<Worker>();
+    worker->index = w;
     worker->in = std::make_unique<SpscRing<FrameBatch>>(in_capacity_batches_);
     worker->out = std::make_unique<SpscRing<ResultBatch>>(in_capacity_batches_);
     worker->out->bind_consumer_signal(&merge_signal_);
@@ -124,6 +125,9 @@ std::size_t ParallelCapturePipeline::route(const sim::TimedFrame& frame) const {
 }
 
 void ParallelCapturePipeline::push(const sim::TimedFrame& frame) {
+  if (config_.profiler != nullptr && feeder_lease_.get() == nullptr) {
+    feeder_lease_ = obs::ThreadLease(config_.profiler, "capture", "feed");
+  }
   obs::inc(metrics_.frames);
   const std::size_t target = route(frame);
   Worker& worker = *workers_[target];
@@ -161,7 +165,9 @@ void ParallelCapturePipeline::flush() {
   // thread allowed to call flush(), so reading it unsynchronised is fine.
   for (std::size_t w = 0; w < workers_.size(); ++w) flush_open_batch(w);
   const std::uint64_t frames = next_seq_;
-  {
+  if (results_merged_.load(std::memory_order_acquire) < frames) {
+    // The feeder is blocked on downstream progress: backpressure time.
+    obs::ProfScope prof(obs::ThreadState::kQueueWait);
     std::unique_lock lock(quiesce_mutex_);
     quiesce_cv_.wait(lock, [&] {
       return results_merged_.load(std::memory_order_acquire) >= frames;
@@ -173,10 +179,13 @@ void ParallelCapturePipeline::flush() {
     // now wait for the writer thread to retire it all.
     const std::uint64_t events =
         anonymised_events_.load(std::memory_order_acquire);
-    std::unique_lock lock(quiesce_mutex_);
-    quiesce_cv_.wait(lock, [&] {
-      return writer_events_done_.load(std::memory_order_acquire) >= events;
-    });
+    if (writer_events_done_.load(std::memory_order_acquire) < events) {
+      obs::ProfScope prof(obs::ThreadState::kQueueWait);
+      std::unique_lock lock(quiesce_mutex_);
+      quiesce_cv_.wait(lock, [&] {
+        return writer_events_done_.load(std::memory_order_acquire) >= events;
+      });
+    }
   }
   if (config_.replay != nullptr) config_.replay->drain();
 }
@@ -259,6 +268,8 @@ void ParallelCapturePipeline::optimistic_pass(ResultBatch& result) {
 }
 
 void ParallelCapturePipeline::worker_loop(Worker& worker) {
+  obs::ThreadLease lease(config_.profiler, "worker",
+                         "worker." + std::to_string(worker.index));
   bool failed = false;
   while (auto batch = worker.in->pop()) {
     ResultBatch result = result_pool_.acquire();
@@ -304,6 +315,7 @@ void ParallelCapturePipeline::worker_loop(Worker& worker) {
 }
 
 void ParallelCapturePipeline::merge_loop() {
+  obs::ThreadLease lease(config_.profiler, "merge", "merge");
   // Min-heap of partially consumed result batches keyed by their front
   // sequence number.  Each batch is internally an ascending run, so the
   // heap holds at most one entry per in-flight batch — far fewer nodes
@@ -496,6 +508,7 @@ void ParallelCapturePipeline::merge_loop() {
 }
 
 void ParallelCapturePipeline::writer_loop() {
+  obs::ThreadLease lease(config_.profiler, "writer", "writer");
   bool failed = false;
   while (auto chunk = writer_ring_->pop()) {
     obs::set(metrics_.writer_queue_depth,
@@ -609,6 +622,7 @@ PipelineResult ParallelCapturePipeline::finish() {
       writer_ring_->close();
       writer_thread_.join();
     }
+    feeder_lease_.reset();  // finish() runs on the pushing thread
     if (config_.replay != nullptr) config_.replay->drain();
     if (xml_) xml_->finish();
     for (auto& worker : workers_) {

@@ -108,6 +108,12 @@ struct ParallelPipelineConfig {
   /// client->server queries are resubmitted, in merge order, to a live
   /// reference EdonkeyServer.  flush()/finish() drain it.
   ServerWorkerPool* replay = nullptr;
+  /// Optional pipeline profiler (see PipelineConfig::profiler): the pushing
+  /// (capture feeder) thread, every worker, the merger and the writer
+  /// register and attribute their time.  Pure wall-clock observation —
+  /// never part of the metrics registry, the series or the checkpoint
+  /// fingerprint, so output bytes are identical with or without it.
+  obs::Profiler* profiler = nullptr;
   /// Data-plane tuning.  Output bytes are identical for ANY setting here —
   /// pinned by the differential tests — so these trade only throughput
   /// against latency/memory.
@@ -243,6 +249,7 @@ class ParallelCapturePipeline {
     std::unique_ptr<SpscRing<ResultBatch>> out;
     std::unique_ptr<decode::FrameDecoder> decoder;
     std::thread thread;
+    std::size_t index = 0;  // for the profiler's "worker.N" label
     SimTime last_time = 0;
     // Pushing-thread-only state: the open (unflushed) micro-batch.
     FrameBatch open;
@@ -315,6 +322,9 @@ class ParallelCapturePipeline {
   analysis::CampaignStats stats_;
   std::unique_ptr<xmlio::DatasetWriter> xml_;
   Metrics metrics_;
+  /// The pushing thread's profiler registration, taken lazily on the first
+  /// push() and released in finish() (both run on the pushing thread).
+  obs::ThreadLease feeder_lease_;
   std::atomic<std::uint64_t> anonymised_events_{0};
 
   std::thread merge_thread_;

@@ -38,6 +38,9 @@ CapturePipeline::~CapturePipeline() {
 }
 
 void CapturePipeline::push(const sim::TimedFrame& frame) {
+  if (config_.profiler != nullptr && feeder_lease_.get() == nullptr) {
+    feeder_lease_ = obs::ThreadLease(config_.profiler, "capture", "feed");
+  }
   obs::inc(metrics_.frames);
   if (config_.flight != nullptr &&
       frame_queue_.size() >= config_.frame_queue_capacity) {
@@ -53,14 +56,21 @@ void CapturePipeline::push(const sim::TimedFrame& frame) {
 
 void CapturePipeline::flush() {
   const std::uint64_t frames = frames_pushed_.load(std::memory_order_relaxed);
-  while (frames_decoded_.load(std::memory_order_acquire) < frames) {
-    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  if (frames_decoded_.load(std::memory_order_acquire) < frames) {
+    // The feeder is blocked on downstream progress: backpressure time.
+    obs::ProfScope prof(obs::ThreadState::kQueueWait);
+    while (frames_decoded_.load(std::memory_order_acquire) < frames) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
   }
   // Only now is the message count for this prefix final.
   const std::uint64_t messages =
       messages_enqueued_.load(std::memory_order_acquire);
-  while (messages_done_.load(std::memory_order_acquire) < messages) {
-    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  if (messages_done_.load(std::memory_order_acquire) < messages) {
+    obs::ProfScope prof(obs::ThreadState::kQueueWait);
+    while (messages_done_.load(std::memory_order_acquire) < messages) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
   }
   if (config_.replay != nullptr) config_.replay->drain();
 }
@@ -86,6 +96,7 @@ void CapturePipeline::fail(const char* stage, SimTime time,
 }
 
 void CapturePipeline::decode_loop() {
+  obs::ThreadLease lease(config_.profiler, "decode", "decode");
   bool failed = false;
   std::vector<sim::TimedFrame> frames;
   std::vector<decode::DecodedMessage> scratch;
@@ -122,6 +133,7 @@ void CapturePipeline::decode_loop() {
 }
 
 void CapturePipeline::anonymise_loop() {
+  obs::ThreadLease lease(config_.profiler, "anonymise", "anonymise");
   bool failed = false;
   std::vector<decode::DecodedMessage> batch;
   while (message_queue_.pop_all(batch)) {
@@ -206,6 +218,7 @@ PipelineResult CapturePipeline::finish() {
     frame_queue_.close();
     decode_thread_.join();
     anonymise_thread_.join();
+    feeder_lease_.reset();  // finish() runs on the pushing thread
     if (config_.replay != nullptr) config_.replay->drain();
     if (xml_) xml_->finish();
     DTR_LOG_INFO(config_.log, "pipeline", last_time_,

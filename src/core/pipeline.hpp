@@ -26,6 +26,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/frames.hpp"
 #include "xmlio/schema.hpp"
@@ -65,6 +66,12 @@ struct PipelineConfig {
   /// captured trace can be replayed against the sharded index at full
   /// concurrency.  flush()/finish() drain it (must outlive the pipeline).
   ServerWorkerPool* replay = nullptr;
+  /// Optional pipeline profiler: the decode/anonymise threads and the
+  /// pushing (capture feeder) thread register and attribute their time
+  /// (working / queue_wait / park / lock_wait).  Never feeds the metrics
+  /// registry, the time series, or the checkpoint fingerprint.  Must
+  /// outlive the pipeline; may be null.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// End-of-run snapshot of everything the pipeline accumulated.
@@ -163,6 +170,9 @@ class CapturePipeline {
 
   std::unique_ptr<decode::FrameDecoder> decoder_;
   Metrics metrics_;
+  /// The pushing thread's profiler registration, taken lazily on the first
+  /// push() and released in finish() (both run on the pushing thread).
+  obs::ThreadLease feeder_lease_;
   std::uint64_t anonymised_events_ = 0;
   SimTime last_time_ = 0;
 

@@ -6,6 +6,11 @@
 // blocks the producer instead.  Mutex + condition variables are entirely
 // sufficient at the message rates involved (the paper's own pipeline is
 // bounded by disk and network, not synchronisation).
+//
+// When the calling thread is registered with an obs::Profiler, blocked
+// time is attributed (queue_wait on the full-queue producer side, park on
+// the empty-queue consumer side).  Each wait site pre-checks its predicate
+// so an uncontended call never reads a clock.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +18,8 @@
 #include <mutex>
 #include <optional>
 #include <vector>
+
+#include "obs/profiler.hpp"
 
 namespace dtr::core {
 
@@ -28,8 +35,11 @@ class BoundedQueue {
   /// (the item is dropped in that case — shutdown path only).
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
+    if (items_.size() >= capacity_ && !closed_) {
+      obs::ProfScope prof(obs::ThreadState::kQueueWait);
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -41,7 +51,10 @@ class BoundedQueue {
   /// closed *and* drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty() && !closed_) {
+      obs::ProfScope prof(obs::ThreadState::kPark);
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -62,8 +75,11 @@ class BoundedQueue {
     {
       std::unique_lock lock(mutex_);
       while (pushed < items.size()) {
-        not_full_.wait(
-            lock, [this] { return items_.size() < capacity_ || closed_; });
+        if (items_.size() >= capacity_ && !closed_) {
+          obs::ProfScope prof(obs::ThreadState::kQueueWait);
+          not_full_.wait(
+              lock, [this] { return items_.size() < capacity_ || closed_; });
+        }
         if (closed_) break;
         while (pushed < items.size() && items_.size() < capacity_) {
           items_.push_back(std::move(items[pushed]));
@@ -86,7 +102,10 @@ class BoundedQueue {
   bool pop_all(std::vector<T>& out) {
     {
       std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      if (items_.empty() && !closed_) {
+        obs::ProfScope prof(obs::ThreadState::kPark);
+        not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      }
       if (items_.empty()) return false;
       out.reserve(out.size() + items_.size());
       while (!items_.empty()) {

@@ -7,14 +7,15 @@ namespace dtr::core {
 ServerWorkerPool::ServerWorkerPool(server::EdonkeyServer& server,
                                    std::size_t workers,
                                    std::size_t queue_capacity,
-                                   AnswerSink sink)
+                                   AnswerSink sink, obs::Profiler* profiler)
     : server_(server),
       sink_(std::move(sink)),
+      profiler_(profiler),
       queue_(queue_capacity == 0 ? 1 : queue_capacity) {
   if (workers == 0) workers = 1;
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,7 +35,9 @@ bool ServerWorkerPool::submit(ServerQuery query) {
   return true;
 }
 
-void ServerWorkerPool::worker_loop() {
+void ServerWorkerPool::worker_loop(std::size_t index) {
+  obs::ThreadLease lease(profiler_, "server",
+                         "server.worker." + std::to_string(index));
   while (auto query = queue_.pop()) {
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<proto::Message> answers = server_.handle(

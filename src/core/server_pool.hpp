@@ -23,6 +23,7 @@
 #include "common/clock.hpp"
 #include "core/queue.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "proto/messages.hpp"
 #include "server/server.hpp"
 
@@ -44,9 +45,13 @@ class ServerWorkerPool {
       std::function<void(const ServerQuery&, std::vector<proto::Message>)>;
 
   /// The pool starts its workers immediately; `server` must outlive it.
-  /// `workers` is clamped to at least 1.
+  /// `workers` is clamped to at least 1.  When `profiler` is set (it must
+  /// outlive the pool), each worker registers as server.worker.N and
+  /// attributes its time (park while the queue is empty, lock_wait inside
+  /// contended index shards, working otherwise).
   ServerWorkerPool(server::EdonkeyServer& server, std::size_t workers,
-                   std::size_t queue_capacity, AnswerSink sink = nullptr);
+                   std::size_t queue_capacity, AnswerSink sink = nullptr,
+                   obs::Profiler* profiler = nullptr);
   ~ServerWorkerPool();
 
   ServerWorkerPool(const ServerWorkerPool&) = delete;
@@ -81,10 +86,11 @@ class ServerWorkerPool {
   void bind_metrics(obs::Registry& registry);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   server::EdonkeyServer& server_;
   AnswerSink sink_;
+  obs::Profiler* profiler_ = nullptr;
   BoundedQueue<ServerQuery> queue_;
   std::vector<std::thread> threads_;
   bool finished_ = false;

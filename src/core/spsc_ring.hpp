@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace dtr::core {
 
@@ -51,6 +52,8 @@ class RingSignal {
   void cancel() { waiting_.store(false, std::memory_order_relaxed); }
 
   void wait(Epoch seen) {
+    // The consumer is starved for input across every bound ring.
+    obs::ProfScope prof(obs::ThreadState::kPark);
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return epoch_.load(std::memory_order_acquire) != seen; });
     waiting_.store(false, std::memory_order_relaxed);
@@ -85,7 +88,10 @@ class SpscRing {
   /// internal condition variable.  Must be called before threads start.
   void bind_consumer_signal(RingSignal* signal) { signal_ = signal; }
 
-  /// Count producer/consumer parks (sleeps) into shared instruments.
+  /// Count producer/consumer parks (sleeps) into shared instruments.  Park
+  /// *durations* need no binding: when the parking thread is registered
+  /// with an obs::Profiler, the ProfScopes on the wait paths attribute the
+  /// blocked time (queue_wait for producers, park for consumers).
   void bind_metrics(obs::Counter* producer_parks, obs::Counter* consumer_parks) {
     producer_parks_ = producer_parks;
     consumer_parks_ = consumer_parks;
@@ -137,6 +143,8 @@ class SpscRing {
       }
       obs::inc(producer_parks_);
       {
+        // Blocked on a full downstream ring: backpressure, not idleness.
+        obs::ProfScope prof(obs::ThreadState::kQueueWait);
         std::unique_lock<std::mutex> lock(mutex_);
         not_full_.wait(lock, [&] {
           return closed_.load(std::memory_order_acquire) ||
@@ -174,6 +182,8 @@ class SpscRing {
       }
       obs::inc(consumer_parks_);
       {
+        // Starved for upstream input.
+        obs::ProfScope prof(obs::ThreadState::kPark);
         std::unique_lock<std::mutex> lock(mutex_);
         not_empty_.wait(lock, [&] {
           return closed_.load(std::memory_order_acquire) ||

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+
 namespace dtr::obs {
 
 const char* log_level_name(LogLevel level) {
@@ -88,6 +90,7 @@ void Logger::log(LogLevel level, std::string_view component, SimTime time,
       if (tokens_ < 1.0) {
         ++suppressed_run_;
         suppressed_total_.fetch_add(1, std::memory_order_relaxed);
+        inc(suppressed_counter_.load(std::memory_order_relaxed));
         return;
       }
       tokens_ -= 1.0;
@@ -102,6 +105,35 @@ void Logger::log(LogLevel level, std::string_view component, SimTime time,
   record.component.assign(component);
   record.message = std::move(message);
   record.suppressed_before = suppressed_before;
+  sink->write(record);
+}
+
+void Logger::bind_metrics(Registry& registry) {
+  Counter& counter = registry.counter("log.suppressed");
+  // Carry forward drops that happened before binding.
+  const std::uint64_t already =
+      suppressed_total_.load(std::memory_order_relaxed);
+  if (already > counter.value()) counter.inc(already - counter.value());
+  suppressed_counter_.store(&counter, std::memory_order_relaxed);
+}
+
+void Logger::emit_suppressed_summary(SimTime now) {
+  LogSink* sink = sink_.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  const std::uint64_t total =
+      suppressed_total_.load(std::memory_order_relaxed);
+  if (total == 0) return;
+  LogRecord record;
+  record.time = now;
+  record.level = LogLevel::kInfo;
+  record.component = "log";
+  record.message =
+      std::to_string(total) + " records rate-limited over the run";
+  {
+    // The summary supersedes the pending "suppressed since last pass" run.
+    std::lock_guard lock(mutex_);
+    suppressed_run_ = 0;
+  }
   sink->write(record);
 }
 

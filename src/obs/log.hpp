@@ -35,6 +35,9 @@
 
 namespace dtr::obs {
 
+class Counter;
+class Registry;
+
 enum class LogLevel : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// "debug" / "info" / "warn" / "error".
@@ -119,8 +122,19 @@ class Logger {
     return suppressed_total_.load(std::memory_order_relaxed);
   }
 
+  /// Mirror the suppression tally into a `log.suppressed` counter so the
+  /// metrics snapshot carries it ("log." is series-excluded by default).
+  void bind_metrics(Registry& registry);
+
+  /// Shutdown flush: emit one "N records rate-limited" summary line
+  /// covering the whole run.  Bypasses the level threshold and the token
+  /// bucket (it IS the limiter's accounting); no-op when nothing was
+  /// suppressed or no sink is bound.
+  void emit_suppressed_summary(SimTime now);
+
  private:
   std::atomic<LogSink*> sink_{nullptr};
+  std::atomic<Counter*> suppressed_counter_{nullptr};
   std::atomic<std::uint8_t> threshold_{
       static_cast<std::uint8_t>(LogLevel::kInfo)};
   std::atomic<std::uint64_t> suppressed_total_{0};

@@ -1,0 +1,283 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace dtr::obs {
+
+const char* thread_state_name(ThreadState state) {
+  switch (state) {
+    case ThreadState::kWorking: return "working";
+    case ThreadState::kQueueWait: return "queue_wait";
+    case ThreadState::kPark: return "park";
+    case ThreadState::kLockWait: return "lock_wait";
+  }
+  return "?";
+}
+
+ThreadProfile::ThreadProfile(std::string stage, std::string name)
+    : stage_(std::move(stage)), name_(std::move(name)) {
+  entered_ns_.store(profiler_now_ns(), std::memory_order_relaxed);
+}
+
+ThreadProfile::Totals ThreadProfile::totals() const {
+  Totals out;
+  out.finished = finished_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < kThreadStateCount; ++i)
+    out.seconds[i] =
+        static_cast<double>(acc_ns_[i].load(std::memory_order_relaxed)) * 1e-9;
+  if (!out.finished) {
+    // Credit the open state up to now.  The owner may be mid-switch; the
+    // worst case is attributing a few ns to the previous state — totals
+    // stay monotone and the error vanishes once finish() runs.
+    const std::uint64_t now = profiler_now_ns();
+    const std::uint64_t entered = entered_ns_.load(std::memory_order_relaxed);
+    const auto state = static_cast<std::size_t>(
+        state_.load(std::memory_order_relaxed));
+    if (now > entered) out.seconds[state] += static_cast<double>(now - entered) * 1e-9;
+  }
+  for (double s : out.seconds) out.total_seconds += s;
+  return out;
+}
+
+ThreadProfile* Profiler::register_thread(std::string_view stage,
+                                         std::string_view name) {
+  auto profile = std::unique_ptr<ThreadProfile>(
+      new ThreadProfile(std::string(stage), std::string(name)));
+  ThreadProfile* raw = profile.get();
+  {
+    std::lock_guard lock(mutex_);
+    profiles_.push_back(std::move(profile));
+  }
+  detail::t_thread_profile = raw;
+  return raw;
+}
+
+void Profiler::release(ThreadProfile* profile) {
+  if (profile == nullptr) return;
+  profile->finish();
+  if (detail::t_thread_profile == profile) detail::t_thread_profile = nullptr;
+}
+
+void Profiler::note_checkpoint(SimTime boundary, double wall_seconds,
+                               std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  checkpoints_.push_back(CheckpointCost{boundary, wall_seconds, bytes});
+}
+
+std::vector<Profiler::CheckpointCost> Profiler::checkpoint_costs() const {
+  std::lock_guard lock(mutex_);
+  return checkpoints_;
+}
+
+std::vector<Profiler::ThreadSummary> Profiler::thread_summaries() const {
+  std::vector<ThreadSummary> out;
+  std::lock_guard lock(mutex_);
+  out.reserve(profiles_.size());
+  for (const auto& profile : profiles_) {
+    const ThreadProfile::Totals totals = profile->totals();
+    ThreadSummary summary;
+    summary.stage = profile->stage();
+    summary.name = profile->name();
+    summary.seconds = totals.seconds;
+    summary.total_seconds = totals.total_seconds;
+    summary.finished = totals.finished;
+    if (totals.total_seconds > 0) {
+      for (std::size_t i = 0; i < kThreadStateCount; ++i)
+        summary.fraction[i] = totals.seconds[i] / totals.total_seconds;
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+BottleneckReport build_bottleneck_report(const Profiler& profiler,
+                                         const ResourceSampler* sampler) {
+  BottleneckReport report;
+  report.threads = profiler.thread_summaries();
+
+  // Stage roll-up in first-seen order.
+  std::vector<std::string> stage_order;
+  std::map<std::string, BottleneckReport::StageSummary> by_stage;
+  for (const auto& thread : report.threads) {
+    auto [it, inserted] = by_stage.try_emplace(thread.stage);
+    if (inserted) {
+      it->second.stage = thread.stage;
+      stage_order.push_back(thread.stage);
+    }
+    it->second.thread_count += 1;
+    for (std::size_t i = 0; i < kThreadStateCount; ++i)
+      it->second.seconds[i] += thread.seconds[i];
+    it->second.total_seconds += thread.total_seconds;
+  }
+  for (const std::string& stage : stage_order) {
+    BottleneckReport::StageSummary summary = by_stage[stage];
+    if (summary.total_seconds > 0)
+      summary.utilisation =
+          summary.seconds[static_cast<std::size_t>(ThreadState::kWorking)] /
+          summary.total_seconds;
+    report.stages.push_back(std::move(summary));
+  }
+  const auto most_saturated = std::max_element(
+      report.stages.begin(), report.stages.end(),
+      [](const auto& a, const auto& b) { return a.utilisation < b.utilisation; });
+  if (most_saturated != report.stages.end())
+    report.bottleneck = most_saturated->stage;
+
+  report.checkpoints = profiler.checkpoint_costs();
+  for (const auto& cost : report.checkpoints)
+    report.checkpoint_total_seconds += cost.wall_seconds;
+
+  if (sampler != nullptr) {
+    report.resources = sampler->samples();
+    const ResourceSamplerOptions& options = sampler->options();
+    report.resource_counters = options.counters;
+    for (const TrackedGauge& gauge : options.gauges)
+      report.resource_gauges.push_back(gauge.as.empty() ? gauge.name
+                                                        : gauge.as);
+    report.resource_interval_seconds =
+        std::chrono::duration<double>(options.interval).count();
+  }
+  return report;
+}
+
+namespace {
+
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string percent1(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+void BottleneckReport::render_text(std::ostream& out) const {
+  out << "bottleneck report\n";
+  out << "  thread              stage      total_s   working  q_wait    park  lk_wait\n";
+  for (const auto& thread : threads) {
+    out << "  " << std::left << std::setw(18) << thread.name << "  "
+        << std::setw(9) << thread.stage << std::right << "  "
+        << std::setw(9) << fixed6(thread.total_seconds);
+    for (std::size_t i = 0; i < kThreadStateCount; ++i)
+      out << "  " << percent1(thread.fraction[i]);
+    if (!thread.finished) out << "  (live)";
+    out << "\n";
+  }
+  out << "  stage utilisation (working / total):\n";
+  for (const auto& stage : stages) {
+    out << "    " << std::left << std::setw(9) << stage.stage << std::right
+        << "  " << percent1(stage.utilisation) << "  (" << stage.thread_count
+        << (stage.thread_count == 1 ? " thread)" : " threads)") << "\n";
+  }
+  if (!bottleneck.empty())
+    out << "  most saturated stage: " << bottleneck << "\n";
+  if (!checkpoints.empty()) {
+    out << "  checkpoints: " << checkpoints.size() << " snapshot"
+        << (checkpoints.size() == 1 ? "" : "s") << ", "
+        << fixed6(checkpoint_total_seconds) << " s total, "
+        << fixed6(checkpoint_total_seconds /
+                  static_cast<double>(checkpoints.size()))
+        << " s mean\n";
+  }
+  if (!resources.empty()) {
+    const ResourceSample& last = resources.back();
+    std::uint64_t peak_rss = 0;
+    for (const ResourceSample& sample : resources)
+      peak_rss = std::max(peak_rss, sample.rss_bytes);
+    out << "  resources: " << resources.size() << " samples over "
+        << fixed6(last.wall_seconds) << " s, rss peak " << peak_rss
+        << " B, allocs " << last.alloc_count << " (" << last.alloc_bytes
+        << " B)\n";
+  }
+}
+
+void BottleneckReport::render_json(std::ostream& out) const {
+  out << "{\"profile\":{\"threads\":[";
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    const auto& thread = threads[t];
+    if (t != 0) out << ",";
+    out << "{\"name\":";
+    json_string(out, thread.name);
+    out << ",\"stage\":";
+    json_string(out, thread.stage);
+    out << ",\"finished\":" << (thread.finished ? "true" : "false")
+        << ",\"total_seconds\":" << fixed6(thread.total_seconds)
+        << ",\"seconds\":{";
+    for (std::size_t i = 0; i < kThreadStateCount; ++i) {
+      if (i != 0) out << ",";
+      json_string(out, thread_state_name(static_cast<ThreadState>(i)));
+      out << ":" << fixed6(thread.seconds[i]);
+    }
+    out << "},\"fractions\":{";
+    for (std::size_t i = 0; i < kThreadStateCount; ++i) {
+      if (i != 0) out << ",";
+      json_string(out, thread_state_name(static_cast<ThreadState>(i)));
+      out << ":" << fixed6(thread.fraction[i]);
+    }
+    out << "}}";
+  }
+  out << "],\"stages\":[";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const auto& stage = stages[s];
+    if (s != 0) out << ",";
+    out << "{\"stage\":";
+    json_string(out, stage.stage);
+    out << ",\"threads\":" << stage.thread_count
+        << ",\"total_seconds\":" << fixed6(stage.total_seconds)
+        << ",\"working_seconds\":"
+        << fixed6(stage.seconds[static_cast<std::size_t>(ThreadState::kWorking)])
+        << ",\"utilisation\":" << fixed6(stage.utilisation) << "}";
+  }
+  out << "],\"bottleneck\":";
+  json_string(out, bottleneck);
+  out << ",\"checkpoints\":{\"count\":" << checkpoints.size()
+      << ",\"total_seconds\":" << fixed6(checkpoint_total_seconds)
+      << ",\"snapshots\":[";
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    const auto& cost = checkpoints[c];
+    if (c != 0) out << ",";
+    out << "{\"boundary_s\":" << json_double(to_seconds_f(cost.boundary))
+        << ",\"wall_seconds\":" << fixed6(cost.wall_seconds)
+        << ",\"bytes\":" << cost.bytes << "}";
+  }
+  out << "]}},\"resources\":{\"interval_s\":"
+      << fixed6(resource_interval_seconds) << ",\"series\":[";
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    const ResourceSample& sample = resources[r];
+    if (r != 0) out << ",";
+    out << "{\"t\":" << fixed6(sample.wall_seconds)
+        << ",\"rss_bytes\":" << sample.rss_bytes
+        << ",\"peak_rss_bytes\":" << sample.peak_rss_bytes
+        << ",\"alloc_count\":" << sample.alloc_count
+        << ",\"alloc_bytes\":" << sample.alloc_bytes << ",\"counters\":{";
+    const std::size_t n_counters =
+        std::min(resource_counters.size(), sample.counters.size());
+    for (std::size_t i = 0; i < n_counters; ++i) {
+      if (i != 0) out << ",";
+      json_string(out, resource_counters[i]);
+      out << ":" << sample.counters[i];
+    }
+    out << "},\"gauges\":{";
+    const std::size_t n_gauges =
+        std::min(resource_gauges.size(), sample.gauges.size());
+    for (std::size_t i = 0; i < n_gauges; ++i) {
+      if (i != 0) out << ",";
+      json_string(out, resource_gauges[i]);
+      out << ":" << sample.gauges[i];
+    }
+    out << "}}";
+  }
+  out << "]}}";
+}
+
+}  // namespace dtr::obs

@@ -53,10 +53,15 @@ struct TimeSeriesOptions {
   /// (fast/deferred split, per-shard occupancy) are scheduling-dependent
   /// for the same reason: how many messages take the optimistic worker
   /// path depends on thread interleaving even though the output does not.
+  /// proc.* (resource-sampler RSS/allocation gauges) is wall-clock-valued
+  /// and only present in profiled runs; log.suppressed depends on which
+  /// sinks/levels the operator enabled — both would make a profiled or
+  /// verbosely-logged run's series differ from a plain run's.
   std::vector<std::string> exclude_prefixes = {
       "span.",           "pipeline.queue.", "pipeline.merge.",
       "pipeline.pool.",  "pipeline.writer.", "checkpoint.",
-      "pipeline.ring.",  "anon.shard."};
+      "pipeline.ring.",  "anon.shard.",      "proc.",
+      "log."};
   /// Store a sample only when some included counter changed since the last
   /// stored sample — sparse mode for long fine-grained series (Figure 2's
   /// per-second losses: almost every second is all-zero deltas).  Deltas

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/strings.hpp"
+#include "obs/profiler.hpp"
 
 namespace dtr::server {
 
@@ -43,7 +44,10 @@ std::unique_lock<std::shared_mutex> FileIndex::lock_unique(
   // nothing (keeping serial metric output reproducible) and a concurrent
   // run measures exactly the waits that cost it throughput.
   const auto t0 = std::chrono::steady_clock::now();
-  lock.lock();
+  {
+    obs::ProfScope prof(obs::ThreadState::kLockWait);
+    lock.lock();
+  }
   obs::observe(metrics_.lock_wait, seconds_since(t0));
   return lock;
 }
@@ -53,7 +57,10 @@ std::shared_lock<std::shared_mutex> FileIndex::lock_shared(
   std::shared_lock lock(shard.mutex, std::try_to_lock);
   if (lock.owns_lock()) return lock;
   const auto t0 = std::chrono::steady_clock::now();
-  lock.lock();
+  {
+    obs::ProfScope prof(obs::ThreadState::kLockWait);
+    lock.lock();
+  }
   obs::observe(metrics_.lock_wait, seconds_since(t0));
   return lock;
 }

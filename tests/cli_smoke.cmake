@@ -10,6 +10,7 @@ execute_process(
           --metrics-interval 1800
           --series-out smoke_series.jsonl --series-csv smoke_series.csv
           --flight-dump smoke_flight.json --log-level warn
+          --profile-out smoke_profile.json
   WORKING_DIRECTORY ${WORKDIR}
   RESULT_VARIABLE rc_campaign)
 if(NOT rc_campaign EQUAL 0)
@@ -26,11 +27,23 @@ if(NOT metrics_json MATCHES "capture\\.dropped")
   message(FATAL_ERROR "metrics JSON missing capture.dropped counter")
 endif()
 
-foreach(artifact smoke_series.jsonl smoke_series.csv smoke_flight.json)
+foreach(artifact smoke_series.jsonl smoke_series.csv smoke_flight.json
+        smoke_profile.json)
   if(NOT EXISTS ${WORKDIR}/${artifact})
     message(FATAL_ERROR "campaign did not write ${artifact}")
   endif()
 endforeach()
+# The bottleneck report must attribute thread time and name a bottleneck.
+file(READ ${WORKDIR}/smoke_profile.json profile_json)
+if(NOT profile_json MATCHES "\"bottleneck\"")
+  message(FATAL_ERROR "profile report missing bottleneck verdict")
+endif()
+if(NOT profile_json MATCHES "\"rss_bytes\"")
+  message(FATAL_ERROR "profile report missing resource series")
+endif()
+if(NOT profile_json MATCHES "capture\\.buffer\\.occupancy")
+  message(FATAL_ERROR "profile report missing capture.buffer.occupancy gauge")
+endif()
 file(READ ${WORKDIR}/smoke_series.jsonl series_jsonl)
 if(NOT series_jsonl MATCHES "decode\\.frames")
   message(FATAL_ERROR "series JSONL missing decode.frames")
@@ -44,16 +57,17 @@ endif()
 # this pass for arbitrary decode-error text).
 execute_process(
   COMMAND ${DONKEYTRACE} jsoncheck smoke_metrics.json smoke_series.jsonl
-          smoke_flight.json
+          smoke_flight.json smoke_profile.json
   WORKING_DIRECTORY ${WORKDIR}
   RESULT_VARIABLE rc_jsoncheck)
 if(NOT rc_jsoncheck EQUAL 0)
   message(FATAL_ERROR "donkeytrace jsoncheck failed: ${rc_jsoncheck}")
 endif()
 
-# Same seed, second run: the time series (JSONL and CSV) must be
-# byte-identical — the recorder's determinism contract, end to end through
-# the CLI.  (The metrics snapshot is not compared: span.* histograms are
+# Same seed, second run — this one UNPROFILED: the time series (JSONL and
+# CSV) must be byte-identical to the first (profiled) run's, which proves
+# end to end that the profiler and resource sampler never perturb output
+# bytes.  (The metrics snapshot is not compared: span.* histograms are
 # wall-clock-valued.)
 execute_process(
   COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500

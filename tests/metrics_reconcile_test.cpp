@@ -6,6 +6,8 @@
 // across several seeds and worker counts, for both pipelines.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +19,8 @@
 #include "core/server_pool.hpp"
 #include "hash/md4.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/resource.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/timeseries.hpp"
 #include "server/server.hpp"
@@ -315,6 +319,11 @@ struct DataPlaneTuning {
   bool buffer_pool = true;
   bool writer_offload = true;
   std::size_t anon_shards = 8;
+  obs::Profiler* profiler = nullptr;
+  /// Run a wall-clock ResourceSampler over the registry for the duration:
+  /// its proc.* gauges land in the same registry the series samples, so
+  /// this is the live test of the series' proc. exclusion.
+  bool sample_resources = false;
 };
 
 SeriesRun run_with_series(std::uint64_t seed, std::size_t workers,
@@ -326,6 +335,7 @@ SeriesRun run_with_series(std::uint64_t seed, std::size_t workers,
   cfg.buffer_pool = tuning.buffer_pool;
   cfg.writer_offload = tuning.writer_offload;
   cfg.anon_shards = tuning.anon_shards;
+  cfg.profiler = tuning.profiler;
   obs::Registry registry;
   obs::TimeSeriesOptions options;
   options.interval = 30 * kMinute;
@@ -335,8 +345,16 @@ SeriesRun run_with_series(std::uint64_t seed, std::size_t workers,
   std::ostringstream xml;
   cfg.xml_out = &xml;
 
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  if (tuning.sample_resources) {
+    obs::ResourceSamplerOptions sampler_options;
+    sampler_options.interval = std::chrono::milliseconds(5);
+    sampler = std::make_unique<obs::ResourceSampler>(&registry, sampler_options);
+    sampler->start();
+  }
   core::CampaignRunner runner(cfg);
   core::CampaignReport report = runner.run();
+  if (sampler) sampler->stop();
   EXPECT_TRUE(report.pipeline.ok()) << report.pipeline.error;
 
   SeriesRun run;
@@ -420,6 +438,43 @@ TEST(SeriesReconcile, BatchSizeAndPoolingNeverChangeTheBytes) {
                 serial.samples[i].snapshot.counters)
           << "sample " << i;
     }
+  }
+}
+
+// The pipeline profiler observes wall time only — it must never feed the
+// registry, the series, or the XML writer.  An unprofiled serial reference
+// against a profiled parallel run (with a live resource sampler publishing
+// proc.* gauges into the same registry) is the strongest version of that
+// claim: XML byte for byte, counter series sample by sample, and the
+// profiler itself must have real attribution to show for it.
+TEST(SeriesReconcile, ProfilerPresenceNeverChangesTheBytes) {
+  const SeriesRun reference = run_with_series(36, 0);
+  ASSERT_FALSE(reference.xml.empty());
+
+  obs::Profiler profiler;
+  DataPlaneTuning tuning;
+  tuning.profiler = &profiler;
+  tuning.sample_resources = true;
+  SeriesRun profiled = run_with_series(36, 3, tuning);
+
+  EXPECT_EQ(profiled.xml, reference.xml);
+  ASSERT_EQ(profiled.samples.size(), reference.samples.size());
+  for (std::size_t i = 0; i < reference.samples.size(); ++i) {
+    EXPECT_EQ(profiled.samples[i].snapshot.counters,
+              reference.samples[i].snapshot.counters)
+        << "sample " << i;
+  }
+  EXPECT_EQ(profiled.jsonl, run_with_series(36, 3).jsonl)
+      << "profiled and unprofiled parallel runs must serialise the same "
+         "series bytes";
+
+  // ... and the profiler was not a bystander: the pipeline's threads all
+  // registered, closed their ledgers, and accumulated real time.
+  const auto summaries = profiler.thread_summaries();
+  ASSERT_GE(summaries.size(), 5u);  // feed + 3 workers + merge (+ writer)
+  for (const auto& thread : summaries) {
+    EXPECT_TRUE(thread.finished) << thread.name;
+    EXPECT_GT(thread.total_seconds, 0.0) << thread.name;
   }
 }
 

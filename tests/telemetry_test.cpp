@@ -135,6 +135,44 @@ TEST(Logger, RefillNeverRunsBackwards) {
   EXPECT_EQ(sink.count(), 2u);
 }
 
+TEST(Logger, SuppressedSummaryAndCounterSurfaceTheDrops) {
+  obs::CaptureSink sink;
+  obs::Logger log;
+  log.set_sink(&sink);
+  log.set_rate_limit({1.0, 2.0});
+
+  // Three drops happen *before* binding; the counter must carry them
+  // forward instead of starting from zero.
+  for (int i = 0; i < 5; ++i) log.log(obs::LogLevel::kWarn, "t", 0, "early");
+  obs::Registry registry;
+  log.bind_metrics(registry);
+  EXPECT_EQ(registry.snapshot().counter("log.suppressed"), 3u);
+
+  // Post-binding drops tick the counter live.
+  log.log(obs::LogLevel::kWarn, "t", 0, "late");
+  EXPECT_EQ(registry.snapshot().counter("log.suppressed"), 4u);
+  EXPECT_EQ(log.suppressed(), 4u);
+
+  // The end-of-run summary bypasses both the threshold and the limiter
+  // (tokens are long gone) and reports the whole-run total.
+  log.set_level(obs::LogLevel::kError);
+  const std::size_t before = sink.count();
+  log.emit_suppressed_summary(kHour);
+  auto records = sink.records();
+  ASSERT_EQ(records.size(), before + 1);
+  EXPECT_EQ(records.back().component, "log");
+  EXPECT_EQ(records.back().level, obs::LogLevel::kInfo);
+  EXPECT_EQ(records.back().message, "4 records rate-limited over the run");
+
+  // Nothing suppressed -> no summary line.
+  obs::CaptureSink quiet_sink;
+  obs::Logger quiet;
+  quiet.set_sink(&quiet_sink);
+  quiet.log(obs::LogLevel::kWarn, "t", 0, "fine");
+  quiet.emit_suppressed_summary(kHour);
+  EXPECT_EQ(quiet_sink.count(), 1u);
+}
+
 TEST(FlightRecorder, RecordsAndMergesInOrder) {
   obs::FlightRecorder flight(64);
   flight.record(obs::FlightEvent::kFrameAccepted, 10, 1);

@@ -24,9 +24,16 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/resource.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/timeseries.hpp"
 #include "xmlio/compress.hpp"
+
+// Opt this binary into global allocation counting (one TU per binary): the
+// --profile-out resource trajectory reports real operator-new totals
+// instead of zeros.
+#include "obs/alloc_counting.hpp"
 
 namespace {
 
@@ -78,6 +85,13 @@ telemetry (campaign and decode):
                           "-" = stderr as text) after the run; written
                           automatically when the pipeline fails
   --flight-events N       per-thread flight ring capacity (default 1024)
+  --profile-out PATH      (campaign) profile the run: per-thread time
+                          attribution (working/queue_wait/park/lock_wait),
+                          wall-clock RSS/allocation/occupancy sampling and
+                          checkpoint costs; writes the bottleneck report
+                          as JSON to PATH ("-" = stdout) and a summary
+                          table to stderr.  Wall-clock only: output bytes
+                          (XML, series, checkpoints) are unchanged
 )";
   return 2;
 }
@@ -363,8 +377,36 @@ int cmd_campaign(const cli::Args& args) {
   cfg.flight = telemetry.flight.get();
   cfg.series = telemetry.series.get();
 
+  // --profile-out: attribute thread time and sample resources.  Purely
+  // wall-clock observers — the profiled run's XML/series/checkpoint bytes
+  // match an unprofiled run's.
+  const std::string profile_path = args.get("profile-out");
+  std::unique_ptr<obs::Profiler> profiler;
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  if (!profile_path.empty()) {
+    cfg.metrics = &registry;  // the occupancy gauges the sampler tracks
+    profiler = std::make_unique<obs::Profiler>();
+    cfg.profiler = profiler.get();
+    obs::ResourceSamplerOptions opts;
+    opts.counters = {"pipeline.frames", "pipeline.messages", "anon.events"};
+    opts.gauges = {{"capture.occupancy", "capture.buffer.occupancy"},
+                   {"pipeline.queue.merge", ""},
+                   {"pipeline.queue.writer", ""},
+                   {"pipeline.queue.frames", ""},
+                   {"pipeline.queue.messages", ""}};
+    sampler = std::make_unique<obs::ResourceSampler>(&registry, opts);
+  }
+  if (telemetry.log_enabled && cfg.metrics != nullptr) {
+    telemetry.logger.bind_metrics(registry);
+  }
+
   core::CampaignRunner runner(cfg);
+  if (sampler) sampler->start();
   core::CampaignReport report = runner.run();
+  if (sampler) sampler->stop();
+  if (telemetry.log_enabled) {
+    telemetry.logger.emit_suppressed_summary(cfg.campaign.duration);
+  }
 
   if (!report.pipeline.ok()) {
     std::cerr << "pipeline failed: " << report.pipeline.error << "\n";
@@ -403,6 +445,28 @@ int cmd_campaign(const cli::Args& args) {
   if (!telemetry.flight_path.empty() && !dump_flight(telemetry)) {
     std::cerr << "cannot write " << telemetry.flight_path << "\n";
     return 1;
+  }
+  if (profiler) {
+    const obs::BottleneckReport bottleneck =
+        obs::build_bottleneck_report(*profiler, sampler.get());
+    bottleneck.render_text(std::cerr);
+    if (profile_path == "-") {
+      bottleneck.render_json(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream out(profile_path);
+      if (!out) {
+        std::cerr << "cannot write " << profile_path << "\n";
+        return 1;
+      }
+      bottleneck.render_json(out);
+      out << "\n";
+      if (!out) {
+        std::cerr << "cannot write " << profile_path << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << profile_path << " (bottleneck report)\n";
+    }
   }
   return 0;
 }
@@ -458,6 +522,7 @@ int cmd_decode(const cli::Args& args) {
     decoder.bind_metrics(registry);
     anonymiser.bind_metrics(registry);
     stats.bind_metrics(registry);
+    if (telemetry.log_enabled) telemetry.logger.bind_metrics(registry);
   }
   decoder.bind_telemetry(telemetry.log(), telemetry.flight.get());
   anonymiser.bind_telemetry(telemetry.log());
@@ -481,6 +546,7 @@ int cmd_decode(const cli::Args& args) {
   decoder.finish(last);
   if (writer) writer->finish();
   if (telemetry.series) telemetry.series->finish(last);
+  if (telemetry.log_enabled) telemetry.logger.emit_suppressed_summary(last);
 
   const decode::DecodeStats& d = decoder.stats();
   analysis::print_table(
