@@ -307,17 +307,23 @@ int run_bench(bool smoke, const std::string& out_path) {
   const bool gate_enforced = hw >= 4;
   const double floor_ratio = 0.85;
   const double serial_ratio_4w = serial_rate > 0 ? batched_4w / serial_rate : 0.0;
-  if (serial_ratio_4w < floor_ratio) {
-    if (gate_enforced) {
+  if (gate_enforced) {
+    if (serial_ratio_4w < floor_ratio) {
       std::cerr << "PERF REGRESSION: 4w-batched is " << fmt_double(serial_ratio_4w)
                 << "x serial (floor " << fmt_double(floor_ratio) << "x, "
                 << hw << " hardware threads)\n";
       ok = false;
-    } else {
-      std::cerr << "perf floor advisory only: 4w-batched is "
-                << fmt_double(serial_ratio_4w) << "x serial on " << hw
-                << " hardware thread(s) — gate needs >= 4\n";
     }
+  } else {
+    // Unenforced hosts still report the number they measured: a narrow CI
+    // box going from 0.9x to 0.3x is worth noticing even when it cannot
+    // fail the run.
+    std::cerr << "perf floor advisory only (gate needs >= 4 hardware "
+              << "threads, have " << hw << "): 4w-batched is "
+              << fmt_double(serial_ratio_4w) << "x serial (floor "
+              << fmt_double(floor_ratio) << "x, "
+              << (serial_ratio_4w < floor_ratio ? "below" : "meets")
+              << " floor)\n";
   }
 
   const double speedup = perframe_4w > 0 ? batched_4w / perframe_4w : 0.0;

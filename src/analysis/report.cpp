@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 
 #include "common/strings.hpp"
 
@@ -69,6 +70,83 @@ void print_table(std::ostream& out, const std::string& title,
         << std::string(label_width - row.label.size() + 2, ' ') << row.value
         << "\n";
   }
+}
+
+void print_scenario_summary(std::ostream& out, const ScenarioSummary& s) {
+  char buf[200];
+  out << "== scenario: " << s.name << " ==\n";
+  std::snprintf(buf, sizeof(buf),
+                "  duration %llus, %zu wave(s), sessions %llu\n",
+                static_cast<unsigned long long>(s.duration_s), s.phases.size(),
+                static_cast<unsigned long long>(s.sessions));
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  frames captured %llu, lost %llu, peak occupancy %llu\n",
+                static_cast<unsigned long long>(s.frames_captured),
+                static_cast<unsigned long long>(s.frames_lost),
+                static_cast<unsigned long long>(s.buffer_high_water));
+  out << buf;
+  const double hit_rate =
+      s.publishes > 0 ? static_cast<double>(s.polluted_entries) /
+                            static_cast<double>(s.publishes)
+                      : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "  pollution: %llu forged-popular entries over %llu publishes "
+                "(%.3f per publish)\n",
+                static_cast<unsigned long long>(s.polluted_entries),
+                static_cast<unsigned long long>(s.publishes), hit_rate);
+  out << buf;
+
+  // The churn timeline: one row per wave with its multipliers and the
+  // capture losses it caused.
+  out << "  wave  window              arrival  background  think  flood  "
+         "lost\n";
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    const auto& p = s.phases[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  %4zu  [%7llus,%7llus)  x%-6.2f  x%-9.2f  x%-5.2f  %-5s  "
+                  "%llu\n",
+                  i, static_cast<unsigned long long>(p.begin_s),
+                  static_cast<unsigned long long>(p.end_s), p.arrival_boost,
+                  p.background_boost, p.think_scale,
+                  p.polluter_flood ? "yes" : "no",
+                  static_cast<unsigned long long>(p.frames_lost));
+    out << buf;
+  }
+
+  // Loss curve: the campaign bucketed into fixed time bins, losses per bin
+  // with a proportional bar — the Figure 2 shape under the storm.
+  if (!s.loss_curve.empty() && s.duration_s > 0) {
+    constexpr std::size_t kBins = 24;
+    const std::uint64_t bin_s = std::max<std::uint64_t>(
+        1, (s.duration_s + kBins - 1) / kBins);
+    std::vector<std::uint64_t> bins(kBins, 0);
+    for (const auto& [second, lost] : s.loss_curve) {
+      bins[std::min(kBins - 1, static_cast<std::size_t>(second / bin_s))] +=
+          lost;
+    }
+    const std::uint64_t peak =
+        *std::max_element(bins.begin(), bins.end());
+    out << "  loss curve (" << bin_s << "s bins):\n";
+    for (std::size_t i = 0; i < kBins; ++i) {
+      const auto width = peak > 0 ? static_cast<std::size_t>(
+                                        (bins[i] * 40 + peak - 1) / peak)
+                                  : 0;
+      std::snprintf(buf, sizeof(buf), "  %7llus |%-40s| %llu\n",
+                    static_cast<unsigned long long>(i * bin_s),
+                    std::string(width, '#').c_str(),
+                    static_cast<unsigned long long>(bins[i]));
+      out << buf;
+    }
+  } else {
+    out << "  loss curve: no capture losses\n";
+  }
+}
+
+std::string scenario_summary_text(const ScenarioSummary& s) {
+  std::ostringstream os;
+  print_scenario_summary(os, s);
+  return os.str();
 }
 
 std::string describe_fit(const PowerLawFit& fit) {

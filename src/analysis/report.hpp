@@ -3,8 +3,10 @@
 // distribution figures, thousands-separated counts for the summary.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/powerlaw.hpp"
@@ -36,5 +38,41 @@ void print_table(std::ostream& out, const std::string& title,
 
 /// Format a power-law fit verdict line.
 std::string describe_fit(const PowerLawFit& fit);
+
+/// Figure-style summary of a hostile-regime scenario run (plain data: the
+/// analysis layer knows nothing about the simulator — core assembles this
+/// from the scenario phases and the campaign report).
+struct ScenarioSummary {
+  struct Phase {
+    std::uint64_t begin_s = 0;  ///< wave start, seconds into the campaign
+    std::uint64_t end_s = 0;    ///< wave end (exclusive)
+    double arrival_boost = 1.0;
+    double background_boost = 1.0;
+    double think_scale = 1.0;
+    bool polluter_flood = false;
+    std::uint64_t frames_lost = 0;  ///< capture losses inside this wave
+  };
+
+  std::string name;             ///< preset name ("query_storm", ...)
+  std::uint64_t duration_s = 0;
+  std::vector<Phase> phases;
+  std::uint64_t frames_captured = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t buffer_high_water = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t polluted_entries = 0;  ///< forged announces at popular files
+  std::uint64_t sessions = 0;          ///< stat pings == sessions started
+  /// Per-second capture losses, the Figure 2-style loss curve (sparse:
+  /// only seconds with losses appear).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> loss_curve;
+};
+
+/// Render the scenario summary: phase table (the churn timeline), loss
+/// curve and pollution hit-rate.  Deterministic text, suitable for golden
+/// pinning.
+void print_scenario_summary(std::ostream& out, const ScenarioSummary& s);
+
+/// print_scenario_summary into a string (what the golden tests pin).
+std::string scenario_summary_text(const ScenarioSummary& s);
 
 }  // namespace dtr::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <sstream>
 
@@ -55,6 +56,9 @@ struct CheckpointMeta {
   std::uint64_t buffer_capacity = 0;
   std::uint8_t has_background = 0;
   std::uint64_t background_seed = 0;
+  /// ScenarioConfig::fingerprint() — 0 for steady/no scenario.  A storm
+  /// campaign must not silently resume as (or from) a steady one.
+  std::uint64_t scenario_fingerprint = 0;
   std::uint8_t has_xml = 0;
   std::uint8_t has_pcap = 0;
   std::uint8_t has_series = 0;
@@ -72,6 +76,8 @@ CheckpointMeta meta_of(const RunnerConfig& cfg, SimTime boundary) {
   m.buffer_capacity = cfg.buffer.capacity;
   m.has_background = cfg.background.has_value() ? 1 : 0;
   m.background_seed = cfg.background ? cfg.background->seed : 0;
+  m.scenario_fingerprint =
+      cfg.campaign.scenario ? cfg.campaign.scenario->fingerprint() : 0;
   m.has_xml = cfg.xml_out != nullptr ? 1 : 0;
   m.has_pcap = cfg.pcap_path.empty() ? 0 : 1;
   m.has_series = cfg.series != nullptr ? 1 : 0;
@@ -89,6 +95,7 @@ void save_meta(const CheckpointMeta& m, ByteWriter& out) {
   out.u64le(m.buffer_capacity);
   out.u8(m.has_background);
   out.u64le(m.background_seed);
+  out.u64le(m.scenario_fingerprint);
   out.u8(m.has_xml);
   out.u8(m.has_pcap);
   out.u8(m.has_series);
@@ -105,6 +112,7 @@ bool read_meta(ByteReader& in, CheckpointMeta& m) {
   m.buffer_capacity = in.u64le();
   m.has_background = in.u8();
   m.background_seed = in.u64le();
+  m.scenario_fingerprint = in.u64le();
   m.has_xml = in.u8();
   m.has_pcap = in.u8();
   m.has_series = in.u8();
@@ -126,6 +134,7 @@ const char* meta_mismatch(const CheckpointMeta& want,
       got.background_seed != want.background_seed) {
     return "background traffic";
   }
+  if (got.scenario_fingerprint != want.scenario_fingerprint) return "scenario";
   if (got.has_xml != want.has_xml) return "xml output";
   if (got.has_pcap != want.has_pcap) return "pcap output";
   if (got.has_series != want.has_series) return "time series";
@@ -135,12 +144,59 @@ const char* meta_mismatch(const CheckpointMeta& want,
 
 }  // namespace
 
+std::optional<analysis::ScenarioSummary> build_scenario_summary(
+    const sim::Scenario* scenario, const CampaignReport& report) {
+  if (scenario == nullptr || !scenario->engaged()) return std::nullopt;
+  analysis::ScenarioSummary s;
+  s.name = sim::scenario_kind_name(scenario->config().kind);
+  s.duration_s = to_seconds(scenario->duration());
+  s.frames_captured = report.frames_captured;
+  s.frames_lost = report.frames_lost;
+  s.buffer_high_water = report.buffer_high_water;
+  s.publishes = report.truth.publishes;
+  s.polluted_entries = report.truth.polluted_entries;
+  s.sessions = report.truth.stat_pings;
+  s.loss_curve.reserve(report.loss_series.size());
+  for (const capture::LossPoint& p : report.loss_series) {
+    s.loss_curve.emplace_back(p.second, p.lost);
+  }
+  for (const sim::ScenarioPhase& phase : scenario->phases()) {
+    analysis::ScenarioSummary::Phase row;
+    row.begin_s = to_seconds(phase.begin);
+    row.end_s = to_seconds(phase.end);
+    row.arrival_boost = phase.arrival_boost;
+    row.background_boost = phase.background_boost;
+    row.think_scale = phase.think_scale;
+    row.polluter_flood = phase.polluter_targets_popular;
+    for (const capture::LossPoint& p : report.loss_series) {
+      if (p.second >= row.begin_s && p.second < row.end_s) {
+        row.frames_lost += p.lost;
+      }
+    }
+    s.phases.push_back(row);
+  }
+  return s;
+}
+
 CampaignRunner::CampaignRunner(const RunnerConfig& config)
     : config_(config), simulator_(config.campaign) {}
 
 CampaignReport CampaignRunner::run() {
   const bool checkpointing = !config_.checkpoint_dir.empty();
   const bool resuming = !config_.resume_from.empty();
+
+  // A malformed scenario config is rejected before any subsystem runs (the
+  // CLI surfaces this as a clean nonzero exit, never an abort mid-storm).
+  if (config_.campaign.scenario) {
+    const std::string bad = config_.campaign.scenario->validate();
+    if (!bad.empty()) {
+      DTR_LOG_ERROR(config_.log, "scenario", 0,
+                    "scenario config rejected: " << bad);
+      CampaignReport report;
+      report.pipeline.error = "scenario: " + bad;
+      return report;
+    }
+  }
 
   // A failed checkpoint parse/restore reports through the pipeline error
   // channel (the run produced nothing trustworthy).
@@ -205,6 +261,26 @@ CampaignReport CampaignRunner::run() {
   }
   engine.bind_telemetry(config_.log, config_.flight);
   simulator_.bind_telemetry(config_.log);
+
+  // scenario.* instruments: which wave (if any) the campaign is in and the
+  // intensity multipliers it applies.  Pure functions of simulated time, so
+  // unlike the operational checkpoint.* family they ARE sampled into the
+  // time series (byte-reproducible across serial/parallel/resume).
+  const sim::Scenario* scenario = simulator_.scenario();
+  obs::Gauge* sc_phase = nullptr;
+  obs::Gauge* sc_arrival = nullptr;
+  obs::Gauge* sc_background = nullptr;
+  obs::Gauge* sc_think = nullptr;
+  obs::Gauge* sc_flood = nullptr;
+  if (config_.metrics != nullptr && scenario != nullptr) {
+    sc_phase = &config_.metrics->gauge("scenario.phase");
+    sc_arrival = &config_.metrics->gauge("scenario.arrival_boost_milli");
+    sc_background = &config_.metrics->gauge("scenario.background_boost_milli");
+    sc_think = &config_.metrics->gauge("scenario.think_scale_milli");
+    sc_flood = &config_.metrics->gauge("scenario.polluter_flood");
+  }
+  // Only rewritten when the frame clock crosses a wave edge.
+  int scenario_last_phase = -2;
 
   // checkpoint.* instruments (excluded from the series by default:
   // checkpointing is operational, not part of the measured campaign).
@@ -282,6 +358,12 @@ CampaignReport CampaignRunner::run() {
     bg.duration = config_.campaign.duration;
     bg.server_ip = config_.campaign.server_ip;
     background.emplace(bg);
+    // Scenario envelope: a pure function of sim time, so it is attached
+    // (not restored) — before the first next() and before any resume.
+    if (const sim::Scenario* sc = simulator_.scenario()) {
+      background->set_envelope(
+          [sc](SimTime t) { return sc->background_boost(t); });
+    }
     if (!resuming) pending = background->next();
   }
 
@@ -460,6 +542,20 @@ CampaignReport CampaignRunner::run() {
       do {
         config_.series->sample();
       } while (config_.series->due(f.time));
+    }
+    if (sc_phase != nullptr) {
+      const int phase = scenario->phase_index(f.time);
+      if (phase != scenario_last_phase) {
+        scenario_last_phase = phase;
+        const auto milli = [](double v) {
+          return static_cast<std::int64_t>(std::llround(v * 1000.0));
+        };
+        obs::set(sc_phase, phase);
+        obs::set(sc_arrival, milli(scenario->arrival_boost(f.time)));
+        obs::set(sc_background, milli(scenario->background_boost(f.time)));
+        obs::set(sc_think, milli(scenario->think_scale(f.time)));
+        obs::set(sc_flood, scenario->polluter_targets_popular(f.time) ? 1 : 0);
+      }
     }
     engine.offer(f);
   };

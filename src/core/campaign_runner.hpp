@@ -11,6 +11,7 @@
 #include <string>
 
 #include "analysis/campaign_stats.hpp"
+#include "analysis/report.hpp"
 #include "capture/engine.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
@@ -105,6 +106,13 @@ struct CampaignReport {
   std::vector<capture::LossPoint> loss_series;
   PipelineResult pipeline;
 };
+
+/// Assemble the figure-style scenario summary (churn timeline, loss curve,
+/// pollution hit-rate) for a finished run.  `scenario` is the runner's
+/// `simulator().scenario()`; returns nullopt when it is null (steady or no
+/// scenario — there is nothing hostile to report).
+std::optional<analysis::ScenarioSummary> build_scenario_summary(
+    const sim::Scenario* scenario, const CampaignReport& report);
 
 class CampaignRunner {
  public:

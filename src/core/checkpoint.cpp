@@ -159,4 +159,11 @@ ByteReader CheckpointView::reader(std::string_view name) const {
   return ByteReader(*payload);
 }
 
+std::vector<std::string> CheckpointView::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, payload] : sections_) names.push_back(name);
+  return names;
+}
+
 }  // namespace dtr::core

@@ -79,6 +79,10 @@ class CheckpointView {
 
   [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
 
+  /// All section names, sorted (the storage order).  Lets tooling rebuild
+  /// or audit a snapshot without knowing the writer's section list.
+  [[nodiscard]] std::vector<std::string> section_names() const;
+
  private:
   std::map<std::string, Bytes, std::less<>> sections_;
 };

@@ -56,6 +56,10 @@ std::optional<TimedFrame> BackgroundTraffic::next() {
   advance_mmpp_state();
   TimedFrame f{next_data_, make_tcp_frame(/*syn=*/false, rng_)};
   double rate = burst_ ? config_.data_rate_burst : config_.data_rate_quiet;
+  // Scenario envelope: the interarrival after this frame shrinks while the
+  // storm is on (evaluated at the frame's own time, a pure function, so a
+  // resumed generator recomputes the identical sequence).
+  if (envelope_) rate *= envelope_(next_data_);
   next_data_ += static_cast<SimTime>(rng_.exponential(rate) *
                                      static_cast<double>(kSecond));
   ++emitted_;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -51,6 +52,15 @@ class BackgroundTraffic {
   /// Rewind the generator to t = 0 (deterministic: same frames again).
   void reset();
 
+  /// Scenario hook: multiply the MMPP data rate by `envelope(t)` (the SYN
+  /// drizzle stays untouched — handshakes arrive from the whole internet
+  /// regardless of the storm).  The envelope must be a pure function of
+  /// sim time: it is not checkpointed, callers re-attach it after
+  /// construction or restore.  Null (the default) means 1x everywhere.
+  void set_envelope(std::function<double(SimTime)> envelope) {
+    envelope_ = std::move(envelope);
+  }
+
   /// Number of frames emitted so far (next() + run() combined).
   [[nodiscard]] std::uint64_t frames_emitted() const { return emitted_; }
 
@@ -65,6 +75,7 @@ class BackgroundTraffic {
   void advance_mmpp_state();
 
   BackgroundConfig config_;
+  std::function<double(SimTime)> envelope_;
   Rng rng_;
   SimTime next_syn_ = 0;
   SimTime next_data_ = 0;

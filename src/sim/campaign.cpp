@@ -20,14 +20,30 @@ std::uint16_t client_port_for(std::uint32_t client_index) {
   return static_cast<std::uint16_t>(4662 + (client_index % 1000));
 }
 
+// The workload hook: presets that reshape the population (bigger polluter
+// cohort, churned sessions) do so before the population is built, so the
+// share lists and ask budgets all follow.
+CampaignConfig with_scenario_overrides(CampaignConfig config) {
+  if (config.scenario) {
+    apply_scenario_population_overrides(config.scenario->kind,
+                                        config.population);
+  }
+  return config;
+}
+
 }  // namespace
 
 CampaignSimulator::CampaignSimulator(const CampaignConfig& config)
-    : config_(config),
-      catalog_(config.catalog, config.seed),
-      population_(config.population, config.seed),
-      server_(config.server),
-      rng_(mix64(config.seed ^ 0x5133C4317A16ULL)) {
+    : config_(with_scenario_overrides(config)),
+      catalog_(config_.catalog, config_.seed),
+      population_(config_.population, config_.seed),
+      server_(config_.server),
+      rng_(mix64(config_.seed ^ 0x5133C4317A16ULL)) {
+  if (config_.scenario &&
+      config_.scenario->kind != ScenarioKind::kSteady) {
+    scenario_.emplace(*config_.scenario, config_.duration, config_.seed);
+    if (!scenario_->engaged()) scenario_.reset();
+  }
   // Flash-crowd windows: moments when session starts cluster.
   Rng wrng = rng_.fork(0xF1A5);
   flash_windows_.reserve(config_.flash_crowd_count);
@@ -78,8 +94,12 @@ void CampaignSimulator::schedule_sessions() {
     const auto& profile = population_.client(c);
     for (std::uint32_t s = 0; s < profile.sessions; ++s) {
       SimTime start;
-      if (!flash_windows_.empty() &&
-          srng.chance(config_.flash_crowd_fraction)) {
+      if (scenario_) {
+        // The scenario arrival envelope replaces the legacy flash-crowd
+        // clustering wholesale: waves are where the sessions pile up.
+        start = scenario_->sample_arrival(srng);
+      } else if (!flash_windows_.empty() &&
+                 srng.chance(config_.flash_crowd_fraction)) {
         SimTime window = flash_windows_[srng.below(flash_windows_.size())];
         start = window + srng.below(config_.flash_crowd_width);
       } else {
@@ -217,6 +237,7 @@ void CampaignSimulator::save_state(ByteWriter& out) const {
   out.u64le(truth_.searches);
   out.u64le(truth_.source_requests);
   out.u64le(truth_.stat_pings);
+  out.u64le(truth_.polluted_entries);
 
   // Both priority queues are drained from a copy: (time, seq) is a total
   // order, so re-pushing the elements on restore rebuilds an equivalent
@@ -261,6 +282,7 @@ bool CampaignSimulator::restore_state(ByteReader& in) {
   truth_.searches = in.u64le();
   truth_.source_requests = in.u64le();
   truth_.stat_pings = in.u64le();
+  truth_.polluted_entries = in.u64le();
 
   queue_ = {};
   std::uint64_t n = in.u64le();
@@ -351,10 +373,7 @@ void CampaignSimulator::start_session(const Event& ev) {
           ? 0
           : std::min(per_session, profile.asks - done_before);
   if (this_session > 0) {
-    SimTime first = ev.time + kSecond +
-                    static_cast<SimTime>(r.exponential(
-                                             1.0 / config_.inter_ask_mean_s) *
-                                         static_cast<double>(kSecond));
+    SimTime first = ev.time + kSecond + think_gap(r, ev.time);
     // arg carries the client's absolute ask cursor; the session's slice end
     // is re-derived in do_ask from (cursor / per_session).
     schedule(first, Action::kAsk, ev.client, done_before);
@@ -388,15 +407,34 @@ void CampaignSimulator::publish_batch(const Event& ev) {
     proto::FileEntry entry;
     if (polluter) {
       Rng fr = rng_.fork(0xF04C0000ULL + ev.client).fork(offset + i);
-      entry.file_id = workload::make_forged_file_id(fr);
-      entry.tags.push_back(proto::Tag::str(
-          proto::TagName::kFileName,
-          "p" + std::to_string(ev.client) + " n" + std::to_string(offset + i) +
-              ".avi"));
-      entry.tags.push_back(proto::Tag::u32(
-          proto::TagName::kFileSize,
-          static_cast<std::uint32_t>(size_model.sample(fr))));
-      entry.tags.push_back(proto::Tag::str(proto::TagName::kFileType, "video"));
+      if (scenario_ && scenario_->polluter_targets_popular(ev.time)) {
+        // Index-pollution flood: a forged fileID wearing the name and size
+        // of a top-k popular file, so keyword searches for the real file
+        // surface the decoy.
+        const std::size_t k = std::max<std::size_t>(
+            1, std::min<std::size_t>(scenario_->popular_target_k(),
+                                     catalog_.size()));
+        const auto& victim = catalog_.file(fr.below(k));
+        entry.file_id = workload::make_forged_file_id(fr);
+        entry.tags.push_back(
+            proto::Tag::str(proto::TagName::kFileName, victim.name));
+        entry.tags.push_back(
+            proto::Tag::u32(proto::TagName::kFileSize, victim.size));
+        entry.tags.push_back(
+            proto::Tag::str(proto::TagName::kFileType, victim.type));
+        ++truth_.polluted_entries;
+      } else {
+        entry.file_id = workload::make_forged_file_id(fr);
+        entry.tags.push_back(proto::Tag::str(
+            proto::TagName::kFileName,
+            "p" + std::to_string(ev.client) + " n" +
+                std::to_string(offset + i) + ".avi"));
+        entry.tags.push_back(proto::Tag::u32(
+            proto::TagName::kFileSize,
+            static_cast<std::uint32_t>(size_model.sample(fr))));
+        entry.tags.push_back(
+            proto::Tag::str(proto::TagName::kFileType, "video"));
+      }
     } else {
       const auto& f = catalog_.file(share_at(ev.client, offset + i));
       entry.file_id = f.id;
@@ -423,6 +461,17 @@ void CampaignSimulator::publish_batch(const Event& ev) {
     // idle period (upload serving is TCP, invisible at this capture point).
     schedule(ev.time + 30 * kMinute, Action::kSessionEnd, ev.client, 0);
   }
+}
+
+SimTime CampaignSimulator::think_gap(Rng& r, SimTime at) const {
+  auto gap = static_cast<SimTime>(
+      r.exponential(1.0 / config_.inter_ask_mean_s) *
+      static_cast<double>(kSecond));
+  if (scenario_) {
+    gap = static_cast<SimTime>(static_cast<double>(gap) *
+                               scenario_->think_scale(at));
+  }
+  return gap;
 }
 
 void CampaignSimulator::do_ask(const Event& ev) {
@@ -476,9 +525,7 @@ void CampaignSimulator::do_ask(const Event& ev) {
       (profile.asks + profile.sessions - 1) / profile.sessions;
   std::uint32_t session_start_cursor = (cursor / per_session) * per_session;
   std::uint32_t next_cursor = cursor + consumed;
-  SimTime gap = static_cast<SimTime>(
-      r.exponential(1.0 / config_.inter_ask_mean_s) *
-      static_cast<double>(kSecond));
+  SimTime gap = think_gap(r, ev.time);
   if (next_cursor < profile.asks &&
       next_cursor < session_start_cursor + per_session) {
     schedule(ev.time + kSecond + gap, Action::kAsk, ev.client, next_cursor);

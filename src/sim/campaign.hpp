@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "proto/messages.hpp"
 #include "server/server.hpp"
 #include "sim/frames.hpp"
+#include "sim/scenario.hpp"
 #include "workload/behavior.hpp"
 #include "workload/catalog.hpp"
 
@@ -61,6 +63,14 @@ struct CampaignConfig {
   double flash_crowd_fraction = 0.18;
   std::uint32_t flash_crowd_count = 24;       // windows over the campaign
   SimTime flash_crowd_width = 10 * kMinute;
+
+  /// Hostile-regime preset (see sim/scenario.hpp).  Absent or steady means
+  /// the workload above runs untouched — byte-identical to a build without
+  /// the scenario subsystem.  An engaged scenario replaces the flash-crowd
+  /// arrival model with its own envelope, scales think time, multiplies the
+  /// background rate and (for pollution presets) aims forged announces at
+  /// the most popular files.
+  std::optional<ScenarioConfig> scenario;
 };
 
 /// What the simulator actually generated — the reference the pipeline's
@@ -76,6 +86,9 @@ struct GroundTruth {
   std::uint64_t searches = 0;
   std::uint64_t source_requests = 0;
   std::uint64_t stat_pings = 0;
+  /// Forged announce entries aimed at real popular files (only scenario
+  /// pollution floods produce these; steady runs keep it at 0).
+  std::uint64_t polluted_entries = 0;
 
   [[nodiscard]] std::uint64_t total_messages() const {
     return client_messages + server_messages;
@@ -120,6 +133,10 @@ class CampaignSimulator {
     return population_;
   }
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
+  /// The engaged scenario, or null when running steady / without one.
+  [[nodiscard]] const Scenario* scenario() const {
+    return scenario_ ? &*scenario_ : nullptr;
+  }
 
  private:
   enum class Action : std::uint8_t {
@@ -149,6 +166,10 @@ class CampaignSimulator {
   void start_session(const Event& ev);
   void publish_batch(const Event& ev);
   void do_ask(const Event& ev);
+
+  /// One exponential think-time draw, scaled by the scenario envelope at
+  /// `at` (identical to the raw draw when no scenario is engaged).
+  SimTime think_gap(Rng& r, SimTime at) const;
 
   /// Encode and emit one client->server message (fault-injected), then let
   /// the server answer and emit the answers.
@@ -200,6 +221,9 @@ class CampaignSimulator {
   bool sessions_scheduled_ = false;
   GroundTruth truth_;
   std::vector<SimTime> flash_windows_;
+  // Engaged hostile-regime envelope; pure function of the config, so it is
+  // rebuilt by the constructor and never checkpointed.
+  std::optional<Scenario> scenario_;
   // Pre-drawn distinct ask targets for kCapped52 clients (the peak-at-52
   // behaviour requires exact distinctness).
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>

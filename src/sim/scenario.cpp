@@ -1,0 +1,296 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace dtr::sim {
+namespace {
+
+// Fold a double into the fingerprint chain by its exact bit pattern, so two
+// configs fingerprint equal iff they behave identically (IEEE-exact).
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix64(h ^ bits);
+}
+
+constexpr double kBoostMin = 0.01;
+constexpr double kBoostMax = 1e4;
+constexpr double kThinkMin = 1e-3;
+constexpr double kThinkMax = 100.0;
+constexpr std::uint32_t kWavesMax = 256;
+constexpr double kDutyMax = 0.9;
+
+}  // namespace
+
+const char* scenario_kind_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kSteady: return "steady";
+    case ScenarioKind::kFlashCrowd: return "flash_crowd";
+    case ScenarioKind::kQueryStorm: return "query_storm";
+    case ScenarioKind::kPolluterFlood: return "polluter_flood";
+    case ScenarioKind::kChurnWave: return "churn_wave";
+    case ScenarioKind::kRestartUnderLoad: return "restart_under_load";
+  }
+  return "unknown";
+}
+
+std::string ScenarioConfig::validate() const {
+  if (kind == ScenarioKind::kSteady) return {};
+  if (waves < 1 || waves > kWavesMax) {
+    return "waves must be in [1, 256]";
+  }
+  if (!std::isfinite(wave_duty) || wave_duty <= 0.0 || wave_duty > kDutyMax) {
+    return "wave_duty must be in (0, 0.9]";
+  }
+  if (!std::isfinite(arrival_boost) || arrival_boost < kBoostMin ||
+      arrival_boost > kBoostMax) {
+    return "arrival_boost must be in [0.01, 10000]";
+  }
+  if (!std::isfinite(background_boost) || background_boost < kBoostMin ||
+      background_boost > kBoostMax) {
+    return "background_boost must be in [0.01, 10000]";
+  }
+  if (!std::isfinite(think_scale) || think_scale < kThinkMin ||
+      think_scale > kThinkMax) {
+    return "think_scale must be in [0.001, 100]";
+  }
+  if (popular_target_k < 1) {
+    return "popular_target_k must be at least 1";
+  }
+  return {};
+}
+
+std::uint64_t ScenarioConfig::fingerprint() const {
+  if (kind == ScenarioKind::kSteady) return 0;
+  std::uint64_t h = mix64(0xD0A5CE7A110ULL ^ static_cast<std::uint64_t>(kind));
+  h = mix64(h ^ seed);
+  h = mix64(h ^ waves);
+  h = mix_double(h, wave_duty);
+  h = mix_double(h, arrival_boost);
+  h = mix_double(h, background_boost);
+  h = mix_double(h, think_scale);
+  h = mix64(h ^ (polluter_targets_popular ? 0x50FFULL : 0));
+  h = mix64(h ^ popular_target_k);
+  return h;
+}
+
+std::vector<std::string> scenario_names() {
+  return {"steady",         "flash_crowd", "query_storm",
+          "polluter_flood", "churn_wave",  "restart_under_load"};
+}
+
+std::optional<ScenarioConfig> scenario_preset(std::string_view name) {
+  ScenarioConfig c;
+  if (name == "steady") {
+    c.kind = ScenarioKind::kSteady;
+    return c;
+  }
+  if (name == "flash_crowd") {
+    // A few short, violent arrival spikes: a popular release hitting the
+    // network.  Sessions pile into 6%-duty windows at 25x density.
+    c.kind = ScenarioKind::kFlashCrowd;
+    c.waves = 3;
+    c.wave_duty = 0.06;
+    c.arrival_boost = 25.0;
+    c.background_boost = 3.0;
+    c.think_scale = 0.5;
+    return c;
+  }
+  if (name == "query_storm") {
+    // Ask + background storm tuned to saturate the kernel buffer: think
+    // time collapses and the MMPP data plane runs 14x hot.
+    c.kind = ScenarioKind::kQueryStorm;
+    c.waves = 2;
+    c.wave_duty = 0.08;
+    c.arrival_boost = 6.0;
+    c.background_boost = 14.0;
+    c.think_scale = 0.08;
+    return c;
+  }
+  if (name == "polluter_flood") {
+    // Coordinated index pollution: the (enlarged) polluter cohort aims its
+    // forged announces at the top-16 most popular files during the floods.
+    c.kind = ScenarioKind::kPolluterFlood;
+    c.waves = 2;
+    c.wave_duty = 0.25;
+    c.arrival_boost = 2.5;
+    c.background_boost = 1.5;
+    c.think_scale = 1.0;
+    c.polluter_targets_popular = true;
+    c.popular_target_k = 16;
+    return c;
+  }
+  if (name == "churn_wave") {
+    // Mass join/leave churn: many medium waves, most of the timeline under
+    // elevated arrival pressure, sessions per client tripled.
+    c.kind = ScenarioKind::kChurnWave;
+    c.waves = 6;
+    c.wave_duty = 0.45;
+    c.arrival_boost = 8.0;
+    c.background_boost = 1.2;
+    c.think_scale = 0.8;
+    return c;
+  }
+  if (name == "restart_under_load") {
+    // One big storm whose peak is where the kill+resume tests inject a
+    // restart: everything hot at once in a single window.
+    c.kind = ScenarioKind::kRestartUnderLoad;
+    c.waves = 1;
+    c.wave_duty = 0.12;
+    c.arrival_boost = 10.0;
+    c.background_boost = 10.0;
+    c.think_scale = 0.1;
+    return c;
+  }
+  return std::nullopt;
+}
+
+void apply_scenario_population_overrides(
+    ScenarioKind kind, workload::PopulationConfig& population) {
+  switch (kind) {
+    case ScenarioKind::kPolluterFlood: {
+      // Polluters become a visible cohort; the mass comes out of casuals so
+      // the fractions still sum to ~1.
+      const double target = 0.08;
+      if (population.polluter_fraction < target) {
+        const double delta = target - population.polluter_fraction;
+        population.polluter_fraction = target;
+        population.casual_fraction =
+            std::max(0.0, population.casual_fraction - delta);
+      }
+      break;
+    }
+    case ScenarioKind::kChurnWave:
+      // Churning clients rejoin repeatedly.
+      population.mean_sessions *= 3.0;
+      break;
+    default:
+      break;
+  }
+}
+
+Scenario::Scenario(const ScenarioConfig& config, SimTime duration,
+                   std::uint64_t campaign_seed)
+    : config_(config), duration_(duration) {
+  if (config_.kind == ScenarioKind::kSteady || duration_ == 0 ||
+      !config_.validate().empty()) {
+    return;  // unengaged: no phases, no envelope
+  }
+  const std::uint32_t waves = config_.waves;
+  const SimTime slot = duration_ / waves;
+  if (slot < kSecond) return;
+  auto wave_len = static_cast<SimTime>(
+      static_cast<double>(duration_) * config_.wave_duty /
+      static_cast<double>(waves));
+  wave_len = std::clamp<SimTime>(wave_len, kSecond, slot);
+  // Each wave lands at a seeded offset inside its own slot, so waves never
+  // overlap and the layout depends on (preset seed, campaign seed, kind).
+  Rng layout(mix64(config_.seed ^ mix64(campaign_seed) ^
+                   (static_cast<std::uint64_t>(config_.kind) << 56)));
+  phases_.reserve(waves);
+  for (std::uint32_t i = 0; i < waves; ++i) {
+    const SimTime lo = static_cast<SimTime>(i) * slot;
+    const SimTime free_span = slot - wave_len;
+    const SimTime begin = lo + (free_span > 0 ? layout.below(free_span) : 0);
+    ScenarioPhase p;
+    p.begin = begin;
+    p.end = begin + wave_len;
+    p.arrival_boost = config_.arrival_boost;
+    p.background_boost = config_.background_boost;
+    p.think_scale = config_.think_scale;
+    p.polluter_targets_popular = config_.polluter_targets_popular;
+    phases_.push_back(p);
+  }
+  // Compile the arrival envelope: alternating gap (density 1) and wave
+  // (density arrival_boost) segments covering [0, duration).
+  SimTime cursor = 0;
+  auto push_segment = [this](SimTime b, SimTime e, double density) {
+    if (e <= b) return;
+    segments_.push_back({b, e, density});
+    const double mass = to_seconds_f(e - b) * density;
+    cum_weight_.push_back((cum_weight_.empty() ? 0.0 : cum_weight_.back()) +
+                          mass);
+  };
+  for (const ScenarioPhase& p : phases_) {
+    push_segment(cursor, p.begin, 1.0);
+    push_segment(p.begin, p.end, p.arrival_boost);
+    cursor = p.end;
+  }
+  push_segment(cursor, duration_, 1.0);
+}
+
+int Scenario::phase_index(SimTime t) const {
+  // Phases are sorted and disjoint; find the last phase starting at or
+  // before t.
+  auto it = std::upper_bound(
+      phases_.begin(), phases_.end(), t,
+      [](SimTime v, const ScenarioPhase& p) { return v < p.begin; });
+  if (it == phases_.begin()) return -1;
+  --it;
+  if (t < it->end) return static_cast<int>(it - phases_.begin());
+  return -1;
+}
+
+double Scenario::arrival_boost(SimTime t) const {
+  const int i = phase_index(t);
+  return i < 0 ? 1.0 : phases_[static_cast<std::size_t>(i)].arrival_boost;
+}
+
+double Scenario::background_boost(SimTime t) const {
+  const int i = phase_index(t);
+  return i < 0 ? 1.0 : phases_[static_cast<std::size_t>(i)].background_boost;
+}
+
+double Scenario::think_scale(SimTime t) const {
+  const int i = phase_index(t);
+  return i < 0 ? 1.0 : phases_[static_cast<std::size_t>(i)].think_scale;
+}
+
+bool Scenario::polluter_targets_popular(SimTime t) const {
+  const int i = phase_index(t);
+  return i >= 0 &&
+         phases_[static_cast<std::size_t>(i)].polluter_targets_popular;
+}
+
+SimTime Scenario::sample_arrival(Rng& rng) const {
+  if (segments_.empty() || cum_weight_.back() <= 0.0) {
+    return duration_ > 0 ? rng.below(duration_) : 0;
+  }
+  // Inverse-CDF over the piecewise-constant density: pick the segment by
+  // cumulative mass, then place the arrival uniformly inside it.  One
+  // uniform() draw per arrival regardless of the preset, so engaged
+  // scenarios consume the session-scheduler RNG at the same rate.
+  const double u = rng.uniform() * cum_weight_.back();
+  const auto it = std::lower_bound(cum_weight_.begin(), cum_weight_.end(), u);
+  const std::size_t idx = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cum_weight_.begin()),
+      segments_.size() - 1);
+  const Segment& seg = segments_[idx];
+  const double prev = idx == 0 ? 0.0 : cum_weight_[idx - 1];
+  const double mass = cum_weight_[idx] - prev;
+  const double frac = mass > 0.0 ? (u - prev) / mass : 0.0;
+  const auto offset = static_cast<SimTime>(
+      frac * static_cast<double>(seg.end - seg.begin));
+  const SimTime t = seg.begin + std::min(offset, seg.end - seg.begin - 1);
+  return std::min(t, duration_ - 1);
+}
+
+SimTime Scenario::peak_time() const {
+  if (phases_.empty()) return duration_ / 2;
+  // "Intensity" of a wave: arrival and background pressure amplified by how
+  // aggressively think time collapses.
+  const auto intensity = [](const ScenarioPhase& p) {
+    return p.arrival_boost * p.background_boost / std::max(p.think_scale, 1e-9);
+  };
+  const auto it = std::max_element(
+      phases_.begin(), phases_.end(),
+      [&](const ScenarioPhase& a, const ScenarioPhase& b) {
+        return intensity(a) < intensity(b);
+      });
+  return it->begin + (it->end - it->begin) / 2;
+}
+
+}  // namespace dtr::sim

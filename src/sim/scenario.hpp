@@ -1,0 +1,148 @@
+// Hostile-regime scenario presets: named, seeded compositions of
+// time-varying intensity envelopes over the steady-state workload.
+//
+// The paper's capture spans ten weeks of real server life, which includes
+// regimes the steady heavy-tailed workload never produces: query storms
+// that drive kernel-buffer losses far past Figure 2 levels, coordinated
+// polluter campaigns against popular files, and mass client churn (the
+// BitTorrent availability studies in PAPERS.md give the wave shapes).  A
+// Scenario compiles one named preset into a deterministic piecewise-
+// constant envelope over the campaign:
+//   * session arrivals are drawn from a boosted density inside the waves
+//     (flash crowds, churn waves),
+//   * the background MMPP data rates are multiplied inside the waves
+//     (query storms saturating the capture buffer),
+//   * client think time shrinks inside the waves (ask bursts), and
+//   * polluters switch from random forged fileIDs to forged announces
+//     aimed at the top-k most popular real files (index-pollution floods).
+//
+// Everything is a pure function of (config, duration, campaign seed):
+// nothing here needs checkpointing, serial == parallel == resumed holds
+// byte for byte, and the preset joins the snapshot fingerprint so a storm
+// campaign cannot silently resume as a steady one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "workload/behavior.hpp"
+
+namespace dtr::sim {
+
+enum class ScenarioKind : std::uint8_t {
+  kSteady,           ///< no hostile regime (the default; a strict no-op)
+  kFlashCrowd,       ///< short, intense arrival spikes
+  kQueryStorm,       ///< background + ask storm overwhelming the buffer
+  kPolluterFlood,    ///< forged-fileID floods against the top-k files
+  kChurnWave,        ///< mass arrival/departure waves (churning clients)
+  kRestartUnderLoad, ///< one big storm meant to be killed + resumed at peak
+};
+
+const char* scenario_kind_name(ScenarioKind kind);
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kSteady;
+  /// Folded with the campaign seed for wave placement, so the same preset
+  /// lands its waves elsewhere under another campaign seed.
+  std::uint64_t seed = 17;
+
+  std::uint32_t waves = 1;        ///< hostile windows over the campaign
+  double wave_duty = 0.10;        ///< fraction of the duration that is hostile
+  double arrival_boost = 1.0;     ///< session-arrival density x inside a wave
+  double background_boost = 1.0;  ///< MMPP data-rate x inside a wave
+  double think_scale = 1.0;       ///< inter-ask think-time x inside a wave
+  bool polluter_targets_popular = false;  ///< forged floods aim at the top-k
+  std::uint32_t popular_target_k = 16;    ///< victim pool: popularity ranks
+
+  /// Empty when the config is usable; otherwise the reason it is not.
+  /// Steady is always valid (the envelope fields are ignored).
+  [[nodiscard]] std::string validate() const;
+
+  /// Stable hash of every field that shapes the run — the checkpoint
+  /// fingerprint contribution.  Steady fingerprints to 0, matching "no
+  /// scenario at all", because it *is* no scenario at all.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Registered preset names, in a stable order (steady first).
+std::vector<std::string> scenario_names();
+
+/// Look a preset up by name; nullopt for unknown names.
+std::optional<ScenarioConfig> scenario_preset(std::string_view name);
+
+/// The workload/behavior hook: overrides a preset applies to the client
+/// population before it is built.  Polluter floods need polluters to be a
+/// visible fraction of the population; churn waves need clients that come
+/// and go repeatedly.  Steady (and every envelope-only preset) is a no-op.
+void apply_scenario_population_overrides(ScenarioKind kind,
+                                         workload::PopulationConfig& population);
+
+/// One hostile window with its intensity multipliers.
+struct ScenarioPhase {
+  SimTime begin = 0;  ///< inclusive
+  SimTime end = 0;    ///< exclusive
+  double arrival_boost = 1.0;
+  double background_boost = 1.0;
+  double think_scale = 1.0;
+  bool polluter_targets_popular = false;
+};
+
+class Scenario {
+ public:
+  /// Compile the preset into concrete waves over `[0, duration)`.  Invalid
+  /// configs are defensively clamped — callers wanting a clean rejection
+  /// check ScenarioConfig::validate() first (the campaign runner and the
+  /// CLI both do).
+  Scenario(const ScenarioConfig& config, SimTime duration,
+           std::uint64_t campaign_seed);
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] SimTime duration() const { return duration_; }
+  [[nodiscard]] const std::vector<ScenarioPhase>& phases() const {
+    return phases_;
+  }
+
+  /// False for steady: an unengaged scenario must leave every byte of the
+  /// run identical to a run with no scenario at all.
+  [[nodiscard]] bool engaged() const { return !phases_.empty(); }
+
+  /// Index of the wave covering `t`, or -1 between waves.
+  [[nodiscard]] int phase_index(SimTime t) const;
+
+  [[nodiscard]] double arrival_boost(SimTime t) const;
+  [[nodiscard]] double background_boost(SimTime t) const;
+  [[nodiscard]] double think_scale(SimTime t) const;
+  [[nodiscard]] bool polluter_targets_popular(SimTime t) const;
+  [[nodiscard]] std::uint32_t popular_target_k() const {
+    return config_.popular_target_k;
+  }
+
+  /// Draw a session start time from the arrival envelope (piecewise-
+  /// constant density: boosted inside waves, 1x between them).
+  [[nodiscard]] SimTime sample_arrival(Rng& rng) const;
+
+  /// Centre of the most intense wave — the moment the kill-at-peak tests
+  /// checkpoint at.  Returns duration/2 for an unengaged scenario.
+  [[nodiscard]] SimTime peak_time() const;
+
+ private:
+  ScenarioConfig config_;
+  SimTime duration_ = 0;
+  std::vector<ScenarioPhase> phases_;
+  // Arrival envelope over the full duration: segments alternate gap/wave;
+  // cum_weight_[i] is the total density mass of segments 0..i.
+  struct Segment {
+    SimTime begin = 0;
+    SimTime end = 0;
+    double density = 1.0;
+  };
+  std::vector<Segment> segments_;
+  std::vector<double> cum_weight_;
+};
+
+}  // namespace dtr::sim

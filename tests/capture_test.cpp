@@ -114,6 +114,60 @@ TEST(KernelBuffer, OccupancyHighWaterTracksThePeakOnly) {
   EXPECT_GT(buf.dropped(), 0u);
 }
 
+TEST(KernelBuffer, SaturationDropAccountingIsExact) {
+  const KernelBufferConfig cfg = no_stall_config();  // capacity 100
+  KernelBuffer buf(cfg);
+  // A same-instant burst leaves the reader no time to drain, so the
+  // arithmetic is exact rather than approximate: the first `capacity`
+  // offers fit, and from the very next one on every offer is a drop.
+  for (std::size_t i = 0; i < cfg.capacity; ++i) {
+    EXPECT_TRUE(buf.offer(kSecond)) << "offer " << i;
+  }
+  EXPECT_EQ(buf.accepted(), cfg.capacity);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.occupancy(), cfg.capacity);
+
+  EXPECT_FALSE(buf.offer(kSecond));  // capacity + 1: the first drop
+  EXPECT_EQ(buf.dropped(), 1u);
+  for (int i = 0; i < 250; ++i) {
+    EXPECT_FALSE(buf.offer(kSecond));
+  }
+  EXPECT_EQ(buf.dropped(), 251u);
+  EXPECT_EQ(buf.accepted(), cfg.capacity);       // unchanged past capacity
+  EXPECT_EQ(buf.occupancy(), cfg.capacity);      // full, never past full
+  EXPECT_EQ(buf.occupancy_high_water(), cfg.capacity);
+}
+
+TEST(KernelBuffer, HighWaterIsMonotoneThroughSaturationCycles) {
+  const KernelBufferConfig cfg = no_stall_config();  // capacity 100, 1000/s
+  KernelBuffer buf(cfg);
+  // Saturate, drain, refill lower, saturate again: across every observation
+  // the high-water mark never decreases, and it never exceeds capacity.
+  std::size_t last_high_water = 0;
+  const auto observe = [&] {
+    EXPECT_GE(buf.occupancy_high_water(), last_high_water);
+    EXPECT_GE(buf.occupancy_high_water(), buf.occupancy());
+    EXPECT_LE(buf.occupancy_high_water(), cfg.capacity);
+    last_high_water = buf.occupancy_high_water();
+  };
+  for (int i = 0; i < 60; ++i) buf.offer(kSecond);  // peak 60
+  observe();
+  EXPECT_EQ(last_high_water, 60u);
+  buf.offer(kSecond + 500 * kMillisecond);  // fully drained, then one more
+  observe();
+  EXPECT_EQ(last_high_water, 60u);          // drain must not move it
+  for (int i = 0; i < 30; ++i) buf.offer(2 * kSecond);  // lower refill
+  observe();
+  EXPECT_EQ(last_high_water, 60u);
+  for (int i = 0; i < 400; ++i) buf.offer(3 * kSecond);  // past capacity
+  observe();
+  EXPECT_EQ(last_high_water, cfg.capacity);  // clamped at the FIFO limit
+  EXPECT_GT(buf.dropped(), 0u);
+  buf.offer(5 * kSecond);  // drain again: still pinned at capacity
+  observe();
+  EXPECT_EQ(last_high_water, cfg.capacity);
+}
+
 TEST(KernelBuffer, HighWaterGaugeMirrorsTheAccessor) {
   obs::Registry registry;
   KernelBuffer buf(no_stall_config());

@@ -172,6 +172,80 @@ if(NOT err_corrupt MATCHES "checkpoint")
   message(FATAL_ERROR "corrupt-snapshot error not reported: ${err_corrupt}")
 endif()
 
+# Scenario presets through the CLI: a hostile-regime campaign (query_storm)
+# runs end to end with checkpointing, prints the figure-style scenario
+# summary, and a resume from its first snapshot reproduces the dataset byte
+# for byte — the kill+resume-under-storm story at CLI level.
+file(REMOVE_RECURSE ${WORKDIR}/smoke_storm_ckpt)
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2 --scenario query_storm
+          --xml smoke_storm.xml
+          --checkpoint-dir smoke_storm_ckpt --checkpoint-interval-hours 1
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_storm
+  OUTPUT_VARIABLE out_storm)
+if(NOT rc_storm EQUAL 0)
+  message(FATAL_ERROR "query_storm campaign failed: ${rc_storm}")
+endif()
+if(NOT out_storm MATCHES "== scenario: query_storm ==")
+  message(FATAL_ERROR "storm campaign did not print the scenario summary")
+endif()
+file(GLOB storm_snapshots ${WORKDIR}/smoke_storm_ckpt/checkpoint-*.ckpt)
+list(LENGTH storm_snapshots storm_snapshot_count)
+if(storm_snapshot_count LESS 1)
+  message(FATAL_ERROR "storm campaign wrote no snapshots")
+endif()
+list(SORT storm_snapshots)
+list(GET storm_snapshots 0 storm_snapshot)
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2 --scenario query_storm
+          --xml smoke_storm_resumed.xml
+          --resume-from ${storm_snapshot}
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_storm_resume)
+if(NOT rc_storm_resume EQUAL 0)
+  message(FATAL_ERROR "resumed storm campaign failed: ${rc_storm_resume}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/smoke_storm.xml ${WORKDIR}/smoke_storm_resumed.xml
+  RESULT_VARIABLE rc_storm_cmp)
+if(NOT rc_storm_cmp EQUAL 0)
+  message(FATAL_ERROR "resumed storm dataset differs from uninterrupted run")
+endif()
+
+# A steady-campaign snapshot must refuse to resume a storm campaign (the
+# scenario joins the snapshot fingerprint).
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 80 --files 500
+          --hours 3 --workers 2
+          --resume-from ${storm_snapshot}
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_storm_mismatch
+  ERROR_VARIABLE err_storm_mismatch)
+if(rc_storm_mismatch EQUAL 0)
+  message(FATAL_ERROR "steady resume of a storm snapshot unexpectedly succeeded")
+endif()
+if(NOT err_storm_mismatch MATCHES "scenario")
+  message(FATAL_ERROR "scenario mismatch not reported: ${err_storm_mismatch}")
+endif()
+
+# An unknown preset name: clean usage error naming the known presets.
+execute_process(
+  COMMAND ${DONKEYTRACE} campaign --seed 9 --clients 20 --files 100
+          --hours 1 --scenario no_such_storm
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc_badname
+  ERROR_VARIABLE err_badname)
+if(NOT rc_badname EQUAL 2)
+  message(FATAL_ERROR "unknown scenario exited ${rc_badname}, expected 2")
+endif()
+if(NOT err_badname MATCHES "unknown scenario")
+  message(FATAL_ERROR "unknown-scenario error not reported: ${err_badname}")
+endif()
+
 execute_process(
   COMMAND ${DONKEYTRACE} analyze smoke.xml.dtz
   WORKING_DIRECTORY ${WORKDIR}

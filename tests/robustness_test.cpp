@@ -6,11 +6,17 @@
 // decoders that crash on byte 4,611,686,018 do not get ten-week uptimes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "core/campaign_runner.hpp"
 #include "core/checkpoint.hpp"
 #include "hash/md5.hpp"
+#include "sim/scenario.hpp"
 #include "net/ethernet.hpp"
 #include "net/ipv4.hpp"
 #include "net/pcap.hpp"
@@ -293,6 +299,194 @@ TEST_P(FuzzSeeds, CheckpointParserNeverCrashesOnGarbage) {
     std::string error;
     (void)core::CheckpointView::parse(doc, error);  // must not crash
   }
+}
+
+// ---- hostile scenario configuration -----------------------------------
+//
+// The scenario layer takes operator input twice: a preset name on the CLI
+// and a fingerprint inside every snapshot.  Both are attack surface for
+// the same reason the decoders are: a ten-week campaign is restarted from
+// whatever config file and snapshot directory survived the outage.
+
+TEST(ScenarioFuzz, UnknownPresetNamesNeverResolve) {
+  EXPECT_FALSE(sim::scenario_preset("").has_value());
+  EXPECT_FALSE(sim::scenario_preset("Steady").has_value());          // case
+  EXPECT_FALSE(sim::scenario_preset("flash-crowd").has_value());     // dash
+  EXPECT_FALSE(sim::scenario_preset("flash_crowd ").has_value());    // pad
+  EXPECT_FALSE(sim::scenario_preset(" flash_crowd").has_value());
+  std::string nul_name("flash_crowd");
+  nul_name.push_back('\0');
+  EXPECT_FALSE(sim::scenario_preset(nul_name).has_value());  // embedded NUL
+  EXPECT_FALSE(sim::scenario_preset("query_storm2").has_value());
+  const std::vector<std::string> names = sim::scenario_names();
+  Rng rng(0xF1A5);
+  for (int i = 0; i < 500; ++i) {
+    std::string name;
+    const std::size_t len = rng.below(16);
+    while (name.size() < len) {
+      name.push_back(static_cast<char>(rng.below(256)));
+    }
+    if (sim::scenario_preset(name).has_value()) {
+      // Only exact registry names may resolve.
+      EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+          << "resolved: " << ::testing::PrintToString(name);
+    }
+  }
+}
+
+TEST(ScenarioFuzz, OutOfRangeIntensitiesAreRejectedByValidate) {
+  const auto broken = [](auto&& tweak) {
+    sim::ScenarioConfig cfg = *sim::scenario_preset("flash_crowd");
+    tweak(cfg);
+    return cfg.validate();
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(broken([&](auto& c) { c.waves = 0; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.waves = 100'000; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.wave_duty = 0.0; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.wave_duty = -0.5; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.wave_duty = 1.5; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.wave_duty = nan; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.arrival_boost = 0.0; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.arrival_boost = -3.0; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.arrival_boost = inf; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.arrival_boost = nan; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.background_boost = 1e9; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.background_boost = -inf; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.think_scale = 0.0; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.think_scale = 1e6; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.think_scale = nan; }).empty());
+  EXPECT_FALSE(broken([&](auto& c) { c.popular_target_k = 0; }).empty());
+  // Every shipped preset is itself valid.
+  for (const std::string& name : sim::scenario_names()) {
+    EXPECT_TRUE(sim::scenario_preset(name)->validate().empty()) << name;
+  }
+}
+
+TEST(ScenarioFuzz, RunnerRefusesInvalidScenarioBeforeTouchingAnything) {
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(11);
+  cfg.campaign.duration = 10 * kMinute;
+  cfg.campaign.population.client_count = 4;
+  cfg.campaign.catalog.file_count = 20;
+  cfg.campaign.scenario = *sim::scenario_preset("query_storm");
+  cfg.campaign.scenario->arrival_boost =
+      std::numeric_limits<double>::quiet_NaN();
+  core::CampaignRunner runner(cfg);
+  const core::CampaignReport report = runner.run();
+  EXPECT_FALSE(report.pipeline.ok());
+  EXPECT_EQ(report.pipeline.error.rfind("scenario:", 0), 0u)
+      << report.pipeline.error;
+  EXPECT_EQ(report.frames_captured, 0u);
+}
+
+/// One real snapshot written by a storm campaign, as raw bytes.
+Bytes storm_snapshot(const std::filesystem::path& dir,
+                     std::filesystem::path* file_out = nullptr) {
+  core::RunnerConfig cfg = core::RunnerConfig::tiny(12);
+  cfg.campaign.duration = 30 * kMinute;
+  cfg.campaign.population.client_count = 8;
+  cfg.campaign.catalog.file_count = 40;
+  cfg.campaign.population.scanner_ask_max = 20;
+  cfg.campaign.population.casual_ask_max = 20;
+  cfg.campaign.inter_ask_mean_s = 20.0;
+  cfg.campaign.scenario = *sim::scenario_preset("query_storm");
+  cfg.checkpoint_dir = dir.string();
+  cfg.checkpoint_interval = 10 * kMinute;
+  core::CampaignRunner runner(cfg);
+  const core::CampaignReport report = runner.run();
+  EXPECT_TRUE(report.pipeline.ok()) << report.pipeline.error;
+  const std::filesystem::path snap =
+      dir / core::checkpoint_file_name(10 * kMinute);
+  if (file_out != nullptr) *file_out = snap;
+  std::ifstream in(snap, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+/// Re-encode `snapshot` with its "meta" section replaced by `meta`.  The
+/// container itself stays valid (sections intact, checksum recomputed):
+/// the rejection under test is the *scenario/meta* layer, not the MD5.
+Bytes with_meta_section(const core::CheckpointView& view, const Bytes& meta) {
+  core::CheckpointBuilder builder;
+  builder.add("meta", meta);
+  for (const std::string& name : view.section_names()) {
+    if (name != "meta") builder.add(name, *view.section(name));
+  }
+  return builder.encode();
+}
+
+TEST(ScenarioFuzz, TruncatedOrGarbledSnapshotMetaIsRejectedCleanly) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "scenario_fuzz_snaps";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const Bytes data = storm_snapshot(dir);
+  ASSERT_FALSE(data.empty());
+  std::string error;
+  const auto view = core::CheckpointView::parse(data, error);
+  ASSERT_TRUE(view.has_value()) << error;
+  const Bytes* meta = view->section("meta");
+  ASSERT_NE(meta, nullptr);
+
+  const auto resume_fails_cleanly = [&](const Bytes& doc) {
+    const std::filesystem::path mutated = dir / "mutated.ckpt";
+    std::ofstream(mutated, std::ios::binary)
+        .write(reinterpret_cast<const char*>(doc.data()),
+               static_cast<std::streamsize>(doc.size()));
+    core::RunnerConfig cfg = core::RunnerConfig::tiny(12);
+    cfg.campaign.duration = 30 * kMinute;
+    cfg.campaign.population.client_count = 8;
+    cfg.campaign.catalog.file_count = 40;
+    cfg.campaign.population.scanner_ask_max = 20;
+    cfg.campaign.population.casual_ask_max = 20;
+    cfg.campaign.inter_ask_mean_s = 20.0;
+    cfg.campaign.scenario = *sim::scenario_preset("query_storm");
+    cfg.resume_from = mutated.string();
+    core::CampaignRunner runner(cfg);
+    const core::CampaignReport report = runner.run();
+    EXPECT_FALSE(report.pipeline.ok());
+    EXPECT_EQ(report.pipeline.error.rfind("checkpoint:", 0), 0u)
+        << report.pipeline.error;
+  };
+
+  // Every truncation of the meta section: rejected as malformed meta.
+  for (std::size_t cut = 0; cut < meta->size(); ++cut) {
+    resume_fails_cleanly(
+        with_meta_section(*view, Bytes(meta->begin(),
+                                       meta->begin() +
+                                           static_cast<std::ptrdiff_t>(cut))));
+  }
+  // Garbage meta of the right length: either malformed or a fingerprint
+  // mismatch — never a crash, never a half-restored run.
+  Rng rng(0xBAD5EED);
+  for (int i = 0; i < 32; ++i) {
+    Bytes junk(meta->size());
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    resume_fails_cleanly(with_meta_section(*view, junk));
+  }
+  // Sanity: the unmodified rebuild round-trips through the same path and
+  // is accepted (proves the helper is not what rejects the mutants).
+  {
+    const Bytes same = with_meta_section(*view, *meta);
+    const std::filesystem::path f = dir / "same.ckpt";
+    std::ofstream(f, std::ios::binary)
+        .write(reinterpret_cast<const char*>(same.data()),
+               static_cast<std::streamsize>(same.size()));
+    core::RunnerConfig cfg = core::RunnerConfig::tiny(12);
+    cfg.campaign.duration = 30 * kMinute;
+    cfg.campaign.population.client_count = 8;
+    cfg.campaign.catalog.file_count = 40;
+    cfg.campaign.population.scanner_ask_max = 20;
+    cfg.campaign.population.casual_ask_max = 20;
+    cfg.campaign.inter_ask_mean_s = 20.0;
+    cfg.campaign.scenario = *sim::scenario_preset("query_storm");
+    cfg.resume_from = f.string();
+    core::CampaignRunner runner(cfg);
+    const core::CampaignReport report = runner.run();
+    EXPECT_TRUE(report.pipeline.ok()) << report.pipeline.error;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 2, 3, 4, 5));

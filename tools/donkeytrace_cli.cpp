@@ -59,6 +59,11 @@ commands:
               [--resume-from FILE] (continue an interrupted campaign from
                                       a snapshot; outputs are byte-identical
                                       to an uninterrupted run)
+              [--scenario NAME] (hostile-regime preset: steady, flash_crowd,
+                                      query_storm, polluter_flood, churn_wave,
+                                      restart_under_load; joins the snapshot
+                                      fingerprint, prints a figure-style
+                                      scenario summary after the run)
   decode      replay a pcap file through the offline decoder
               --pcap PATH [--xml PATH[.dtz]]
               [--server-ip A.B.C.D] [--server-port P]
@@ -344,6 +349,20 @@ int cmd_campaign(const cli::Args& args) {
     bg.data_rate_burst = args.get_f64("tcp-burst", 30.0);
     cfg.background = bg;
   }
+  const std::string scenario_name = args.get("scenario");
+  if (!scenario_name.empty()) {
+    const auto preset = sim::scenario_preset(scenario_name);
+    if (!preset) {
+      std::cerr << "campaign: unknown scenario '" << scenario_name
+                << "' (known:";
+      for (const std::string& name : sim::scenario_names()) {
+        std::cerr << " " << name;
+      }
+      std::cerr << ")\n";
+      return 2;
+    }
+    cfg.campaign.scenario = *preset;
+  }
 
   std::ostringstream xml;
   std::string xml_path = args.get("xml");
@@ -426,6 +445,11 @@ int cmd_campaign(const cli::Args& args) {
           {"distinct fileIDs", with_thousands(report.pipeline.distinct_files)},
       });
   print_dataset_summary(runner.stats());
+  if (const auto scenario_summary = core::build_scenario_summary(
+          runner.simulator().scenario(), report)) {
+    std::cout << "\n";
+    analysis::print_scenario_summary(std::cout, *scenario_summary);
+  }
 
   if (!xml_path.empty() && !store_dataset(xml_path, xml.str())) {
     std::cerr << "cannot write " << xml_path << "\n";
